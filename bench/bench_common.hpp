@@ -1,0 +1,71 @@
+// Shared setup for the bench harness: one canonical configuration per run
+// so every table/figure bench measures the same system.
+//
+// Hardware side: the paper's full Table I/III SSD (32 channels x 4 chips,
+// PCIe3 x4) and Table II accelerator parameters with buffer capacities
+// scaled alongside the graphs (bench_accel_config). Software side: scaled
+// datasets (graph::Scale::kBench), 16 KiB graph blocks (so subgraph counts
+// per chip stay comparable to the paper), and a GraphWalker host model with
+// the same graph:memory ratio as the paper's 8 GB default.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/engine.hpp"
+#include "baseline/drunkardmob.hpp"
+#include "baseline/graphwalker.hpp"
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+
+namespace fw::bench {
+
+/// Paper Table I/III SSD.
+ssd::SsdConfig bench_ssd();
+
+/// Graph-block partitioning used by every bench (16 KiB blocks; 512 KiB
+/// intent of the paper scaled by the same factor as the graphs).
+partition::PartitionConfig bench_partition(bool weighted = false);
+
+/// GraphWalker host model: 8 cores, 6 MiB block cache (the paper's 8 GB
+/// scaled to keep graph:memory ratios), 1 MiB blocks (the paper's ~1 GB).
+baseline::HostConfig bench_host();
+
+struct RunConfig {
+  graph::DatasetId dataset = graph::DatasetId::TT;
+  std::uint64_t num_walks = 0;  ///< 0 = dataset default
+  accel::Features features;     ///< FlashWalker optimization toggles
+  std::uint64_t host_memory_bytes = 0;  ///< 0 = bench_host() default
+  Tick timeline_interval = 0;
+  std::uint64_t seed = 42;
+};
+
+struct ComparisonResult {
+  accel::EngineResult fw;
+  baseline::BaselineResult gw;
+  [[nodiscard]] double speedup() const {
+    return fw.exec_time == 0 ? 0.0
+                             : static_cast<double>(gw.exec_time) /
+                                   static_cast<double>(fw.exec_time);
+  }
+};
+
+/// Dataset cache: generation is seconds for the big graphs, so each bench
+/// binary generates each dataset at most once.
+const graph::CsrGraph& bench_graph(graph::DatasetId id);
+const partition::PartitionedGraph& bench_partitioned(graph::DatasetId id);
+
+accel::EngineResult run_flashwalker(const RunConfig& cfg);
+baseline::BaselineResult run_graphwalker(const RunConfig& cfg);
+ComparisonResult run_comparison(const RunConfig& cfg);
+
+/// "TT" etc. for row labels.
+std::string dataset_abbrev(graph::DatasetId id);
+
+/// The five datasets in paper order.
+const std::vector<graph::DatasetId>& bench_datasets();
+
+/// Standard bench banner: what is being reproduced + the scaling notice.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace fw::bench

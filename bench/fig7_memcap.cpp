@@ -1,0 +1,42 @@
+// Figure 7: FlashWalker speedup over GraphWalker with varied GraphWalker
+// DRAM capacity (paper: 4/8/16 GB; scaled: 3/6/12 MiB with the same
+// graph:memory ratios). Paper observations: the speedup does not drop much
+// at the largest memory; TT is insensitive (fits already at the default);
+// CW is insensitive (still far exceeds memory).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace fw;
+
+int main() {
+  bench::print_banner("Figure 7 — speedup vs GraphWalker DRAM capacity", "Fig. 7");
+
+  // FlashWalker's time is independent of host memory: run it once per
+  // dataset.
+  TextTable table({"dataset", "FW time", "speedup @3MiB", "speedup @6MiB",
+                   "speedup @12MiB"});
+  for (const auto id : bench::bench_datasets()) {
+    bench::RunConfig cfg;
+    cfg.dataset = id;
+    const auto fw = bench::run_flashwalker(cfg);
+    std::vector<std::string> row{bench::dataset_abbrev(id),
+                                 TextTable::time_ns(fw.exec_time)};
+    for (const std::uint64_t mem : {3 * MiB, 6 * MiB, 12 * MiB}) {
+      bench::RunConfig gcfg = cfg;
+      gcfg.host_memory_bytes = mem;
+      const auto gw = bench::run_graphwalker(gcfg);
+      row.push_back(TextTable::num(static_cast<double>(gw.exec_time) /
+                                       static_cast<double>(fw.exec_time),
+                                   2) +
+                    "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShape checks (paper §IV.C): larger GraphWalker memory shrinks the\n"
+         "speedup only mildly; TT barely moves (the graph already fits at the\n"
+         "default), and CW barely moves (the graph still far exceeds memory).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 8: FlashWalker resource-consumption behaviour over time — flash
+// read/write bandwidth, channel-bus bandwidth, overall bandwidth, and the
+// percentage of finished walks. Paper observations: channel bandwidth
+// saturates early (roving-walk pressure) while flash read bandwidth rises
+// as walks thin out; write bandwidth stays tiny; ClueWeb spends most of its
+// time on the last ~10% straggler walks.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace fw;
+
+int main() {
+  bench::print_banner("Figure 8 — resource consumption over time", "Fig. 8");
+  const auto agg_channel =
+      static_cast<double>(bench::bench_ssd().aggregate_channel_mb_per_s());
+
+  for (const auto id : bench::bench_datasets()) {
+    bench::RunConfig cfg;
+    cfg.dataset = id;
+    const auto fw_probe = bench::run_flashwalker(cfg);  // sizes the interval
+    bench::RunConfig timed = cfg;
+    timed.timeline_interval = std::max<Tick>(fw_probe.exec_time / 24, 10 * kUs);
+    const auto r = bench::run_flashwalker(timed);
+
+    std::cout << "\n--- " << bench::dataset_abbrev(id)
+              << " (exec " << TextTable::time_ns(r.exec_time) << ", "
+              << r.metrics.walks_started << " walks) ---\n";
+    TextTable table({"t", "flash read MB/s", "flash write MB/s", "channel MB/s",
+                     "channel util", "overall MB/s", "walks done"});
+    for (const auto& p : r.timeline) {
+      table.add_row({TextTable::time_ns(p.at), TextTable::num(p.flash_read_mb_s, 0),
+                     TextTable::num(p.flash_write_mb_s, 0),
+                     TextTable::num(p.channel_mb_s, 0),
+                     TextTable::num(100.0 * p.channel_mb_s / agg_channel, 1) + "%",
+                     TextTable::num(p.overall_mb_s, 0),
+                     TextTable::num(p.walks_done_pct, 1) + "%"});
+    }
+    table.print(std::cout);
+
+    // Straggler summary (the paper's CW observation).
+    Tick t90 = r.exec_time;
+    for (const auto& p : r.timeline) {
+      if (p.walks_done_pct >= 90.0) {
+        t90 = p.at;
+        break;
+      }
+    }
+    std::cout << "90% of walks finished by " << TextTable::time_ns(t90) << " ("
+              << TextTable::num(100.0 * static_cast<double>(t90) /
+                                    static_cast<double>(r.exec_time),
+                                1)
+              << "% of the run); the rest is straggler processing.\n"
+              << "chip utilization: mean "
+              << TextTable::num(100.0 * r.mean_chip_utilization(), 1) << "%, max "
+              << TextTable::num(100.0 * r.max_chip_utilization(), 1)
+              << "% (spread = straggler imbalance)\n";
+  }
+  std::cout << "\nShape checks: write bandwidth tiny throughout; channel\n"
+               "pressure highest early; CW shows the longest straggler tail.\n"
+               "Note: bus bytes are counted when a transfer is *issued*, so the\n"
+               "first interval absorbs the t=0 ingestion burst and can read\n"
+               "above the line rate; later intervals are steady-state.\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Component micro-benchmarks (google-benchmark): the hot inner loops of the
+// simulator — neighbor sampling, ITS search, mapping-table search (full vs
+// range-limited, quantifying the WQ optimization), Bloom-filter probes,
+// query-cache accesses, and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "common/assoc_cache.hpp"
+#include "common/bloom.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "partition/dense_table.hpp"
+#include "partition/mapping_table.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "rw/sampler.hpp"
+#include "sim/event_queue.hpp"
+
+namespace fw {
+namespace {
+
+const graph::CsrGraph& bench_graph(bool weighted) {
+  static const graph::CsrGraph unweighted = [] {
+    graph::RmatParams p;
+    p.num_vertices = 1 << 14;
+    p.num_edges = 1 << 18;
+    p.seed = 3;
+    return graph::generate_rmat(p);
+  }();
+  static const graph::CsrGraph with_weights = [] {
+    graph::RmatParams p;
+    p.num_vertices = 1 << 14;
+    p.num_edges = 1 << 18;
+    p.weighted = true;
+    p.seed = 3;
+    return graph::generate_rmat(p);
+  }();
+  return weighted ? with_weights : unweighted;
+}
+
+const partition::PartitionedGraph& bench_pg() {
+  static const partition::PartitionedGraph pg = [] {
+    partition::PartitionConfig pc;
+    pc.block_capacity_bytes = 4096;
+    return partition::PartitionedGraph(bench_graph(false), pc);
+  }();
+  return pg;
+}
+
+const partition::SubgraphMappingTable& bench_mtab() {
+  static const partition::SubgraphMappingTable mtab = [] {
+    std::vector<std::uint64_t> pages(bench_pg().num_subgraphs(), 0);
+    return partition::SubgraphMappingTable(bench_pg(), pages);
+  }();
+  return mtab;
+}
+
+void BM_SampleUnbiased(benchmark::State& state) {
+  const auto& g = bench_graph(false);
+  Xoshiro256 rng(1);
+  VertexId v = 0;
+  for (auto _ : state) {
+    const auto s = rw::sample_unbiased(g, v, rng);
+    v = s.next == kInvalidVertex ? rng.bounded(g.num_vertices()) : s.next;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SampleUnbiased);
+
+void BM_SampleBiasedIts(benchmark::State& state) {
+  const auto& g = bench_graph(true);
+  static const rw::ItsTable its(bench_graph(true));
+  Xoshiro256 rng(1);
+  VertexId v = 0;
+  for (auto _ : state) {
+    const auto s = its.sample(g, v, rng);
+    v = s.next == kInvalidVertex ? rng.bounded(g.num_vertices()) : s.next;
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SampleBiasedIts);
+
+void BM_MappingFullSearch(benchmark::State& state) {
+  const auto& mtab = bench_mtab();
+  Xoshiro256 rng(2);
+  const VertexId n = bench_graph(false).num_vertices();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto lookup = mtab.find(rng.bounded(n));
+    steps += lookup.steps;
+    benchmark::DoNotOptimize(lookup.sgid);
+  }
+  state.counters["steps/query"] =
+      static_cast<double>(steps) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MappingFullSearch);
+
+void BM_MappingRangeSearch(benchmark::State& state) {
+  // The WQ path: channel-level range query + board-level in-range search.
+  const auto& mtab = bench_mtab();
+  Xoshiro256 rng(2);
+  const VertexId n = bench_graph(false).num_vertices();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const VertexId v = rng.bounded(n);
+    const auto r = mtab.find_range(v);
+    const auto lookup = mtab.find_in_range(v, r.range_id);
+    steps += lookup.steps;  // board-side steps only (channel search is offloaded)
+    benchmark::DoNotOptimize(lookup.sgid);
+  }
+  state.counters["board steps/query"] =
+      static_cast<double>(steps) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MappingRangeSearch);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bf(10'000, 0.01);
+  for (std::uint64_t k = 0; k < 10'000; ++k) bf.insert(k * 3);
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.may_contain(rng.bounded(60'000)));
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_DenseTableLookup(benchmark::State& state) {
+  static const partition::DenseVertexTable dtab(bench_pg());
+  Xoshiro256 rng(5);
+  const VertexId n = bench_graph(false).num_vertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtab.lookup(rng.bounded(n)).meta.has_value());
+  }
+}
+BENCHMARK(BM_DenseTableLookup);
+
+void BM_QueryCache(benchmark::State& state) {
+  AssocCacheModel cache(4096, 16, 4);
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.bounded(1 << state.range(0))));
+  }
+  state.counters["hit rate"] = cache.hit_rate();
+}
+BENCHMARK(BM_QueryCache)->Arg(6)->Arg(10)->Arg(16);
+
+void BM_EventQueue(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 256; ++i) q.push(rng.bounded(100'000), [] {});
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // push + pop
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_PrewalkChoice(benchmark::State& state) {
+  Xoshiro256 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rw::prewalk_block_choice(rw::prewalk_draw(1'213'787, rng), 65536));
+  }
+}
+BENCHMARK(BM_PrewalkChoice);
+
+}  // namespace
+}  // namespace fw
+
+BENCHMARK_MAIN();

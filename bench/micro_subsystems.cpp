@@ -1,0 +1,145 @@
+// Micro-benchmarks for the deeper substrates (google-benchmark): banked
+// DRAM hit/miss paths, NVMe command issue, FTL write/GC, second-order
+// sampling, skip-gram training, and the parallel host walker.
+#include <benchmark/benchmark.h>
+
+#include "baseline/knightking.hpp"
+#include "graph/generators.hpp"
+#include "rw/embeddings.hpp"
+#include "rw/parallel_walker.hpp"
+#include "rw/sampler.hpp"
+#include "ssd/dram_banked.hpp"
+#include "ssd/ftl.hpp"
+#include "ssd/nvme.hpp"
+
+namespace fw {
+namespace {
+
+const graph::CsrGraph& micro_graph() {
+  static const graph::CsrGraph g = [] {
+    graph::RmatParams p;
+    p.num_vertices = 1 << 13;
+    p.num_edges = 1 << 17;
+    p.seed = 8;
+    return graph::generate_rmat(p);
+  }();
+  return g;
+}
+
+void BM_BankedDramRowHit(benchmark::State& state) {
+  ssd::BankedDram dram{ssd::DramConfig{}};
+  Tick t = 0;
+  for (auto _ : state) {
+    t = dram.access(t, 0, 64);  // same row every time
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["row hit rate"] = dram.stats().row_hit_rate();
+}
+BENCHMARK(BM_BankedDramRowHit);
+
+void BM_BankedDramScattered(benchmark::State& state) {
+  ssd::BankedDram dram{ssd::DramConfig{}};
+  Xoshiro256 rng(1);
+  Tick t = 0;
+  for (auto _ : state) {
+    t = dram.access(t, rng.bounded(1u << 30), 64);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["row hit rate"] = dram.stats().row_hit_rate();
+}
+BENCHMARK(BM_BankedDramScattered);
+
+void BM_NvmeCommandIssue(benchmark::State& state) {
+  ssd::FlashArray flash(ssd::test_ssd_config());
+  ssd::SsdDevice dev(flash);
+  ssd::NvmeInterface nvme(dev, ssd::NvmeConfig{});
+  Tick t = 0;
+  for (auto _ : state) {
+    t = nvme.read(t, 0, 4096);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_NvmeCommandIssue);
+
+void BM_FtlWritePath(benchmark::State& state) {
+  ssd::FlashArray flash(ssd::test_ssd_config());
+  ssd::Ftl ftl(flash, 4);
+  std::uint64_t lpn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.write_page(0, lpn));
+    lpn = (lpn + 1) % 1024;  // overwrites exercise invalidation
+  }
+}
+BENCHMARK(BM_FtlWritePath);
+
+void BM_SecondOrderSample(benchmark::State& state) {
+  const auto& g = micro_graph();
+  Xoshiro256 rng(2);
+  VertexId prev = 0;
+  while (g.out_degree(prev) == 0) ++prev;
+  VertexId cur = g.neighbors(prev)[0];
+  for (auto _ : state) {
+    if (g.out_degree(cur) == 0) {
+      cur = prev;
+      continue;
+    }
+    const auto s = rw::sample_second_order(g, prev, cur, g.offsets()[cur],
+                                           g.offsets()[cur + 1], {0.5, 2.0}, rng);
+    prev = cur;
+    cur = s.next == kInvalidVertex ? 0 : s.next;
+    benchmark::DoNotOptimize(cur);
+  }
+}
+BENCHMARK(BM_SecondOrderSample);
+
+void BM_SkipGramPairRate(benchmark::State& state) {
+  const auto& g = micro_graph();
+  rw::DeepWalkParams dw;
+  dw.walks_per_vertex = 1;
+  dw.walk_length = 6;
+  static const auto corpus = rw::deepwalk_corpus(micro_graph(), dw);
+  rw::SkipGramParams sp;
+  sp.dimensions = static_cast<std::uint32_t>(state.range(0));
+  sp.epochs = 1;
+  for (auto _ : state) {
+    rw::EmbeddingModel model(g.num_vertices(), sp);
+    model.train_epoch(corpus, 0.025);
+    benchmark::DoNotOptimize(model.embedding(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_SkipGramPairRate)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelWalker(benchmark::State& state) {
+  rw::WalkSpec spec;
+  spec.num_walks = 20'000;
+  spec.length = 6;
+  rw::ParallelWalkOptions opts;
+  opts.threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto r = rw::run_walks_parallel(micro_graph(), spec, opts);
+    benchmark::DoNotOptimize(r.summary.total_hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000 * 6);
+}
+BENCHMARK(BM_ParallelWalker)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_KnightKingSuperstep(benchmark::State& state) {
+  baseline::KnightKingOptions opts;
+  opts.workers = 4;
+  opts.spec.num_walks = 20'000;
+  opts.spec.length = 6;
+  opts.record_visits = false;
+  for (auto _ : state) {
+    baseline::KnightKingEngine engine(micro_graph(), opts);
+    benchmark::DoNotOptimize(engine.run().supersteps);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000 * 6);
+}
+BENCHMARK(BM_KnightKingSuperstep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fw
+
+BENCHMARK_MAIN();

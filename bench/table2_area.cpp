@@ -1,0 +1,58 @@
+// Table II: accelerator configurations and synthesized circuit area.
+// The RTL/Yosys/FreePDK45 flow is replaced by the calibrated analytic area
+// model (DESIGN.md §3.1); this bench prints model vs paper per level and
+// the full-SSD total that backs the "small circuit area overhead" claim.
+#include <iostream>
+
+#include "accel/area_model.hpp"
+#include "bench_common.hpp"
+
+using namespace fw;
+
+int main() {
+  bench::print_banner("Table II — accelerator configuration and area", "Table II");
+  const accel::AccelConfig cfg = accel::paper_accel_config();
+
+  TextTable table({"module", "chip-level", "channel-level", "board-level"});
+  auto row3 = [&](const std::string& name, auto get) {
+    table.add_row({name, get(cfg.chip), get(cfg.channel), get(cfg.board)});
+  };
+  row3("# updaters",
+       [](const accel::LevelConfig& l) { return std::to_string(l.updaters); });
+  row3("updater cycle",
+       [](const accel::LevelConfig& l) { return std::to_string(l.updater_cycle) + "ns"; });
+  row3("# guiders",
+       [](const accel::LevelConfig& l) { return std::to_string(l.guiders); });
+  row3("guider cycle",
+       [](const accel::LevelConfig& l) { return std::to_string(l.guider_cycle) + "ns"; });
+  row3("subgraph buffer",
+       [](const accel::LevelConfig& l) { return TextTable::bytes(l.subgraph_buffer_bytes); });
+  row3("walk queues",
+       [](const accel::LevelConfig& l) { return TextTable::bytes(l.walk_queue_bytes); });
+  row3("guide buffer",
+       [](const accel::LevelConfig& l) { return TextTable::bytes(l.guide_buffer_bytes); });
+  row3("roving walk buffer",
+       [](const accel::LevelConfig& l) { return TextTable::bytes(l.roving_buffer_bytes); });
+  table.print(std::cout);
+
+  std::cout << "\nArea model vs paper (45 nm):\n";
+  TextTable area({"level", "SRAM mm2", "tables mm2", "logic mm2", "model total",
+                  "paper", "error"});
+  const char* names[] = {"chip-level", "channel-level", "board-level"};
+  const accel::AccelLevel levels[] = {accel::AccelLevel::kChip, accel::AccelLevel::kChannel,
+                                      accel::AccelLevel::kBoard};
+  double total = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const auto a = accel::estimate_area(cfg, levels[i]);
+    const double paper = accel::paper_area_mm2(levels[i]);
+    const double err = 100.0 * (a.total() - paper) / paper;
+    area.add_row({names[i], TextTable::num(a.sram_mm2, 2), TextTable::num(a.tables_mm2, 2),
+                  TextTable::num(a.logic_mm2, 2), TextTable::num(a.total(), 2),
+                  TextTable::num(paper, 2), TextTable::num(err, 1) + "%"});
+    total += a.total() * (i == 0 ? 128 : i == 1 ? 32 : 1);
+  }
+  area.print(std::cout);
+  std::cout << "\nWhole-SSD overhead (128 chip + 32 channel + 1 board): "
+            << TextTable::num(total, 1) << " mm2 at 45 nm\n";
+  return 0;
+}

@@ -1,0 +1,253 @@
+// flashwalker_sim — command-line driver for the full simulator.
+//
+// Runs a random-walk workload through FlashWalker, GraphWalker, and/or the
+// DrunkardMob iteration baseline on a chosen dataset (or an edge-list file)
+// and prints a comparison report with energy estimates.
+//
+// Usage:
+//   flashwalker_sim [options]
+//     --dataset TT|FS|CW|R2B|R8B   scaled Table-IV dataset (default FS)
+//     --graph PATH                 load an edge-list file instead
+//     --walks N                    number of walks (default: dataset default)
+//     --length N                   walk length (default 6)
+//     --biased                     edge-weight-biased walks (ITS)
+//     --node2vec P Q               second-order walks with p/q
+//     --engines fw,gw,dm,tr        which engines to run (default fw,gw)
+//     --no-wq / --no-hs / --no-ss  disable an optimization
+//     --memory BYTES               GraphWalker cache (default 6 MiB)
+//     --scale test|small|bench     dataset scale (default bench)
+//     --seed N
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "accel/energy_model.hpp"
+#include "accel/report.hpp"
+#include "accel/engine.hpp"
+#include "baseline/drunkardmob.hpp"
+#include "baseline/graphwalker.hpp"
+#include "baseline/graphssd.hpp"
+#include "baseline/thunder.hpp"
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/io.hpp"
+
+using namespace fw;
+
+namespace {
+
+struct CliOptions {
+  graph::DatasetId dataset = graph::DatasetId::FS;
+  std::string graph_path;
+  std::uint64_t walks = 0;
+  std::uint32_t length = 6;
+  bool biased = false;
+  std::optional<std::pair<double, double>> node2vec;
+  bool run_fw = true, run_gw = true, run_dm = false, run_tr = false, run_gs = false;
+  accel::Features features;
+  std::uint64_t memory = 6 * MiB;
+  graph::Scale scale = graph::Scale::kBench;
+  std::uint64_t seed = 42;
+  std::string json_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--dataset TT|FS|CW|R2B|R8B] [--graph PATH] [--walks N]\n"
+               "       [--length N] [--biased] [--node2vec P Q]\n"
+               "       [--engines fw,gw,dm,tr,gs] [--no-wq] [--no-hs] [--no-ss]\n"
+               "       [--memory BYTES] [--scale test|small|bench] [--seed N]\n"
+               "       [--json PATH]\n";
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  auto need = [&](int& i) -> const char* {
+    if (++i >= argc) usage(argv[0]);
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dataset") {
+      const std::string name = need(i);
+      bool found = false;
+      for (const auto& info : graph::all_datasets()) {
+        if (info.abbrev == name) {
+          o.dataset = info.id;
+          found = true;
+        }
+      }
+      if (!found) usage(argv[0]);
+    } else if (arg == "--graph") {
+      o.graph_path = need(i);
+    } else if (arg == "--walks") {
+      o.walks = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--length") {
+      o.length = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (arg == "--biased") {
+      o.biased = true;
+    } else if (arg == "--node2vec") {
+      const double p = std::strtod(need(i), nullptr);
+      const double q = std::strtod(need(i), nullptr);
+      o.node2vec = {p, q};
+    } else if (arg == "--engines") {
+      const std::string list = need(i);
+      o.run_fw = list.find("fw") != std::string::npos;
+      o.run_gw = list.find("gw") != std::string::npos;
+      o.run_dm = list.find("dm") != std::string::npos;
+      o.run_tr = list.find("tr") != std::string::npos;
+      o.run_gs = list.find("gs") != std::string::npos;
+    } else if (arg == "--no-wq") {
+      o.features.walk_query = false;
+    } else if (arg == "--no-hs") {
+      o.features.hot_subgraphs = false;
+    } else if (arg == "--no-ss") {
+      o.features.subgraph_scheduling = false;
+    } else if (arg == "--memory") {
+      o.memory = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--scale") {
+      const std::string s = need(i);
+      o.scale = s == "test"    ? graph::Scale::kTest
+                : s == "small" ? graph::Scale::kSmall
+                               : graph::Scale::kBench;
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--json") {
+      o.json_path = need(i);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse(argc, argv);
+
+  // --- graph -------------------------------------------------------------
+  graph::CsrGraph g = cli.graph_path.empty()
+                          ? graph::make_dataset(cli.dataset, cli.scale)
+                          : [&] {
+                              std::ifstream in(cli.graph_path);
+                              if (!in) {
+                                std::cerr << "cannot open " << cli.graph_path << "\n";
+                                std::exit(1);
+                              }
+                              return graph::load_edge_list(in);
+                            }();
+  const auto stats = graph::compute_stats(g);
+  std::cout << "graph: " << stats.num_vertices << " vertices, " << stats.num_edges
+            << " edges, CSR " << TextTable::bytes(stats.csr_size_bytes) << "\n";
+
+  rw::WalkSpec spec;
+  spec.num_walks = cli.walks ? cli.walks
+                             : (cli.graph_path.empty()
+                                    ? graph::default_walk_count(cli.dataset, cli.scale)
+                                    : stats.num_vertices);
+  spec.length = cli.length;
+  spec.biased = cli.biased;
+  spec.seed = cli.seed;
+  if (cli.node2vec) {
+    spec.second_order.enabled = true;
+    spec.second_order.p = cli.node2vec->first;
+    spec.second_order.q = cli.node2vec->second;
+  }
+  std::cout << "workload: " << spec.num_walks << " walks x " << spec.length << " hops"
+            << (spec.biased ? ", biased (ITS)" : "")
+            << (spec.second_order.enabled ? ", node2vec" : "") << "\n\n";
+
+  const ssd::SsdConfig ssd_cfg{};
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 16 * KiB;
+  pc.subgraphs_per_partition = 2048;
+  pc.subgraphs_per_range = 64;
+  pc.weighted = spec.biased;
+
+  TextTable table({"engine", "time", "hops", "flash read", "flash write",
+                   "read BW MB/s", "energy mJ"});
+  Tick fw_time = 0;
+
+  if (cli.run_fw) {
+    const partition::PartitionedGraph pg(g, pc);
+    accel::EngineOptions opts;
+    opts.ssd = ssd_cfg;
+    opts.accel = accel::bench_accel_config();
+    opts.accel.features = cli.features;
+    opts.spec = spec;
+    opts.record_visits = false;
+    accel::FlashWalkerEngine engine(pg, opts);
+    const auto r = engine.run();
+    fw_time = r.exec_time;
+    if (!cli.json_path.empty()) {
+      std::ofstream json(cli.json_path);
+      accel::write_json(json, "flashwalker", r);
+      json << "\n";
+      std::cout << "wrote JSON report to " << cli.json_path << "\n";
+    }
+    const auto e = accel::estimate_flashwalker(r, opts.accel, ssd_cfg);
+    table.add_row({"FlashWalker", TextTable::time_ns(r.exec_time),
+                   std::to_string(r.metrics.total_hops),
+                   TextTable::bytes(r.flash_read_bytes),
+                   TextTable::bytes(r.flash_write_bytes),
+                   TextTable::num(r.flash_read_mb_per_s(), 0),
+                   TextTable::num(e.total_j() * 1e3, 1)});
+  }
+  auto add_baseline = [&](const std::string& name, const baseline::BaselineResult& r) {
+    const auto e = accel::estimate_baseline(r, ssd_cfg);
+    table.add_row({name, TextTable::time_ns(r.exec_time), std::to_string(r.total_hops),
+                   TextTable::bytes(r.flash_read_bytes), TextTable::bytes(r.bytes_written),
+                   TextTable::num(r.read_mb_per_s(), 0),
+                   TextTable::num(e.total_j() * 1e3, 1)});
+    if (fw_time > 0) {
+      std::cout << name << " / FlashWalker speedup: "
+                << TextTable::num(static_cast<double>(r.exec_time) /
+                                      static_cast<double>(fw_time),
+                                  2)
+                << "x\n";
+    }
+  };
+  if (cli.run_gw) {
+    baseline::GraphWalkerOptions opts;
+    opts.ssd = ssd_cfg;
+    opts.spec = spec;
+    opts.host.memory_bytes = cli.memory;
+    opts.record_visits = false;
+    baseline::GraphWalkerEngine engine(g, opts);
+    add_baseline("GraphWalker", engine.run());
+  }
+  if (cli.run_dm) {
+    baseline::DrunkardMobOptions opts;
+    opts.ssd = ssd_cfg;
+    opts.spec = spec;
+    opts.host.memory_bytes = cli.memory;
+    opts.record_visits = false;
+    baseline::DrunkardMobEngine engine(g, opts);
+    add_baseline("DrunkardMob", engine.run());
+  }
+  if (cli.run_gs) {
+    baseline::GraphSsdOptions opts;
+    opts.ssd = ssd_cfg;
+    opts.spec = spec;
+    opts.host.memory_bytes = cli.memory;
+    opts.record_visits = false;
+    baseline::GraphSsdEngine engine(g, opts);
+    add_baseline("GraphSSD (semantic reads)", engine.run());
+  }
+  if (cli.run_tr) {
+    baseline::ThunderOptions opts;
+    opts.ssd = ssd_cfg;
+    opts.spec = spec;
+    opts.host.memory_bytes = std::max<std::uint64_t>(cli.memory, g.csr_size_bytes() + MiB);
+    opts.record_visits = false;
+    baseline::ThunderEngine engine(g, opts);
+    add_baseline("ThunderRW (in-memory)", engine.run());
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Random-walk graph sampling (paper §I: RW "generates small but
+// representative samples from large-scale graphs"). Samples a vertex set by
+// random walk with restart, extracts the induced subgraph, compares its
+// degree shape with the full graph, and writes it as an edge list.
+//
+//   ./graph_sampling [target_vertices] [out_path]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/table.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/io.hpp"
+#include "rw/algorithms.hpp"
+
+using namespace fw;
+
+int main(int argc, char** argv) {
+  const std::uint64_t target = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  const std::string out_path = argc > 2 ? argv[2] : "sampled_graph.txt";
+
+  graph::RmatParams gp;
+  gp.num_vertices = 1 << 15;
+  gp.num_edges = 1 << 19;
+  gp.seed = 9;
+  const graph::CsrGraph graph = graph::generate_rmat(gp);
+
+  rw::SamplingParams params;
+  params.target_vertices = target;
+  params.restart_prob = 0.15;
+  params.seed = 23;
+  const auto sample = rw::rw_sample_vertices(graph, params);
+
+  // Compare the three walk-based samplers on degree representativeness.
+  const auto mhrw = rw::mhrw_sample_vertices(graph, params);
+  rw::ForestFireParams ff;
+  ff.target_vertices = target;
+  ff.seed = 23;
+  const auto fire = rw::forest_fire_sample(graph, ff);
+  auto mean_degree = [&](const std::vector<VertexId>& vs) {
+    double sum = 0;
+    for (VertexId v : vs) sum += static_cast<double>(graph.out_degree(v));
+    return vs.empty() ? 0.0 : sum / static_cast<double>(vs.size());
+  };
+  std::cout << "sampler mean out-degree (graph avg "
+            << TextTable::num(static_cast<double>(graph.num_edges()) /
+                                  static_cast<double>(graph.num_vertices()),
+                              1)
+            << "): RWR " << TextTable::num(mean_degree(sample), 1) << ", MHRW "
+            << TextTable::num(mean_degree(mhrw), 1) << ", forest-fire "
+            << TextTable::num(mean_degree(fire), 1) << "\n";
+
+  // Graphlet concentration (paper §I use case) of full graph vs the sample.
+  rw::GraphletParams glp;
+  glp.num_samples = 40'000;
+  const auto gl = rw::graphlet_concentration(graph, glp);
+  std::cout << "triangle concentration (walk-sampled): "
+            << TextTable::num(100 * gl.triangle_concentration(), 2) << "% over "
+            << gl.wedges + gl.triangles << " sampled 3-node graphlets\n\n";
+
+  // Induced subgraph with remapped vertex IDs.
+  std::unordered_set<VertexId> in_sample(sample.begin(), sample.end());
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(sample.size());
+  for (VertexId v : sample) remap.emplace(v, remap.size());
+
+  graph::GraphBuilder builder(sample.size());
+  for (VertexId v : sample) {
+    for (VertexId dst : graph.neighbors(v)) {
+      if (in_sample.contains(dst)) builder.add_edge(remap[v], remap[dst]);
+    }
+  }
+  const graph::CsrGraph sampled = std::move(builder).build();
+
+  const auto full_stats = graph::compute_stats(graph);
+  const auto sample_stats = graph::compute_stats(sampled);
+  TextTable table({"", "full graph", "RW sample"});
+  table.add_row({"vertices", std::to_string(full_stats.num_vertices),
+                 std::to_string(sample_stats.num_vertices)});
+  table.add_row({"edges", std::to_string(full_stats.num_edges),
+                 std::to_string(sample_stats.num_edges)});
+  table.add_row({"avg out-degree", TextTable::num(full_stats.avg_out_degree, 2),
+                 TextTable::num(sample_stats.avg_out_degree, 2)});
+  table.add_row({"top-1% edge share",
+                 TextTable::num(100 * full_stats.top1pct_edge_share, 1) + "%",
+                 TextTable::num(100 * sample_stats.top1pct_edge_share, 1) + "%"});
+  table.print(std::cout);
+  std::cout << "\nRW-with-restart sampling preserves the skew signature that a\n"
+               "uniform vertex sample would destroy.\n";
+
+  std::ofstream out(out_path);
+  graph::save_edge_list(sampled, out);
+  std::cout << "wrote induced sample to " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// partition_tool — the preprocessing step as a standalone tool.
+//
+// Builds the FlashWalker preprocessing artifact (partitioned graph bundle)
+// from an edge list or a named scaled dataset, printing the partitioning
+// report the board-level structures are sized from.
+//
+//   partition_tool --dataset FS --out fs.fwpart [--block-bytes N]
+//   partition_tool --graph edges.txt --out g.fwpart [--weighted]
+//   partition_tool --inspect g.fwpart
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "partition/dense_table.hpp"
+#include "partition/io.hpp"
+#include "partition/mapping_table.hpp"
+
+using namespace fw;
+
+namespace {
+
+void report(const partition::PartitionedGraph& pg) {
+  std::size_t dense_blocks = 0;
+  std::uint64_t payload = 0;
+  for (const auto& sg : pg.subgraphs()) {
+    dense_blocks += sg.dense;
+    payload += sg.payload_bytes;
+  }
+  std::vector<std::uint64_t> pages(pg.num_subgraphs(), 0);
+  const partition::SubgraphMappingTable mtab(pg, pages);
+  const partition::DenseVertexTable dtab(pg);
+
+  TextTable t({"property", "value"});
+  t.add_row({"vertices", std::to_string(pg.graph().num_vertices())});
+  t.add_row({"edges", std::to_string(pg.graph().num_edges())});
+  t.add_row({"graph-block capacity", TextTable::bytes(pg.config().block_capacity_bytes)});
+  t.add_row({"subgraphs", std::to_string(pg.num_subgraphs())});
+  t.add_row({"dense blocks", std::to_string(dense_blocks)});
+  t.add_row({"dense vertices", std::to_string(dtab.num_dense_vertices())});
+  t.add_row({"partitions", std::to_string(pg.num_partitions())});
+  t.add_row({"total payload", TextTable::bytes(payload)});
+  t.add_row({"mapping table", TextTable::bytes(mtab.table_bytes())});
+  t.add_row({"range table", TextTable::bytes(mtab.range_table_bytes())});
+  t.add_row({"dense table", TextTable::bytes(dtab.table_bytes())});
+  t.add_row({"max binary-search steps", std::to_string(mtab.max_search_steps())});
+  t.print(std::cout);
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: partition_tool (--dataset TT|FS|CW|R2B|R8B | --graph PATH |\n"
+               "                       --inspect PATH) [--out PATH]\n"
+               "                      [--block-bytes N] [--per-partition N]\n"
+               "                      [--per-range N] [--weighted]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset, graph_path, inspect_path, out_path;
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 16 * KiB;
+  pc.subgraphs_per_partition = 2048;
+  pc.subgraphs_per_range = 64;
+
+  auto need = [&](int& i) -> const char* {
+    if (++i >= argc) usage();
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dataset") dataset = need(i);
+    else if (arg == "--graph") graph_path = need(i);
+    else if (arg == "--inspect") inspect_path = need(i);
+    else if (arg == "--out") out_path = need(i);
+    else if (arg == "--block-bytes") pc.block_capacity_bytes = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--per-partition") pc.subgraphs_per_partition = std::strtoul(need(i), nullptr, 10);
+    else if (arg == "--per-range") pc.subgraphs_per_range = std::strtoul(need(i), nullptr, 10);
+    else if (arg == "--weighted") pc.weighted = true;
+    else usage();
+  }
+
+  if (!inspect_path.empty()) {
+    const auto bundle = partition::load_partitioned_file(inspect_path);
+    std::cout << "bundle: " << inspect_path << "\n";
+    report(*bundle.partitioned);
+    return 0;
+  }
+  if (dataset.empty() == graph_path.empty()) usage();  // exactly one source
+
+  graph::CsrGraph g = [&] {
+    if (!dataset.empty()) {
+      for (const auto& info : graph::all_datasets()) {
+        if (info.abbrev == dataset) return graph::make_dataset(info.id);
+      }
+      usage();
+    }
+    std::ifstream in(graph_path);
+    if (!in) {
+      std::cerr << "cannot open " << graph_path << "\n";
+      std::exit(1);
+    }
+    return graph::load_edge_list(in);
+  }();
+
+  const partition::PartitionedGraph pg(g, pc);
+  report(pg);
+  if (!out_path.empty()) {
+    partition::save_partitioned_file(pg, out_path);
+    std::cout << "wrote bundle to " << out_path << "\n";
+  }
+  return 0;
+}

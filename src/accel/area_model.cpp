@@ -1,0 +1,67 @@
+#include "accel/area_model.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace fw::accel {
+namespace {
+
+double sram_area(std::uint64_t bytes, const AreaModelParams& p) {
+  if (bytes == 0) return 0.0;
+  const double kib = static_cast<double>(bytes) / 1024.0;
+  return p.sram_coeff_mm2 * std::pow(kib, p.sram_exponent);
+}
+
+}  // namespace
+
+AreaBreakdown estimate_area(const AccelConfig& cfg, AccelLevel level,
+                            const AreaModelParams& params) {
+  AreaBreakdown area;
+  const LevelConfig* lc = nullptr;
+  switch (level) {
+    case AccelLevel::kChip:
+      lc = &cfg.chip;
+      break;
+    case AccelLevel::kChannel:
+      lc = &cfg.channel;
+      break;
+    case AccelLevel::kBoard:
+      lc = &cfg.board;
+      break;
+  }
+
+  const std::uint64_t buffer_bytes = lc->subgraph_buffer_bytes + lc->walk_queue_bytes +
+                                     lc->guide_buffer_bytes + lc->roving_buffer_bytes;
+  area.sram_mm2 = sram_area(buffer_bytes, params);
+
+  if (level == AccelLevel::kBoard) {
+    const std::uint64_t table_bytes =
+        cfg.mapping_table_bytes + cfg.dense_table_bytes +
+        cfg.query_cache_count * cfg.query_cache_bytes + cfg.completed_buffer_bytes +
+        cfg.foreigner_buffer_bytes;
+    area.tables_mm2 = sram_area(table_bytes, params);
+  }
+
+  // Board PEs clock 2x faster than chip/channel PEs (1 GHz vs 500 MHz);
+  // charge them 1.5x logic area for the deeper pipeline.
+  const double pe_scale = level == AccelLevel::kBoard ? 1.5 : 1.0;
+  area.logic_mm2 = pe_scale * (lc->updaters * params.updater_mm2 +
+                               lc->guiders * params.guider_mm2);
+  area.logic_mm2 *= 1.0 + params.control_overhead;
+  return area;
+}
+
+double paper_area_mm2(AccelLevel level) {
+  switch (level) {
+    case AccelLevel::kChip:
+      return 1.30;
+    case AccelLevel::kChannel:
+      return 1.84;
+    case AccelLevel::kBoard:
+      return 14.31;
+  }
+  return 0.0;
+}
+
+}  // namespace fw::accel

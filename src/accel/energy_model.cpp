@@ -1,0 +1,72 @@
+#include "accel/energy_model.hpp"
+
+#include "accel/area_model.hpp"
+#include "common/units.hpp"
+
+namespace fw::accel {
+namespace {
+
+double pages(std::uint64_t bytes, std::uint32_t page_bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(page_bytes);
+}
+
+}  // namespace
+
+EnergyReport estimate_flashwalker(const EngineResult& result, const AccelConfig& accel,
+                                  const ssd::SsdConfig& ssd, const EnergyParams& params) {
+  EnergyReport report;
+  const double seconds = to_seconds(result.exec_time);
+
+  report.flash_j = 1e-6 * (pages(result.flash_read_bytes, ssd.topo.page_bytes) *
+                               params.flash_read_uj_per_page +
+                           pages(result.flash_write_bytes, ssd.topo.page_bytes) *
+                               params.flash_program_uj_per_page +
+                           static_cast<double>(result.ftl.gc_erases) *
+                               params.flash_erase_uj_per_block);
+
+  report.interconnect_j =
+      1e-12 * static_cast<double>(result.channel_bytes) * params.channel_pj_per_byte;
+
+  report.dram_j =
+      1e-12 * static_cast<double>(result.dram_bytes) * params.dram_pj_per_byte;
+
+  // Dynamic PE energy: 5 updater ops per update plus the guider traffic.
+  const double ops =
+      5.0 * static_cast<double>(result.metrics.chip_updates + result.metrics.channel_updates +
+                                result.metrics.board_updates) +
+      static_cast<double>(result.metrics.mapping_search_steps + result.metrics.bloom_lookups +
+                          result.metrics.range_searches);
+  report.compute_j = 1e-12 * ops * params.pe_pj_per_op;
+
+  // Leakage of the whole accelerator hierarchy over the run.
+  const double area_mm2 = 128.0 * estimate_area(accel, AccelLevel::kChip).total() +
+                          32.0 * estimate_area(accel, AccelLevel::kChannel).total() +
+                          estimate_area(accel, AccelLevel::kBoard).total();
+  report.static_j = 1e-3 * params.leakage_mw_per_mm2 * area_mm2 * seconds;
+  return report;
+}
+
+EnergyReport estimate_baseline(const baseline::BaselineResult& result,
+                               const ssd::SsdConfig& ssd, const EnergyParams& params) {
+  EnergyReport report;
+
+  report.flash_j = 1e-6 * (pages(result.flash_read_bytes, ssd.topo.page_bytes) *
+                               params.flash_read_uj_per_page +
+                           pages(result.bytes_written, ssd.topo.page_bytes) *
+                               params.flash_program_uj_per_page);
+
+  // Host data crosses channel, PCIe, and host DRAM.
+  const double moved = static_cast<double>(result.bytes_read + result.bytes_written);
+  report.interconnect_j =
+      1e-12 * moved * (params.channel_pj_per_byte + params.pcie_pj_per_byte);
+  report.dram_j = 1e-12 * moved * params.dram_pj_per_byte;
+
+  // CPU: active while computing, idle-but-powered while waiting on I/O.
+  const double compute_s = to_seconds(result.breakdown.compute);
+  const double io_s = to_seconds(result.exec_time) - compute_s;
+  report.compute_j = params.host_active_w * compute_s;
+  report.static_j = params.host_idle_w * (io_s > 0 ? io_s : 0.0);
+  return report;
+}
+
+}  // namespace fw::accel

@@ -1,0 +1,61 @@
+// Energy model for FlashWalker vs the host baseline.
+//
+// The paper motivates in-storage processing partly by the "high memory cost
+// and energy consumption" of host-based systems (§I) but does not publish
+// an energy evaluation; this model is our extension, built from
+// order-of-magnitude per-operation energies typical of the literature
+// (NAND datasheets, DDR4 power notes, 45 nm accelerator papers). Outputs
+// are for *relative* comparison between the two systems running the same
+// workload on the same flash — absolute joules carry the usual model-error
+// caveats.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/config.hpp"
+#include "accel/engine.hpp"
+#include "baseline/graphwalker.hpp"
+
+namespace fw::accel {
+
+struct EnergyParams {
+  // NAND flash (per 4 KiB page / per block).
+  double flash_read_uj_per_page = 25.0;
+  double flash_program_uj_per_page = 250.0;
+  double flash_erase_uj_per_block = 2000.0;
+  // Interconnect, per byte moved.
+  double channel_pj_per_byte = 15.0;  ///< ONFI bus drivers
+  double pcie_pj_per_byte = 60.0;     ///< SerDes + protocol
+  double dram_pj_per_byte = 150.0;    ///< DDR4 activate+rw amortized
+  // Accelerator PEs (45 nm): dynamic energy per operation, leakage per mm².
+  double pe_pj_per_op = 15.0;
+  double leakage_mw_per_mm2 = 1.5;
+  // Host CPU: active power while the baseline runs (8-core desktop under
+  // a memory-bound pointer-chasing load), plus host DRAM background.
+  double host_active_w = 65.0;
+  double host_idle_w = 20.0;  ///< charged while the host waits on I/O
+};
+
+struct EnergyReport {
+  double flash_j = 0.0;
+  double interconnect_j = 0.0;  ///< channel + PCIe
+  double dram_j = 0.0;
+  double compute_j = 0.0;       ///< PEs (FlashWalker) or CPU (baseline)
+  double static_j = 0.0;        ///< leakage / idle over the run
+
+  [[nodiscard]] double total_j() const {
+    return flash_j + interconnect_j + dram_j + compute_j + static_j;
+  }
+};
+
+/// Energy of a FlashWalker run.
+EnergyReport estimate_flashwalker(const EngineResult& result, const AccelConfig& accel,
+                                  const ssd::SsdConfig& ssd,
+                                  const EnergyParams& params = {});
+
+/// Energy of a GraphWalker (or DrunkardMob) run on the host model.
+EnergyReport estimate_baseline(const baseline::BaselineResult& result,
+                               const ssd::SsdConfig& ssd,
+                               const EnergyParams& params = {});
+
+}  // namespace fw::accel

@@ -1,0 +1,1000 @@
+#include "accel/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <span>
+#include <stdexcept>
+
+namespace fw::accel {
+namespace {
+
+/// Comparator-tree depth for matching against `n` loaded subgraphs.
+std::uint32_t match_cycles(std::size_t n) {
+  return n == 0 ? 1 : static_cast<std::uint32_t>(std::bit_width(n));
+}
+
+}  // namespace
+
+FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
+                                     EngineOptions options)
+    : pg_(&pg), opt_(std::move(options)), rng_(opt_.spec.seed) {
+  flash_ = std::make_unique<ssd::FlashArray>(opt_.ssd);
+  layout_ = std::make_unique<ssd::GraphLayout>(pg, opt_.ssd);
+  ftl_ = std::make_unique<ssd::Ftl>(*flash_, layout_->reserved_blocks_per_plane());
+  dram_ = std::make_unique<ssd::BankedDram>(opt_.ssd.dram);
+  mtab_ = std::make_unique<partition::SubgraphMappingTable>(pg, layout_->first_pages());
+  dtab_ = std::make_unique<partition::DenseVertexTable>(pg);
+
+  const auto& topo = opt_.ssd.topo;
+  scheduler_ = std::make_unique<SubgraphScheduler>(pg, *layout_, opt_.accel,
+                                                   topo.total_chips(),
+                                                   topo.chips_per_channel);
+  if (opt_.spec.biased) {
+    if (!pg.graph().weighted()) {
+      throw std::invalid_argument("biased walk requires a weighted graph");
+    }
+    its_ = std::make_unique<rw::ItsTable>(pg.graph());
+  }
+  for (std::uint32_t i = 0; i < opt_.accel.query_cache_count; ++i) {
+    // Entry: the mapping-table fields a cached lookup short-circuits.
+    query_caches_.push_back(std::make_unique<AssocCacheModel>(
+        opt_.accel.query_cache_bytes, 2 * pg.id_bytes() + 8));
+  }
+
+  // Second-order walks carry prev, costing one extra vertex ID per walk.
+  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) +
+                (opt_.spec.second_order.enabled ? pg.id_bytes() : 0);
+
+  const std::uint64_t block_cap = pg.config().block_capacity_bytes;
+  const auto chip_slots = std::max<std::uint64_t>(
+      1, opt_.accel.chip.subgraph_buffer_bytes / block_cap);
+  chips_.resize(topo.total_chips());
+  for (std::uint32_t g = 0; g < chips_.size(); ++g) {
+    ChipState& c = chips_[g];
+    c.global = g;
+    c.channel = g / topo.chips_per_channel;
+    c.chip = g % topo.chips_per_channel;
+    c.slots.resize(chip_slots);
+  }
+  channels_.resize(topo.channels);
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) channels_[i].index = i;
+
+  pwb_walks_.resize(pg.num_subgraphs());
+  pwb_wc_bytes_.assign(pg.num_subgraphs(), 0);
+  fl_walks_.resize(pg.num_subgraphs());
+  pending_.resize(pg.num_partitions());
+  if (opt_.record_visits) visits_.assign(pg.graph().num_vertices(), 0);
+  if (opt_.record_endpoints) endpoints_.assign(pg.graph().num_vertices(), 0);
+  if (opt_.timeline_interval > 0) {
+    timeline_ = std::make_unique<sim::TimelineRecorder>(opt_.timeline_interval);
+  }
+}
+
+FlashWalkerEngine::~FlashWalkerEngine() = default;
+
+std::uint32_t FlashWalkerEngine::chip_of_sg(SubgraphId sg) const {
+  const auto& p = layout_->placement(sg);
+  return p.channel * opt_.ssd.topo.chips_per_channel + p.chip;
+}
+
+bool FlashWalkerEngine::walk_in_sg(const rw::Walk& w, const partition::Subgraph& sg) const {
+  if (sg.dense) return w.prewalked_sg == sg.id;
+  return w.prewalked_sg == kInvalidSubgraph && w.cur >= sg.low_vid && w.cur <= sg.high_vid;
+}
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::init_walks() {
+  const auto& spec = opt_.spec;
+  const VertexId n = pg_->graph().num_vertices();
+  auto start_walk = [&](VertexId v) {
+    rw::Walk w;
+    w.id = static_cast<std::uint32_t>(metrics_.walks_started);
+    w.src = v;
+    w.cur = v;
+    w.hops_left = static_cast<std::uint16_t>(spec.length);
+    ++metrics_.walks_started;
+    if (opt_.record_paths) {
+      paths_.emplace_back();
+      paths_.back().push_back(v);
+    }
+    const SubgraphId sg = pg_->subgraph_of(v);
+    pending_[pg_->partition_of(sg)].push_back(w);
+  };
+
+  switch (spec.start_mode) {
+    case rw::StartMode::kAllVertices:
+      for (VertexId v = 0; v < n; ++v) start_walk(v);
+      break;
+    case rw::StartMode::kUniformRandom:
+      for (std::uint64_t i = 0; i < spec.num_walks; ++i) start_walk(rng_.bounded(n));
+      break;
+    case rw::StartMode::kSingleSource:
+      for (std::uint64_t i = 0; i < spec.num_walks; ++i) start_walk(spec.source);
+      break;
+  }
+}
+
+void FlashWalkerEngine::load_hot_subgraphs() {
+  // Hot sets are global (paper §III.C: "top K among subgraphs stored in
+  // flash chips connected to the channel" — no partition qualifier), so
+  // they are selected and loaded once per run, and hot-subgraph walks are
+  // updatable regardless of the current partition.
+  board_.hot.clear();
+  for (auto& ch : channels_) ch.hot.clear();
+  if (!opt_.accel.features.hot_subgraphs) return;
+
+  const std::uint64_t block_cap = pg_->config().block_capacity_bytes;
+
+  // Non-dense candidates only: dense blocks are routed via pre-walking and
+  // must be loaded where the chosen block lives.
+  std::vector<SubgraphId> part_sgs;
+  for (SubgraphId sg = 0; sg < pg_->num_subgraphs(); ++sg) {
+    if (!pg_->subgraph(sg).dense) part_sgs.push_back(sg);
+  }
+
+  auto load_hot_set = [&](std::vector<LoadedSg>& hot, std::size_t k,
+                          std::span<const SubgraphId> candidates) {
+    const auto top = pg_->top_k_popular(candidates, k);
+    for (SubgraphId sg : top) {
+      LoadedSg slot;
+      slot.sg = sg;
+      hot.push_back(std::move(slot));
+      const auto& place = layout_->placement(sg);
+      flash_->read_chip_pages(sim_.now(), place.channel, place.chip, place.start_plane,
+                              place.num_pages, /*over_channel=*/true);
+      ++metrics_.hot_subgraph_loads;
+    }
+  };
+
+  const auto board_k = std::max<std::uint64_t>(
+      1, opt_.accel.board.subgraph_buffer_bytes / block_cap);
+  load_hot_set(board_.hot, board_k, part_sgs);
+
+  const auto chan_k = std::max<std::uint64_t>(
+      1, opt_.accel.channel.subgraph_buffer_bytes / block_cap);
+  for (auto& ch : channels_) {
+    std::vector<SubgraphId> local;
+    for (SubgraphId sg : part_sgs) {
+      if (layout_->placement(sg).channel == ch.index) local.push_back(sg);
+    }
+    load_hot_set(ch.hot, chan_k, local);
+  }
+}
+
+void FlashWalkerEngine::begin_partition(PartitionId p, bool charge_io) {
+  current_partition_ = p;
+  scheduler_->begin_partition(p);
+  // Partition switch replaces the mapping entries the caches index.
+  for (auto& cache : query_caches_) cache->clear();
+
+  auto walks = std::move(pending_[p]);
+  pending_[p].clear();
+  if (walks.empty()) return;
+  active_walks_ += walks.size();
+
+  if (charge_io) {
+    // Pending walks were flushed to flash when they became foreigners; read
+    // them back (striped pages over one channel, round-robin by partition).
+    const std::uint64_t bytes = walks.size() * wbytes();
+    const auto pages = static_cast<std::uint32_t>(
+        (bytes + opt_.ssd.topo.page_bytes - 1) / opt_.ssd.topo.page_bytes);
+    const std::uint32_t channel = p % opt_.ssd.topo.channels;
+    flash_->read_chip_pages(sim_.now(), channel, 0, 0, pages, /*over_channel=*/true);
+  }
+  enqueue_board(std::move(walks));
+}
+
+void FlashWalkerEngine::schedule_heartbeats() {
+  for (auto& ch : channels_) {
+    sim_.schedule(opt_.accel.roving_poll_interval, [this, &ch] { poll_channel(ch); });
+  }
+  if (timeline_) {
+    const Tick interval = timeline_->interval();
+    auto tick = [this, interval](auto&& self) -> void {
+      timeline_->sample(sim_.now(), flash_->read_bytes(), flash_->programmed_bytes(),
+                        flash_->channel_bytes(),
+                        flash_->read_bytes() + flash_->programmed_bytes() +
+                            flash_->channel_bytes() + dram_->bytes_moved(),
+                        metrics_.walks_completed, metrics_.walks_started);
+      if (!done_) {
+        sim_.schedule(interval, [self]() mutable { self(self); });
+      }
+    };
+    sim_.schedule(interval, [tick]() mutable { tick(tick); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Walk updating (shared step 2-6 logic)
+// ---------------------------------------------------------------------------
+
+FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk(
+    rw::Walk& w, const partition::Subgraph& sg) {
+  HopOutcome out;
+  if (opt_.spec.stop_prob > 0.0 && rng_.chance(opt_.spec.stop_prob)) {
+    out.completed = true;
+    return out;
+  }
+
+  rw::SampleResult s;
+  const auto& g = pg_->graph();
+  const auto& so = opt_.spec.second_order;
+  const EdgeId slice_begin = sg.dense ? sg.edge_begin : g.offsets()[w.cur];
+  const EdgeId slice_end = sg.dense ? sg.edge_end : g.offsets()[w.cur + 1];
+  if (so.enabled && w.prev != kInvalidVertex && slice_end > slice_begin) {
+    // Second-order extension: rejection sampling with the carried prev.
+    s = rw::sample_second_order(g, w.prev, w.cur, slice_begin, slice_end,
+                                {so.p, so.q}, rng_);
+  } else if (sg.dense) {
+    if (its_) {
+      s = its_->sample_slice(g, g.offsets()[sg.low_vid], sg.edge_begin, sg.edge_end, rng_);
+    } else {
+      s = rw::sample_unbiased_slice(g, sg.edge_begin, sg.edge_end, rng_);
+    }
+  } else if (its_) {
+    s = its_->sample(g, w.cur, rng_);
+  } else {
+    s = rw::sample_unbiased(g, w.cur, rng_);
+  }
+  out.extra_cycles = s.search_steps;
+
+  if (s.next == kInvalidVertex) {
+    if (opt_.spec.dead_end == rw::WalkSpec::DeadEnd::kRestart) {
+      // Restart-at-source consumes the hop but revisits nothing (matches
+      // rw::run_walks); the walk then routes onward from its source.
+      w.cur = w.src;
+      w.prewalked_sg = kInvalidSubgraph;
+      w.range_tag = rw::kNoRangeTag;
+      --w.hops_left;
+      if (opt_.record_paths) paths_[w.id].push_back(w.cur);
+      out.completed = w.finished();
+      return out;
+    }
+    ++metrics_.dead_ends;
+    out.completed = true;
+    return out;
+  }
+  if (so.enabled) w.prev = w.cur;
+  w.cur = s.next;
+  w.prewalked_sg = kInvalidSubgraph;
+  w.range_tag = rw::kNoRangeTag;
+  --w.hops_left;
+  ++metrics_.total_hops;
+  if (!visits_.empty()) ++visits_[s.next];
+  if (opt_.record_paths) paths_[w.id].push_back(s.next);
+  out.completed = w.finished();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared routing helpers
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::flush_walk_pages(std::uint64_t bytes, std::uint64_t& counter) {
+  const std::uint32_t page = opt_.ssd.topo.page_bytes;
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    // Rolling LPN window: later flushes overwrite older (already consumed)
+    // walk pages, so long runs exercise FTL garbage collection.
+    ftl_->write_page(sim_.now(), flush_lpn_);
+    flush_lpn_ = (flush_lpn_ + 1) % 16384;
+    ++counter;
+  }
+}
+
+void FlashWalkerEngine::complete_walk(const rw::Walk& w, std::uint64_t& completed_bytes,
+                                      std::uint64_t flush_cap, bool /*at_board*/) {
+  ++metrics_.walks_completed;
+  if (!endpoints_.empty()) ++endpoints_[w.cur];
+  --active_walks_;
+  completed_bytes += wbytes();
+  if (completed_bytes >= flush_cap) {
+    flush_walk_pages(completed_bytes, metrics_.completed_flush_pages);
+    completed_bytes = 0;
+  }
+  check_done();
+}
+
+void FlashWalkerEngine::insert_pwb(SubgraphId sg, rw::Walk w,
+                                   std::vector<std::uint32_t>& touched_chips) {
+  pwb_walks_[sg].push_back(w);
+  scheduler_->on_walk_insert(sg);
+  ++metrics_.pwb_inserts;
+  // Appends are write-combined through a board SRAM line buffer: DRAM sees
+  // one (row-buffer-hostile, which the banked model charges for) 64 B line
+  // write per ~6 walks, not one random access per walk.
+  pwb_wc_bytes_[sg] += wbytes();
+  if (pwb_wc_bytes_[sg] >= kDramLineBytes) {
+    pwb_wc_bytes_[sg] -= kDramLineBytes;
+    const std::uint64_t addr = static_cast<std::uint64_t>(sg) * opt_.accel.pwb_entry_bytes +
+                               pwb_walks_[sg].size() * wbytes();
+    dram_->access(sim_.now(), addr, kDramLineBytes);
+  }
+  touched_chips.push_back(chip_of_sg(sg));
+
+  // Dense entries store walks without `cur` (implied by the entry), so the
+  // same byte budget holds more dense walks — the β asymmetry of Eq. 1.
+  const std::uint64_t entry_bytes =
+      pwb_walks_[sg].size() * rw::walk_bytes(pg_->id_bytes(), pg_->subgraph(sg).dense);
+  if (entry_bytes >= opt_.accel.pwb_entry_bytes) {
+    // Entry overflow: the entry's walks move to flash (paper §III.D).
+    auto& fl = fl_walks_[sg];
+    const std::uint64_t n = pwb_walks_[sg].size();
+    fl.insert(fl.end(), pwb_walks_[sg].begin(), pwb_walks_[sg].end());
+    pwb_walks_[sg].clear();
+    scheduler_->on_entry_flushed(sg, n);
+    flush_walk_pages(n * wbytes(), metrics_.overflow_flush_pages);
+    ++metrics_.pwb_overflow_events;
+    metrics_.pwb_overflow_walks += n;
+  }
+}
+
+std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
+                                                  std::vector<std::uint32_t>& touched_chips) {
+  std::uint32_t cycles = 0;
+  SubgraphId target = w.prewalked_sg;
+
+  if (target == kInvalidSubgraph) {
+    // Dense-vertex check runs first (paper: "looks up the dense vertices
+    // mapping table before the subgraph mapping table").
+    ++cycles;  // Bloom probe
+    ++metrics_.bloom_lookups;
+    const auto dres = dtab_->lookup(w.cur);
+    if (dres.bloom_positive) {
+      ++cycles;  // hash-table probe
+      if (dres.bloom_false_positive) ++metrics_.bloom_false_positives;
+    }
+    if (dres.meta) {
+      // Pre-walking: choose the destination graph block before the hop.
+      ++cycles;
+      const auto& meta = *dres.meta;
+      std::uint32_t block;
+      if (its_) {
+        // Biased pre-walk: block chosen proportionally to its weight mass.
+        const auto& g = pg_->graph();
+        const EdgeId first_edge = g.offsets()[w.cur];
+        const EdgeId last_edge = g.offsets()[w.cur + 1];
+        const double total = its_->cumulative_weight(last_edge - 1);
+        const double rnd = rng_.uniform() * total;
+        // Binary search over block boundaries.
+        std::uint32_t lo = 0, hi = meta.num_blocks;
+        while (lo + 1 < hi) {
+          ++cycles;
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          const EdgeId bound = first_edge +
+                               static_cast<EdgeId>(mid) * pg_->edges_per_block();
+          if (rnd < its_->cumulative_weight(bound - 1)) {
+            hi = mid;
+          } else {
+            lo = mid;
+          }
+        }
+        block = lo;
+      } else {
+        const std::uint64_t rnd = rw::prewalk_draw(meta.out_degree, rng_);
+        block = rw::prewalk_block_choice(rnd, pg_->edges_per_block());
+      }
+      block = std::min(block, meta.num_blocks - 1);
+      target = meta.first_sgid + block;
+      w.prewalked_sg = target;
+      ++metrics_.dense_prewalks;
+    }
+  }
+
+  if (target == kInvalidSubgraph) {
+    // Hot-subgraph short circuit (HS).
+    if (opt_.accel.features.hot_subgraphs && !board_.hot.empty()) {
+      cycles += match_cycles(board_.hot.size());
+      for (auto& slot : board_.hot) {
+        if (walk_in_sg(w, pg_->subgraph(slot.sg))) {
+          const std::uint64_t cap =
+              opt_.accel.board.walk_queue_bytes / std::max<std::uint64_t>(
+                  1, board_.hot.size() * wbytes());
+          if (slot.queue.size() < cap) {
+            slot.queue.push_back(w);
+            kick_board_updater();
+            return cycles;
+          }
+          break;  // queue full: fall through to the pwb path
+        }
+      }
+    }
+
+    // Channel-attached range tags double as a foreigner check (paper
+    // §III.C): if the whole tagged range lies in another partition, the
+    // walk goes straight to the foreigner buffer — no mapping search.
+    if (opt_.accel.features.walk_query && w.range_tag != rw::kNoRangeTag) {
+      ++cycles;
+      const auto [first, count] = mtab_->range_span(w.range_tag);
+      const PartitionId pid_lo = pg_->partition_of(mtab_->entries()[first].sgid);
+      const PartitionId pid_hi =
+          pg_->partition_of(mtab_->entries()[first + count - 1].sgid);
+      if (pid_lo == pid_hi && pid_lo != current_partition_) {
+        pending_[pid_lo].push_back(w);
+        --active_walks_;
+        ++metrics_.foreigner_walks;
+        ++metrics_.range_foreigner_hints;
+        board_.foreigner_buffered_bytes += wbytes();
+        if (board_.foreigner_buffered_bytes >= opt_.accel.foreigner_buffer_bytes) {
+          flush_walk_pages(board_.foreigner_buffered_bytes,
+                           metrics_.foreigner_flush_pages);
+          board_.foreigner_buffered_bytes = 0;
+        }
+        return cycles;
+      }
+    }
+
+    // Subgraph mapping lookup, possibly accelerated by WQ.
+    partition::Lookup lookup;
+    if (opt_.accel.features.walk_query) {
+      lookup = w.range_tag != rw::kNoRangeTag ? mtab_->find_in_range(w.cur, w.range_tag)
+                                              : mtab_->find(w.cur);
+      auto& cache = *query_caches_[cache_rr_++ % query_caches_.size()];
+      if (cache.access(lookup.sgid)) {
+        ++cycles;
+        ++metrics_.query_cache_hits;
+      } else {
+        cycles += lookup.steps;
+        ++metrics_.query_cache_misses;
+        metrics_.mapping_search_steps += lookup.steps;
+      }
+    } else {
+      lookup = mtab_->find(w.cur);
+      cycles += lookup.steps;
+      metrics_.mapping_search_steps += lookup.steps;
+    }
+    if (!lookup.found()) {
+      throw std::logic_error("board_route_walk: mapping lookup failed");
+    }
+    target = lookup.sgid;
+  }
+
+  const PartitionId pid = pg_->partition_of(target);
+  if (pid == current_partition_) {
+    insert_pwb(target, w, touched_chips);
+  } else {
+    // Foreigner: buffered, flushed to flash when the buffer fills, and
+    // revisited when its partition becomes current.
+    pending_[pid].push_back(w);
+    --active_walks_;
+    ++metrics_.foreigner_walks;
+    board_.foreigner_buffered_bytes += wbytes();
+    if (board_.foreigner_buffered_bytes >= opt_.accel.foreigner_buffer_bytes) {
+      flush_walk_pages(board_.foreigner_buffered_bytes, metrics_.foreigner_flush_pages);
+      board_.foreigner_buffered_bytes = 0;
+    }
+  }
+  return cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Chip level
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::kick_chip(ChipState& c) {
+  if (c.processing || done_) return;
+  const bool has_walks = std::any_of(c.slots.begin(), c.slots.end(),
+                                     [](const LoadedSg& s) { return !s.queue.empty(); });
+  if (has_walks) {
+    c.processing = true;
+    sim_.schedule_at(std::max(sim_.now(), c.unit.busy_until()),
+                     [this, &c] { process_chip(c); });
+  } else {
+    request_loads(c);
+  }
+}
+
+void FlashWalkerEngine::request_loads(ChipState& c) {
+  for (std::size_t i = 0; i < c.slots.size(); ++i) {
+    LoadedSg& slot = c.slots[i];
+    if (slot.loading || !slot.queue.empty()) continue;
+    auto eligible = [&](SubgraphId sg) {
+      for (const LoadedSg& s : c.slots) {
+        if (s.loading && s.sg == sg) return false;
+      }
+      return true;
+    };
+    const auto pick = scheduler_->pick_for_chip(c.global, eligible);
+    if (!pick) return;  // nothing pending for this chip
+    metrics_.scheduler_compare_ops += pick->compare_ops;
+    // If the subgraph is already resident in another slot, refresh that
+    // slot (walk fetch only, no flash page reads).
+    std::size_t target = i;
+    for (std::size_t j = 0; j < c.slots.size(); ++j) {
+      if (!c.slots[j].loading && c.slots[j].sg == pick->sg) {
+        target = j;
+        break;
+      }
+    }
+    start_load(c, target, pick->sg, pick->compare_ops);
+  }
+}
+
+void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphId sg,
+                                   std::uint32_t compare_ops) {
+  LoadedSg& slot = c.slots[slot_idx];
+  const bool refresh = slot.sg == sg;
+  slot.loading = true;
+
+  // Take the buffered walks now; new arrivals accumulate for the next load.
+  std::vector<rw::Walk> walks = std::move(pwb_walks_[sg]);
+  pwb_walks_[sg].clear();
+  const std::uint64_t fl_count = fl_walks_[sg].size();
+  walks.insert(walks.end(), fl_walks_[sg].begin(), fl_walks_[sg].end());
+  fl_walks_[sg].clear();
+  scheduler_->on_subgraph_loaded(sg);
+
+  const Tick now = sim_.now();
+  // Scheduling decision cost runs on the board guider pool.
+  const Tick sched_ns = static_cast<Tick>(compare_ops) * opt_.accel.board.guider_cycle /
+                        std::max<std::uint32_t>(1, opt_.accel.board.guiders);
+  const Tick t_cmd = board_.guider_unit.acquire(now, sched_ns);
+  // Load command travels over the channel bus (extended ONFI command).
+  Tick done = flash_->channel_transfer(t_cmd, c.channel, 16);
+
+  if (!refresh) {
+    const auto& place = layout_->placement(sg);
+    // The in-storage fast path: pages stream from the chip's own planes
+    // into the subgraph buffer — no ONFI transfer.
+    done = std::max(done, flash_->read_chip_pages(t_cmd, c.channel, c.chip,
+                                                  place.start_plane, place.num_pages,
+                                                  /*over_channel=*/false));
+    ++metrics_.subgraph_loads;
+    metrics_.subgraph_load_pages += place.num_pages;
+  }
+
+  // Walk fetch: pwb walks come from on-board DRAM over the channel bus;
+  // fl walks are read back from flash pages.
+  const std::uint64_t pwb_bytes = (walks.size() - fl_count) * wbytes();
+  if (pwb_bytes > 0) {
+    const Tick t_dram = dram_->access(
+        t_cmd, static_cast<std::uint64_t>(sg) * opt_.accel.pwb_entry_bytes, pwb_bytes);
+    done = std::max(done, flash_->channel_transfer(t_dram, c.channel, pwb_bytes));
+  }
+  if (fl_count > 0) {
+    const std::uint64_t fl_bytes = fl_count * wbytes();
+    const auto pages = static_cast<std::uint32_t>(
+        (fl_bytes + opt_.ssd.topo.page_bytes - 1) / opt_.ssd.topo.page_bytes);
+    done = std::max(done, flash_->read_chip_pages(t_cmd, c.channel, c.chip, 0, pages,
+                                                  /*over_channel=*/true));
+    metrics_.walk_reload_pages += pages;
+  }
+
+  sim_.schedule_at(done, [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
+    LoadedSg& s = c.slots[slot_idx];
+    s.sg = sg;
+    s.loading = false;
+    for (auto& w : walks) s.queue.push_back(w);
+    kick_chip(c);
+  });
+}
+
+void FlashWalkerEngine::process_chip(ChipState& c) {
+  c.processing = false;
+  // Round-robin over slots with walks.
+  LoadedSg* slot = nullptr;
+  for (std::size_t i = 0; i < c.slots.size(); ++i) {
+    LoadedSg& s = c.slots[(c.rr + i) % c.slots.size()];
+    if (!s.queue.empty()) {
+      slot = &s;
+      c.rr = static_cast<std::uint32_t>((c.rr + i + 1) % c.slots.size());
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    request_loads(c);
+    return;
+  }
+
+  const std::uint64_t roving_cap =
+      std::max<std::uint64_t>(1, opt_.accel.chip.roving_buffer_bytes / wbytes());
+  const auto& sg = pg_->subgraph(slot->sg);
+  const Tick ucycle = opt_.accel.chip.updater_cycle;
+  const Tick gcycle = opt_.accel.chip.guider_cycle;
+
+  Tick cost = 0;
+  std::uint32_t processed = 0;
+  bool stalled = false;
+  while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
+    if (c.roving.size() >= roving_cap) {
+      stalled = true;  // roving buffer full: wait for the channel poll
+      break;
+    }
+    rw::Walk w = slot->queue.front();
+    slot->queue.pop_front();
+    ++processed;
+
+    const HopOutcome hop = update_walk(w, sg);
+    cost += (5 + hop.extra_cycles) * ucycle;
+    ++metrics_.chip_updates;
+
+    if (hop.completed) {
+      complete_walk(w, c.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
+                    /*at_board=*/false);
+      continue;
+    }
+
+    // Guider: compare against the chip's loaded subgraphs. Walks landing on
+    // a dense vertex always rove — the board must pre-walk them.
+    cost += match_cycles(c.slots.size()) * gcycle;
+    LoadedSg* dest = nullptr;
+    if (!pg_->is_dense_vertex(w.cur)) {
+      for (auto& s : c.slots) {
+        if (!s.loading && s.sg != kInvalidSubgraph && !pg_->subgraph(s.sg).dense &&
+            walk_in_sg(w, pg_->subgraph(s.sg))) {
+          dest = &s;
+          break;
+        }
+      }
+    }
+    if (dest != nullptr) {
+      dest->queue.push_back(w);
+    } else {
+      c.roving.push_back(w);
+    }
+  }
+
+  if (processed == 0) {
+    // Stalled before doing any work (roving buffer full): stay idle and let
+    // the next channel poll drain the buffer and re-kick us.
+    return;
+  }
+  (void)stalled;
+  const Tick completion = c.unit.acquire(sim_.now(), cost);
+  c.processing = true;
+  sim_.schedule_at(completion, [this, &c] {
+    c.processing = false;
+    kick_chip(c);
+    maybe_switch_partition();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Channel level
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::poll_channel(ChannelState& ch) {
+  if (done_) return;
+  std::vector<rw::Walk> pulled;
+  const auto chips_per_channel = opt_.ssd.topo.chips_per_channel;
+  for (std::uint32_t k = 0; k < chips_per_channel; ++k) {
+    ChipState& c = chips_[ch.index * chips_per_channel + k];
+    if (c.roving.empty()) continue;
+    pulled.insert(pulled.end(), c.roving.begin(), c.roving.end());
+    c.roving.clear();
+    kick_chip(c);  // a stalled chip can resume
+  }
+  if (!pulled.empty()) {
+    metrics_.roving_walks += pulled.size();
+    const Tick done = flash_->channel_transfer(sim_.now(), ch.index,
+                                               pulled.size() * wbytes());
+    sim_.schedule_at(done, [this, &ch, walks = std::move(pulled)]() mutable {
+      receive_roving(ch, std::move(walks));
+    });
+  }
+  maybe_switch_partition();
+  sim_.schedule(opt_.accel.roving_poll_interval, [this, &ch] { poll_channel(ch); });
+}
+
+void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> walks) {
+  const Tick gcycle = opt_.accel.channel.guider_cycle;
+  const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.channel.guiders);
+
+  Tick cost = 0;
+  std::vector<rw::Walk> to_board;
+  for (auto& w : walks) {
+    // Hot-subgraph check (HS) — dense-vertex walks always continue to the
+    // board for pre-walking.
+    bool placed = false;
+    if (opt_.accel.features.hot_subgraphs && !ch.hot.empty() &&
+        !pg_->is_dense_vertex(w.cur)) {
+      cost += match_cycles(ch.hot.size()) * gcycle / guiders;
+      for (auto& slot : ch.hot) {
+        if (walk_in_sg(w, pg_->subgraph(slot.sg))) {
+          const std::uint64_t cap =
+              opt_.accel.channel.walk_queue_bytes /
+              std::max<std::uint64_t>(1, ch.hot.size() * wbytes());
+          if (slot.queue.size() < cap) {
+            slot.queue.push_back(w);
+            placed = true;
+          }
+          break;
+        }
+      }
+    }
+    if (placed) continue;
+
+    // Approximate walk search (WQ): tag the walk with its subgraph range so
+    // the board searches one range instead of the whole table.
+    if (opt_.accel.features.walk_query) {
+      const auto r = mtab_->find_range(w.cur);
+      cost += static_cast<Tick>(r.steps) * gcycle / guiders;
+      ++metrics_.range_searches;
+      if (r.found()) {
+        w.range_tag = r.range_id;
+        ++metrics_.range_tagged_walks;
+      }
+    }
+    to_board.push_back(w);
+  }
+
+  const Tick completion = ch.unit.acquire(sim_.now(), cost);
+  if (!to_board.empty()) {
+    metrics_.to_board_walks += to_board.size();
+    sim_.schedule_at(completion, [this, walks2 = std::move(to_board)]() mutable {
+      enqueue_board(std::move(walks2));
+    });
+  }
+  kick_channel(ch);
+}
+
+void FlashWalkerEngine::kick_channel(ChannelState& ch) {
+  if (ch.processing || done_) return;
+  const bool has_walks = std::any_of(ch.hot.begin(), ch.hot.end(),
+                                     [](const LoadedSg& s) { return !s.queue.empty(); });
+  if (!has_walks) return;
+  ch.processing = true;
+  sim_.schedule_at(std::max(sim_.now(), ch.unit.busy_until()),
+                   [this, &ch] { process_channel(ch); });
+}
+
+void FlashWalkerEngine::process_channel(ChannelState& ch) {
+  ch.processing = false;
+  LoadedSg* slot = nullptr;
+  for (std::size_t i = 0; i < ch.hot.size(); ++i) {
+    LoadedSg& s = ch.hot[(ch.rr + i) % ch.hot.size()];
+    if (!s.queue.empty()) {
+      slot = &s;
+      ch.rr = static_cast<std::uint32_t>((ch.rr + i + 1) % ch.hot.size());
+      break;
+    }
+  }
+  if (slot == nullptr) return;
+
+  const auto& sg = pg_->subgraph(slot->sg);
+  const Tick ucycle = opt_.accel.channel.updater_cycle;
+  const Tick gcycle = opt_.accel.channel.guider_cycle;
+  const std::uint32_t updaters = std::max<std::uint32_t>(1, opt_.accel.channel.updaters);
+  const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.channel.guiders);
+
+  Tick cost = 0;
+  std::vector<rw::Walk> to_board;
+  std::uint32_t processed = 0;
+  while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
+    rw::Walk w = slot->queue.front();
+    slot->queue.pop_front();
+    ++processed;
+
+    const HopOutcome hop = update_walk(w, sg);
+    cost += (5 + hop.extra_cycles) * ucycle / updaters;
+    ++metrics_.channel_updates;
+
+    if (hop.completed) {
+      complete_walk(w, board_.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
+                    /*at_board=*/true);
+      continue;
+    }
+
+    bool placed = false;
+    if (!pg_->is_dense_vertex(w.cur)) {
+      cost += match_cycles(ch.hot.size()) * gcycle / guiders;
+      for (auto& s : ch.hot) {
+        if (walk_in_sg(w, pg_->subgraph(s.sg))) {
+          s.queue.push_back(w);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      if (opt_.accel.features.walk_query) {
+        const auto r = mtab_->find_range(w.cur);
+        cost += static_cast<Tick>(r.steps) * gcycle / guiders;
+        ++metrics_.range_searches;
+        if (r.found()) {
+          w.range_tag = r.range_id;
+          ++metrics_.range_tagged_walks;
+        }
+      }
+      to_board.push_back(w);
+    }
+  }
+
+  const Tick completion = ch.unit.acquire(sim_.now(), cost);
+  ch.processing = true;
+  sim_.schedule_at(completion, [this, &ch, walks = std::move(to_board)]() mutable {
+    ch.processing = false;
+    if (!walks.empty()) {
+      metrics_.to_board_walks += walks.size();
+      enqueue_board(std::move(walks));
+    }
+    kick_channel(ch);
+    maybe_switch_partition();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Board level
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::enqueue_board(std::vector<rw::Walk> walks) {
+  for (auto& w : walks) board_.guide.push_back(w);
+  kick_board_guider();
+}
+
+void FlashWalkerEngine::kick_board_guider() {
+  if (board_.guiding || board_.guide.empty() || done_) return;
+  board_.guiding = true;
+  sim_.schedule_at(std::max(sim_.now(), board_.guider_unit.busy_until()),
+                   [this] { process_board_guider(); });
+}
+
+void FlashWalkerEngine::process_board_guider() {
+  board_.guiding = false;
+  if (board_.guide.empty()) return;
+
+  const Tick gcycle = opt_.accel.board.guider_cycle;
+  const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.board.guiders);
+
+  std::uint64_t cycles = 0;
+  std::vector<std::uint32_t> touched_chips;
+  std::uint32_t processed = 0;
+  // The board drains bigger batches: it has 128 guiders.
+  const std::uint32_t batch = opt_.accel.batch_walks * 4;
+  while (processed < batch && !board_.guide.empty()) {
+    rw::Walk w = board_.guide.front();
+    board_.guide.pop_front();
+    ++processed;
+    cycles += board_route_walk(w, touched_chips);
+  }
+  const Tick cost = static_cast<Tick>(cycles) * gcycle / guiders;
+  const Tick completion = board_.guider_unit.acquire(sim_.now(), cost);
+  board_.guiding = true;
+  sim_.schedule_at(completion, [this, touched = std::move(touched_chips)] {
+    board_.guiding = false;
+    for (std::uint32_t g : touched) kick_chip(chips_[g]);
+    kick_board_guider();
+    kick_board_updater();
+    maybe_switch_partition();
+  });
+}
+
+void FlashWalkerEngine::kick_board_updater() {
+  if (board_.updating || done_) return;
+  const bool has_walks = std::any_of(board_.hot.begin(), board_.hot.end(),
+                                     [](const LoadedSg& s) { return !s.queue.empty(); });
+  if (!has_walks) return;
+  board_.updating = true;
+  sim_.schedule_at(std::max(sim_.now(), board_.updater_unit.busy_until()),
+                   [this] { process_board_updater(); });
+}
+
+void FlashWalkerEngine::process_board_updater() {
+  board_.updating = false;
+  LoadedSg* slot = nullptr;
+  for (std::size_t i = 0; i < board_.hot.size(); ++i) {
+    LoadedSg& s = board_.hot[(board_.rr + i) % board_.hot.size()];
+    if (!s.queue.empty()) {
+      slot = &s;
+      board_.rr = static_cast<std::uint32_t>((board_.rr + i + 1) % board_.hot.size());
+      break;
+    }
+  }
+  if (slot == nullptr) return;
+
+  const auto& sg = pg_->subgraph(slot->sg);
+  const Tick ucycle = opt_.accel.board.updater_cycle;
+  const std::uint32_t updaters = std::max<std::uint32_t>(1, opt_.accel.board.updaters);
+
+  Tick cost = 0;
+  std::vector<rw::Walk> to_guide;
+  std::uint32_t processed = 0;
+  while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
+    rw::Walk w = slot->queue.front();
+    slot->queue.pop_front();
+    ++processed;
+
+    const HopOutcome hop = update_walk(w, sg);
+    cost += (5 + hop.extra_cycles) * ucycle / updaters;
+    ++metrics_.board_updates;
+
+    if (hop.completed) {
+      complete_walk(w, board_.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
+                    /*at_board=*/true);
+      continue;
+    }
+    to_guide.push_back(w);  // updated walks re-enter the board guide buffer
+  }
+
+  const Tick completion = board_.updater_unit.acquire(sim_.now(), cost);
+  board_.updating = true;
+  sim_.schedule_at(completion, [this, walks = std::move(to_guide)]() mutable {
+    board_.updating = false;
+    if (!walks.empty()) enqueue_board(std::move(walks));
+    kick_board_updater();
+    maybe_switch_partition();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Partition lifecycle / termination
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::check_done() {
+  if (!done_ && metrics_.walks_completed == metrics_.walks_started) {
+    done_ = true;
+  }
+}
+
+void FlashWalkerEngine::maybe_switch_partition() {
+  if (done_ || active_walks_ > 0) return;
+  // Also require the accelerator pipelines to be empty: in-flight batches
+  // still hold active walks, so active_walks_ == 0 already implies drained
+  // queues; this is a pure safety re-check for the buffers.
+  if (!board_.guide.empty()) return;
+
+  const std::uint32_t parts = pg_->num_partitions();
+  for (std::uint32_t step = 1; step <= parts; ++step) {
+    const PartitionId p = (current_partition_ + step) % parts;
+    if (!pending_[p].empty()) {
+      ++metrics_.partition_switches;
+      begin_partition(p, /*charge_io=*/true);
+      return;
+    }
+  }
+  if (metrics_.walks_completed != metrics_.walks_started) {
+    throw std::logic_error("FlashWalkerEngine: walks lost (conservation violated)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+EngineResult FlashWalkerEngine::run() {
+  init_walks();
+  check_done();  // zero-walk workloads finish immediately
+
+  if (!done_) {
+    load_hot_subgraphs();  // global hot sets, loaded once per run
+    // Start with the first partition that has walks.
+    PartitionId first = 0;
+    for (PartitionId p = 0; p < pg_->num_partitions(); ++p) {
+      if (!pending_[p].empty()) {
+        first = p;
+        break;
+      }
+    }
+    begin_partition(first, /*charge_io=*/false);
+    schedule_heartbeats();
+  }
+
+  sim_.run();
+
+  if (metrics_.walks_completed != metrics_.walks_started) {
+    throw std::logic_error("FlashWalkerEngine: run ended with unfinished walks");
+  }
+
+  EngineResult result;
+  result.exec_time = sim_.now();
+  result.metrics = metrics_;
+  result.ftl = ftl_->stats();
+  result.flash_read_bytes = flash_->read_bytes();
+  result.flash_write_bytes = flash_->programmed_bytes();
+  result.channel_bytes = flash_->channel_bytes();
+  result.dram_bytes = dram_->bytes_moved();
+  result.chip_utilization.reserve(chips_.size());
+  for (const ChipState& c : chips_) {
+    result.chip_utilization.push_back(c.unit.utilization(result.exec_time));
+  }
+  if (timeline_) result.timeline = timeline_->points();
+  result.visit_counts = std::move(visits_);
+  result.endpoint_counts = std::move(endpoints_);
+  result.paths = std::move(paths_);
+  return result;
+}
+
+}  // namespace fw::accel

@@ -1,0 +1,249 @@
+// FlashWalkerEngine: the in-storage accelerator hierarchy (paper §III) as a
+// deterministic discrete-event simulation over the flash substrate.
+//
+// Hierarchy and walk flow, as in Fig. 2:
+//
+//   chip-level accelerators (one per flash chip)
+//     load subgraphs from their own planes (no channel-bus transfer — the
+//     whole point of the design), update walks, and emit roving walks;
+//   channel-level accelerators (one per channel)
+//     poll chip roving buffers over the ONFI bus, update walks that land in
+//     their hot subgraphs, approximate-search the rest (WQ) and forward
+//     them to the board;
+//   board-level accelerator
+//     directs roving walks (dense-vertex pre-walking, query caches, mapping
+//     table), updates walks in its own hot subgraphs, manages the partition
+//     walk buffer in on-board DRAM, schedules subgraph loads (Eq. 1), and
+//     writes completed/foreigner/overflow walks to flash through the FTL.
+//
+// Walks execute *real* hops over the real CSR, so visit statistics are
+// checkable against the host reference (rw::run_walks); the DES charges
+// every hop the cycle/bus/flash costs of Table II/III.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/metrics.hpp"
+#include "accel/scheduler.hpp"
+#include "common/assoc_cache.hpp"
+#include "common/rng.hpp"
+#include "partition/dense_table.hpp"
+#include "partition/mapping_table.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "rw/sampler.hpp"
+#include "rw/spec.hpp"
+#include "rw/walk.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
+#include "ssd/dram_banked.hpp"
+#include "ssd/flash_array.hpp"
+#include "ssd/ftl.hpp"
+#include "ssd/graph_layout.hpp"
+
+namespace fw::accel {
+
+struct EngineOptions {
+  AccelConfig accel = bench_accel_config();
+  ssd::SsdConfig ssd;
+  rw::WalkSpec spec;
+  bool record_visits = true;
+  /// Record every walk's vertex sequence (memory ∝ walks x length; meant
+  /// for corpus generation and tests, not large sweeps).
+  bool record_paths = false;
+  /// Count where walks terminate (per-vertex) — the output a Monte-Carlo
+  /// PPR consumer reads back from the completed-walk flash region.
+  bool record_endpoints = false;
+  Tick timeline_interval = 0;  ///< 0 disables Fig-8 sampling
+};
+
+struct EngineResult {
+  Tick exec_time = 0;
+  EngineMetrics metrics;
+  ssd::FtlStats ftl;
+
+  std::uint64_t flash_read_bytes = 0;
+  std::uint64_t flash_write_bytes = 0;
+  std::uint64_t channel_bytes = 0;
+  std::uint64_t dram_bytes = 0;
+
+  /// Achieved flash read bandwidth over the run (Fig 6 numerator).
+  [[nodiscard]] double flash_read_mb_per_s() const {
+    return bandwidth_mb_per_s(flash_read_bytes, exec_time);
+  }
+
+  std::vector<sim::TimelinePoint> timeline;
+
+  /// Per-chip-accelerator utilization over the run (busy time / exec time),
+  /// indexed by global chip. Imbalance here is the straggler signature.
+  std::vector<double> chip_utilization;
+  [[nodiscard]] double mean_chip_utilization() const {
+    if (chip_utilization.empty()) return 0.0;
+    double sum = 0;
+    for (double u : chip_utilization) sum += u;
+    return sum / static_cast<double>(chip_utilization.size());
+  }
+  [[nodiscard]] double max_chip_utilization() const {
+    double m = 0;
+    for (double u : chip_utilization) m = std::max(m, u);
+    return m;
+  }
+
+  std::vector<std::uint64_t> visit_counts;  ///< per-vertex, when recorded
+  /// Per-vertex terminal counts, when record_endpoints is set.
+  std::vector<std::uint64_t> endpoint_counts;
+  /// Per-walk vertex sequences (starting vertex first), when recorded.
+  std::vector<std::vector<VertexId>> paths;
+};
+
+class FlashWalkerEngine {
+ public:
+  FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options);
+  ~FlashWalkerEngine();
+
+  FlashWalkerEngine(const FlashWalkerEngine&) = delete;
+  FlashWalkerEngine& operator=(const FlashWalkerEngine&) = delete;
+
+  /// Execute the configured walk workload to completion.
+  EngineResult run();
+
+  [[nodiscard]] const partition::SubgraphMappingTable& mapping_table() const {
+    return *mtab_;
+  }
+  [[nodiscard]] const partition::DenseVertexTable& dense_table() const { return *dtab_; }
+  [[nodiscard]] const ssd::GraphLayout& layout() const { return *layout_; }
+
+ private:
+  struct LoadedSg {
+    SubgraphId sg = kInvalidSubgraph;
+    std::deque<rw::Walk> queue;
+    bool loading = false;
+  };
+
+  struct ChipState {
+    std::uint32_t channel = 0;
+    std::uint32_t chip = 0;
+    std::uint32_t global = 0;
+    std::vector<LoadedSg> slots;
+    std::vector<rw::Walk> roving;
+    std::uint64_t completed_buffered_bytes = 0;
+    sim::SerialResource unit;
+    bool processing = false;
+    std::uint32_t rr = 0;
+  };
+
+  struct ChannelState {
+    std::uint32_t index = 0;
+    std::vector<LoadedSg> hot;
+    sim::SerialResource unit;
+    bool processing = false;
+    std::uint32_t rr = 0;
+  };
+
+  struct BoardState {
+    std::vector<LoadedSg> hot;
+    std::deque<rw::Walk> guide;
+    sim::SerialResource guider_unit;
+    sim::SerialResource updater_unit;
+    bool guiding = false;
+    bool updating = false;
+    std::uint64_t foreigner_buffered_bytes = 0;
+    std::uint64_t completed_buffered_bytes = 0;
+    std::uint32_t rr = 0;
+  };
+
+  /// Result of updating one walk (shared by all three levels).
+  struct HopOutcome {
+    bool completed = false;
+    std::uint32_t extra_cycles = 0;  ///< ITS search steps etc.
+  };
+
+  // --- setup -------------------------------------------------------------
+  void init_walks();
+  void begin_partition(PartitionId p, bool charge_io);
+  void load_hot_subgraphs();
+  void schedule_heartbeats();
+
+  // --- walk updating -----------------------------------------------------
+  HopOutcome update_walk(rw::Walk& w, const partition::Subgraph& sg);
+
+  // --- chip level ----------------------------------------------------------
+  void kick_chip(ChipState& c);
+  void process_chip(ChipState& c);
+  void request_loads(ChipState& c);
+  void start_load(ChipState& c, std::size_t slot_idx, SubgraphId sg,
+                  std::uint32_t compare_ops);
+
+  // --- channel level ---------------------------------------------------------
+  void poll_channel(ChannelState& ch);
+  void receive_roving(ChannelState& ch, std::vector<rw::Walk> walks);
+  void kick_channel(ChannelState& ch);
+  void process_channel(ChannelState& ch);
+
+  // --- board level ------------------------------------------------------------
+  void enqueue_board(std::vector<rw::Walk> walks);
+  void kick_board_guider();
+  void process_board_guider();
+  void kick_board_updater();
+  void process_board_updater();
+
+  /// Route one updated/ingested walk at the board: dense pre-walk, hot
+  /// check, mapping lookup, then pwb / foreigner placement. Returns guider
+  /// cycles spent; appends affected chips to `touched_chips`.
+  std::uint32_t board_route_walk(rw::Walk w, std::vector<std::uint32_t>& touched_chips);
+
+  // --- shared helpers ---------------------------------------------------------
+  void complete_walk(const rw::Walk& w, std::uint64_t& completed_bytes,
+                     std::uint64_t flush_cap, bool at_board);
+  void flush_walk_pages(std::uint64_t bytes, std::uint64_t& counter);
+  void insert_pwb(SubgraphId sg, rw::Walk w, std::vector<std::uint32_t>& touched_chips);
+  void maybe_switch_partition();
+  void check_done();
+  [[nodiscard]] std::uint32_t chip_of_sg(SubgraphId sg) const;
+  [[nodiscard]] bool walk_in_sg(const rw::Walk& w, const partition::Subgraph& sg) const;
+  [[nodiscard]] std::uint64_t wbytes() const { return walk_bytes_; }
+
+  // --- members ----------------------------------------------------------------
+  const partition::PartitionedGraph* pg_;
+  EngineOptions opt_;
+  sim::Simulator sim_;
+  std::unique_ptr<ssd::FlashArray> flash_;
+  std::unique_ptr<ssd::GraphLayout> layout_;
+  std::unique_ptr<ssd::Ftl> ftl_;
+  std::unique_ptr<ssd::BankedDram> dram_;
+  std::unique_ptr<partition::SubgraphMappingTable> mtab_;
+  std::unique_ptr<partition::DenseVertexTable> dtab_;
+  std::unique_ptr<SubgraphScheduler> scheduler_;
+  std::unique_ptr<rw::ItsTable> its_;
+  std::vector<std::unique_ptr<AssocCacheModel>> query_caches_;
+
+  std::vector<ChipState> chips_;
+  std::vector<ChannelState> channels_;
+  BoardState board_;
+
+  static constexpr std::uint64_t kDramLineBytes = 64;
+  std::vector<std::vector<rw::Walk>> pwb_walks_;   // per subgraph (current partition)
+  std::vector<std::uint32_t> pwb_wc_bytes_;        // write-combining residue per entry
+  std::vector<std::vector<rw::Walk>> fl_walks_;    // per subgraph, resident in flash
+  std::vector<std::vector<rw::Walk>> pending_;     // per partition (foreign / future)
+
+  Xoshiro256 rng_;
+  EngineMetrics metrics_;
+  std::vector<std::uint64_t> visits_;
+  std::vector<std::uint64_t> endpoints_;
+  std::vector<std::vector<VertexId>> paths_;
+  std::unique_ptr<sim::TimelineRecorder> timeline_;
+
+  PartitionId current_partition_ = 0;
+  std::uint64_t active_walks_ = 0;  ///< unfinished walks owned by current partition
+  std::uint64_t walk_bytes_ = 0;
+  std::uint64_t flush_lpn_ = 0;  ///< rolling logical page for walk flushes
+  std::uint64_t cache_rr_ = 0;   ///< distributes lookups over the query caches
+  bool done_ = false;
+};
+
+}  // namespace fw::accel

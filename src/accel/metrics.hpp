@@ -1,0 +1,58 @@
+// Engine-level counters behind Figs 6, 8, 9 and the speedup tables.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fw::accel {
+
+struct EngineMetrics {
+  // Walk progress.
+  std::uint64_t walks_started = 0;
+  std::uint64_t walks_completed = 0;
+  std::uint64_t dead_ends = 0;
+  std::uint64_t total_hops = 0;
+
+  // Where updates ran (the heterogeneous-hierarchy story).
+  std::uint64_t chip_updates = 0;
+  std::uint64_t channel_updates = 0;
+  std::uint64_t board_updates = 0;
+
+  // Movement between levels.
+  std::uint64_t roving_walks = 0;      ///< chip → channel pulls
+  std::uint64_t to_board_walks = 0;    ///< channel → board forwards
+  std::uint64_t foreigner_walks = 0;
+  std::uint64_t pwb_inserts = 0;
+
+  // Subgraph traffic.
+  std::uint64_t subgraph_loads = 0;
+  std::uint64_t subgraph_load_pages = 0;
+  std::uint64_t hot_subgraph_loads = 0;
+
+  // Walk query machinery (WQ).
+  std::uint64_t query_cache_hits = 0;
+  std::uint64_t query_cache_misses = 0;
+  std::uint64_t mapping_search_steps = 0;
+  std::uint64_t range_searches = 0;
+  std::uint64_t range_tagged_walks = 0;
+  std::uint64_t range_foreigner_hints = 0;  ///< foreigners caught by the range check
+
+  // Dense-vertex machinery.
+  std::uint64_t bloom_lookups = 0;
+  std::uint64_t bloom_false_positives = 0;
+  std::uint64_t dense_prewalks = 0;
+
+  // Buffer overflow behaviour (what SS minimizes).
+  std::uint64_t pwb_overflow_events = 0;
+  std::uint64_t pwb_overflow_walks = 0;
+  std::uint64_t completed_flush_pages = 0;
+  std::uint64_t foreigner_flush_pages = 0;
+  std::uint64_t overflow_flush_pages = 0;
+  std::uint64_t walk_reload_pages = 0;  ///< fl walks read back at subgraph load
+
+  std::uint64_t partition_switches = 0;
+  std::uint64_t scheduler_compare_ops = 0;
+};
+
+}  // namespace fw::accel

@@ -1,0 +1,143 @@
+#include "accel/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace fw::accel {
+namespace {
+
+/// Minimal JSON emitter: objects of numbers/strings/arrays, enough for run
+/// reports (keys are code-controlled, values numeric — no escaping needed
+/// beyond the label).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin() { os_ << "{"; }
+  void end() { os_ << "}"; }
+
+  void field(const std::string& key, std::uint64_t value) {
+    sep();
+    os_ << '"' << key << "\":" << value;
+  }
+  void field(const std::string& key, double value) {
+    sep();
+    os_ << '"' << key << "\":" << value;
+  }
+  void field(const std::string& key, const std::string& value) {
+    sep();
+    os_ << '"' << key << "\":\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+
+  template <typename T, typename Fn>
+  void array(const std::string& key, const std::vector<T>& items, Fn&& emit) {
+    sep();
+    os_ << '"' << key << "\":[";
+    bool first = true;
+    for (const auto& item : items) {
+      if (!first) os_ << ',';
+      first = false;
+      emit(item);
+    }
+    os_ << ']';
+  }
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  void sep() {
+    if (need_comma_) os_ << ',';
+    need_comma_ = true;
+  }
+
+  std::ostream& os_;
+  bool need_comma_ = false;
+};
+
+}  // namespace
+
+void write_json(std::ostream& os, const std::string& label, const EngineResult& r) {
+  JsonWriter w(os);
+  w.begin();
+  w.field("name", label);
+  w.field("engine", std::string("flashwalker"));
+  w.field("exec_time_ns", r.exec_time);
+  w.field("walks_started", r.metrics.walks_started);
+  w.field("walks_completed", r.metrics.walks_completed);
+  w.field("total_hops", r.metrics.total_hops);
+  w.field("dead_ends", r.metrics.dead_ends);
+  w.field("chip_updates", r.metrics.chip_updates);
+  w.field("channel_updates", r.metrics.channel_updates);
+  w.field("board_updates", r.metrics.board_updates);
+  w.field("roving_walks", r.metrics.roving_walks);
+  w.field("foreigner_walks", r.metrics.foreigner_walks);
+  w.field("subgraph_loads", r.metrics.subgraph_loads);
+  w.field("dense_prewalks", r.metrics.dense_prewalks);
+  w.field("query_cache_hits", r.metrics.query_cache_hits);
+  w.field("query_cache_misses", r.metrics.query_cache_misses);
+  w.field("pwb_overflow_walks", r.metrics.pwb_overflow_walks);
+  w.field("partition_switches", r.metrics.partition_switches);
+  w.field("flash_read_bytes", r.flash_read_bytes);
+  w.field("flash_write_bytes", r.flash_write_bytes);
+  w.field("channel_bytes", r.channel_bytes);
+  w.field("dram_bytes", r.dram_bytes);
+  w.field("flash_read_mb_per_s", r.flash_read_mb_per_s());
+  w.field("mean_chip_utilization", r.mean_chip_utilization());
+  w.field("max_chip_utilization", r.max_chip_utilization());
+  w.field("ftl_gc_erases", r.ftl.gc_erases);
+  w.field("ftl_write_amplification", r.ftl.write_amplification());
+  if (!r.timeline.empty()) {
+    w.array("timeline", r.timeline, [&](const sim::TimelinePoint& p) {
+      w.stream() << "{\"at_ns\":" << p.at << ",\"read_mb_s\":" << p.flash_read_mb_s
+                 << ",\"write_mb_s\":" << p.flash_write_mb_s
+                 << ",\"channel_mb_s\":" << p.channel_mb_s
+                 << ",\"done_pct\":" << p.walks_done_pct << "}";
+    });
+  }
+  w.end();
+}
+
+void write_json(std::ostream& os, const std::string& label,
+                const baseline::BaselineResult& r) {
+  JsonWriter w(os);
+  w.begin();
+  w.field("name", label);
+  w.field("engine", std::string("baseline"));
+  w.field("exec_time_ns", r.exec_time);
+  w.field("graph_load_ns", r.breakdown.graph_load);
+  w.field("walk_load_ns", r.breakdown.walk_load);
+  w.field("walk_write_ns", r.breakdown.walk_write);
+  w.field("compute_ns", r.breakdown.compute);
+  w.field("walks_started", r.walks_started);
+  w.field("walks_completed", r.walks_completed);
+  w.field("total_hops", r.total_hops);
+  w.field("dead_ends", r.dead_ends);
+  w.field("block_loads", r.block_loads);
+  w.field("cache_hits", r.cache_hits);
+  w.field("bytes_read", r.bytes_read);
+  w.field("bytes_written", r.bytes_written);
+  w.field("flash_read_bytes", r.flash_read_bytes);
+  w.field("read_mb_per_s", r.read_mb_per_s());
+  w.field("nvme_commands", r.nvme.commands);
+  w.field("nvme_depth_stalls", r.nvme.depth_stalls);
+  w.end();
+}
+
+std::string to_json(const std::string& label, const EngineResult& result) {
+  std::ostringstream os;
+  write_json(os, label, result);
+  return os.str();
+}
+
+std::string to_json(const std::string& label, const baseline::BaselineResult& result) {
+  std::ostringstream os;
+  write_json(os, label, result);
+  return os.str();
+}
+
+}  // namespace fw::accel

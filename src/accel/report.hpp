@@ -1,0 +1,26 @@
+// Machine-readable run reports: serialize engine/baseline results as JSON
+// so bench outputs can feed plotting scripts without scraping tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "accel/engine.hpp"
+#include "baseline/graphwalker.hpp"
+
+namespace fw::accel {
+
+/// Serialize an engine result (counters, byte totals, utilization summary,
+/// timeline if present) as a single JSON object. `label` becomes the
+/// "name" field.
+void write_json(std::ostream& os, const std::string& label, const EngineResult& result);
+
+/// Serialize a baseline result.
+void write_json(std::ostream& os, const std::string& label,
+                const baseline::BaselineResult& result);
+
+/// Convenience: JSON string forms.
+std::string to_json(const std::string& label, const EngineResult& result);
+std::string to_json(const std::string& label, const baseline::BaselineResult& result);
+
+}  // namespace fw::accel

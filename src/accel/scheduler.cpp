@@ -1,0 +1,117 @@
+#include "accel/scheduler.hpp"
+
+namespace fw::accel {
+
+SubgraphScheduler::SubgraphScheduler(const partition::PartitionedGraph& pg,
+                                     const ssd::GraphLayout& layout,
+                                     const AccelConfig& config, std::uint32_t num_chips,
+                                     std::uint32_t chips_per_channel)
+    : pg_(&pg), layout_(&layout), config_(config), num_chips_(num_chips) {
+  state_.resize(pg.num_subgraphs());
+  chip_of_sg_.resize(pg.num_subgraphs());
+  for (SubgraphId sg = 0; sg < pg.num_subgraphs(); ++sg) {
+    const auto& place = layout.placement(sg);
+    chip_of_sg_[sg] = place.channel * chips_per_channel + place.chip;
+  }
+  candidates_.resize(num_chips_);
+  topn_.assign(num_chips_, TopNList(config_.top_n));
+}
+
+void SubgraphScheduler::begin_partition(PartitionId p) {
+  current_partition_ = p;
+  for (auto& c : candidates_) c.clear();
+  for (auto& t : topn_) t = TopNList(config_.top_n);
+  const auto [first, last] = pg_->partition_range(p);
+  for (SubgraphId sg = first; sg < last; ++sg) {
+    candidates_[chip_of_sg_[sg]].push_back(sg);
+    if (config_.features.subgraph_scheduling && pending_walks(sg) > 0) {
+      topn_[chip_of_sg_[sg]].update(sg, score(sg));
+    }
+  }
+}
+
+double SubgraphScheduler::score(SubgraphId sg) const {
+  const SgState& s = state_[sg];
+  const double base = static_cast<double>(s.pwb) * config_.alpha +
+                      static_cast<double>(s.fl);
+  return pg_->subgraph(sg).dense ? base : base * config_.beta;
+}
+
+void SubgraphScheduler::maybe_refresh_topn(SubgraphId sg) {
+  if (!config_.features.subgraph_scheduling) return;
+  if (pg_->partition_of(sg) != current_partition_) return;
+  SgState& s = state_[sg];
+  if (++s.inserts_since_update < config_.score_update_every &&
+      topn_[chip_of_sg_[sg]].contains(sg)) {
+    return;  // lazy: defer the list write (paper's every-M-insertions rule)
+  }
+  s.inserts_since_update = 0;
+  topn_[chip_of_sg_[sg]].update(sg, score(sg));
+}
+
+void SubgraphScheduler::on_walk_insert(SubgraphId sg, bool to_flash) {
+  if (to_flash) {
+    ++state_[sg].fl;
+  } else {
+    ++state_[sg].pwb;
+  }
+  maybe_refresh_topn(sg);
+}
+
+void SubgraphScheduler::on_entry_flushed(SubgraphId sg, std::uint64_t n) {
+  SgState& s = state_[sg];
+  s.pwb = s.pwb >= n ? s.pwb - n : 0;
+  s.fl += n;
+  maybe_refresh_topn(sg);
+}
+
+void SubgraphScheduler::on_subgraph_loaded(SubgraphId sg) {
+  state_[sg].pwb = 0;
+  state_[sg].fl = 0;
+  state_[sg].inserts_since_update = 0;
+  topn_[chip_of_sg_[sg]].remove(sg);
+}
+
+std::optional<SubgraphScheduler::Pick> SubgraphScheduler::pick_for_chip(
+    std::uint32_t chip_global, const std::function<bool(SubgraphId)>& eligible) {
+  Pick pick;
+  if (config_.features.subgraph_scheduling) {
+    // Fast path: pop the per-chip top-N list.
+    TopNList& list = topn_[chip_global];
+    while (!list.empty()) {
+      pick.compare_ops += static_cast<std::uint32_t>(list.size());
+      const auto best = list.pop_best();
+      const SubgraphId sg = static_cast<SubgraphId>(best->first);
+      if (pending_walks(sg) > 0 && eligible(sg)) {
+        pick.sg = sg;
+        return pick;
+      }
+      // Stale entry (drained or ineligible): keep popping.
+    }
+  }
+  // Fallback / baseline: scan the chip's candidates. Baseline policy is
+  // GraphWalker's most-walks-first; with SS on this also repopulates a
+  // drained top-N list.
+  std::uint64_t best_walks = 0;
+  double best_score = -1.0;
+  for (SubgraphId sg : candidates_[chip_global]) {
+    ++pick.compare_ops;
+    if (!eligible(sg)) continue;
+    const std::uint64_t walks = pending_walks(sg);
+    if (walks == 0) continue;
+    if (config_.features.subgraph_scheduling) {
+      const double s = score(sg);
+      if (s > best_score) {
+        best_score = s;
+        pick.sg = sg;
+      }
+    } else if (walks > best_walks) {
+      best_walks = walks;
+      pick.sg = sg;
+    }
+  }
+  if (pick.sg == kInvalidSubgraph) return std::nullopt;
+  return pick;
+}
+
+}  // namespace fw::accel

@@ -1,0 +1,88 @@
+// Subgraph scheduler (paper §III.D "Subgraph Scheduling").
+//
+// Keeps the scoreboard (per-subgraph walk counts in the partition walk
+// buffer and in flash) and decides which subgraph a chip loads next.
+//
+// With SS enabled, subgraphs are ranked by Eq. 1:
+//     score_i = (pwb·α + fl)·β   for non-dense subgraphs
+//     score_i =  pwb·α + fl      for dense subgraphs
+// using per-chip top-N lists refreshed lazily every M insertions, so a pick
+// costs N comparisons instead of a full scan. With SS disabled, the
+// scheduler scans the chip's candidates for the most-walks subgraph
+// (GraphWalker's policy), which is the Fig 9 baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/topn.hpp"
+#include "accel/config.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "ssd/graph_layout.hpp"
+
+namespace fw::accel {
+
+class SubgraphScheduler {
+ public:
+  SubgraphScheduler(const partition::PartitionedGraph& pg, const ssd::GraphLayout& layout,
+                    const AccelConfig& config, std::uint32_t num_chips,
+                    std::uint32_t chips_per_channel);
+
+  /// Reset for a new current partition; candidate sets are that partition's
+  /// subgraphs grouped by owning chip.
+  void begin_partition(PartitionId p);
+
+  /// A walk entered subgraph `sg`'s partition-walk-buffer entry (or, with
+  /// `to_flash`, was counted as resident in flash).
+  void on_walk_insert(SubgraphId sg, bool to_flash = false);
+
+  /// A pwb entry overflowed: its `n` walks moved to flash.
+  void on_entry_flushed(SubgraphId sg, std::uint64_t n);
+
+  /// A subgraph load consumed all buffered walks of `sg`.
+  void on_subgraph_loaded(SubgraphId sg);
+
+  [[nodiscard]] std::uint64_t pwb_count(SubgraphId sg) const { return state_[sg].pwb; }
+  [[nodiscard]] std::uint64_t fl_count(SubgraphId sg) const { return state_[sg].fl; }
+  [[nodiscard]] std::uint64_t pending_walks(SubgraphId sg) const {
+    return state_[sg].pwb + state_[sg].fl;
+  }
+
+  /// Eq. 1 critical degree.
+  [[nodiscard]] double score(SubgraphId sg) const;
+
+  struct Pick {
+    SubgraphId sg = kInvalidSubgraph;
+    std::uint32_t compare_ops = 0;  ///< scheduling work, for cycle charging
+  };
+
+  /// Choose the next subgraph for `chip_global`; `eligible` filters out
+  /// subgraphs already loaded or being loaded. Returns nullopt when no
+  /// candidate has pending walks.
+  std::optional<Pick> pick_for_chip(
+      std::uint32_t chip_global,
+      const std::function<bool(SubgraphId)>& eligible);
+
+ private:
+  struct SgState {
+    std::uint64_t pwb = 0;
+    std::uint64_t fl = 0;
+    std::uint32_t inserts_since_update = 0;
+  };
+
+  void maybe_refresh_topn(SubgraphId sg);
+
+  const partition::PartitionedGraph* pg_;
+  const ssd::GraphLayout* layout_;
+  AccelConfig config_;
+  std::uint32_t num_chips_;
+  std::vector<SgState> state_;                      // per subgraph
+  std::vector<std::uint32_t> chip_of_sg_;           // global chip index per subgraph
+  std::vector<std::vector<SubgraphId>> candidates_; // per chip, current partition
+  std::vector<TopNList> topn_;                      // per chip (SS only)
+  PartitionId current_partition_ = 0;
+};
+
+}  // namespace fw::accel

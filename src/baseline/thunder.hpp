@@ -1,0 +1,49 @@
+// ThunderRW-style in-memory baseline (Sun et al., VLDB '21 — cited by the
+// paper as the state-of-the-art *in-memory* random walk engine).
+//
+// Model: the whole graph is loaded into host DRAM once (it must fit — the
+// engine refuses otherwise, which is exactly the capacity limitation that
+// motivates out-of-core and in-storage systems), then walks execute at an
+// interleaved step-centric rate that hides DRAM latency with software
+// prefetching — substantially faster per hop than GraphWalker's bucketed
+// out-of-core loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "baseline/graphwalker.hpp"  // BaselineResult, HostConfig
+
+namespace fw::baseline {
+
+struct ThunderOptions {
+  HostConfig host;
+  ssd::SsdConfig ssd;
+  ssd::NvmeConfig nvme;
+  rw::WalkSpec spec;
+  /// Per-hop cost with ThunderRW's interleaved prefetch pipeline
+  /// (single-thread; effective rate scales with cores).
+  Tick ns_per_hop_interleaved = 80;
+  bool record_visits = true;
+};
+
+class ThunderEngine {
+ public:
+  /// Throws std::invalid_argument if the graph does not fit in
+  /// `host.memory_bytes` — in-memory engines have no out-of-core path.
+  ThunderEngine(const graph::CsrGraph& graph, ThunderOptions options);
+  ~ThunderEngine();
+
+  BaselineResult run();
+
+ private:
+  const graph::CsrGraph* graph_;
+  ThunderOptions opt_;
+  std::unique_ptr<ssd::FlashArray> flash_;
+  std::unique_ptr<ssd::SsdDevice> ssd_;
+  std::unique_ptr<ssd::NvmeInterface> nvme_;
+  std::unique_ptr<rw::ItsTable> its_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace fw::baseline

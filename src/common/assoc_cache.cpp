@@ -1,0 +1,54 @@
+#include "common/assoc_cache.hpp"
+
+#include <algorithm>
+
+namespace fw {
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdull;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ull;
+  return z ^ (z >> 33);
+}
+
+}  // namespace
+
+AssocCacheModel::AssocCacheModel(std::size_t capacity_bytes, std::size_t entry_bytes,
+                                 std::size_t associativity) {
+  entry_bytes = std::max<std::size_t>(entry_bytes, 1);
+  std::size_t entries = std::max<std::size_t>(capacity_bytes / entry_bytes, 1);
+  ways_ = std::clamp<std::size_t>(associativity, 1, entries);
+  sets_ = std::max<std::size_t>(entries / ways_, 1);
+  lines_.assign(sets_ * ways_, Line{});
+}
+
+bool AssocCacheModel::access(std::uint64_t key) {
+  ++clock_;
+  const std::size_t set = mix64(key) % sets_;
+  Line* base = &lines_[set * ways_];
+  Line* victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.key == key) {
+      line.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  ++misses_;
+  victim->key = key;
+  victim->valid = true;
+  victim->last_use = clock_;
+  return false;
+}
+
+void AssocCacheModel::clear() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+}
+
+}  // namespace fw

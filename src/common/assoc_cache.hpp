@@ -1,0 +1,52 @@
+// Set-associative cache *model*: tracks hits/misses for a key stream.
+//
+// Used to model the walk query caches (paper §III.D): small SRAM caches in
+// front of the subgraph mapping table. We only need hit/miss behaviour and
+// occupancy accounting, not payload storage — the payload (a mapping entry)
+// is always available from the backing table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fw {
+
+class AssocCacheModel {
+ public:
+  /// `capacity_bytes / entry_bytes` total entries, LRU within each set.
+  AssocCacheModel(std::size_t capacity_bytes, std::size_t entry_bytes,
+                  std::size_t associativity = 4);
+
+  /// Touch `key`: returns true on hit; on miss the key is inserted
+  /// (evicting the set's LRU entry if full).
+  bool access(std::uint64_t key);
+
+  /// Invalidate the whole cache (e.g. on graph-partition switch, which
+  /// replaces the subgraph mapping entries the cache indexes).
+  void clear();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  [[nodiscard]] std::size_t num_sets() const { return sets_; }
+  [[nodiscard]] std::size_t associativity() const { return ways_; }
+
+ private:
+  struct Line {
+    std::uint64_t key = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::size_t sets_;
+  std::size_t ways_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+};
+
+}  // namespace fw

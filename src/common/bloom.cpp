@@ -1,0 +1,61 @@
+#include "common/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fw {
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_items, double target_fpr) {
+  expected_items = std::max<std::size_t>(expected_items, 1);
+  target_fpr = std::clamp(target_fpr, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double bits =
+      -static_cast<double>(expected_items) * std::log(target_fpr) / (ln2 * ln2);
+  bit_count_ = std::max<std::size_t>(64, static_cast<std::size_t>(std::ceil(bits)));
+  hash_count_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(bits / static_cast<double>(expected_items) * ln2)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::hash_pair(std::uint64_t key) const {
+  // Kirsch–Mitzenmacher double hashing: h_i = h1 + i*h2.
+  const std::uint64_t h1 = mix64(key ^ 0x2545f4914f6cdd1dull);
+  const std::uint64_t h2 = mix64(key + 0x9e3779b97f4a7c15ull) | 1;  // odd stride
+  return {h1, h2};
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  auto [h1, h2] = hash_pair(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::size_t bit = (h1 + i * h2) % bit_count_;
+    bits_[bit >> 6] |= (1ull << (bit & 63));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(std::uint64_t key) const {
+  auto [h1, h2] = hash_pair(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::size_t bit = (h1 + i * h2) % bit_count_;
+    if ((bits_[bit >> 6] & (1ull << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::predicted_fpr() const {
+  const double k = static_cast<double>(hash_count_);
+  const double n = static_cast<double>(inserted_);
+  const double m = static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace fw

@@ -1,0 +1,41 @@
+// Bloom filter used by the dense-vertices mapping table (paper §III.D).
+//
+// The board-level guider consults the Bloom filter before the dense-vertex
+// hash table; a false positive merely costs one failed hash-table probe, so
+// correctness never depends on the filter (the paper makes the same point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fw {
+
+class BloomFilter {
+ public:
+  /// `expected_items` sizes the filter for roughly `target_fpr` false
+  /// positives; `hashes` defaults to the optimal count for that rate.
+  BloomFilter(std::size_t expected_items, double target_fpr = 0.01);
+
+  void insert(std::uint64_t key);
+  [[nodiscard]] bool may_contain(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+  [[nodiscard]] std::size_t hash_count() const { return hash_count_; }
+  [[nodiscard]] std::size_t byte_size() const { return bits_.size() * sizeof(std::uint64_t); }
+  [[nodiscard]] std::size_t inserted() const { return inserted_; }
+
+  /// Predicted false-positive rate for the current load.
+  [[nodiscard]] double predicted_fpr() const;
+
+ private:
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> hash_pair(std::uint64_t key) const;
+
+  std::size_t bit_count_;
+  std::size_t hash_count_;
+  std::size_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace fw

@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace fw {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+double geomean(std::span<const double> sample) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : sample) {
+    if (x > 0.0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+double chi_square(std::span<const std::uint64_t> observed,
+                  std::span<const double> expected_prob) {
+  std::uint64_t total = 0;
+  for (auto o : observed) total += o;
+  if (total == 0) return 0.0;
+  double stat = 0.0;
+  const std::size_t k = std::min(observed.size(), expected_prob.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const double expected = expected_prob[i] * static_cast<double>(total);
+    if (expected <= 0.0) continue;
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+void Log2Histogram::add(std::uint64_t value) {
+  const std::size_t bucket = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+}  // namespace fw

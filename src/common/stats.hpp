@@ -1,0 +1,57 @@
+// Small statistics helpers used by graph analysis, tests, and benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fw {
+
+/// Streaming counter statistics (Welford) — mean/variance without storing
+/// the sample.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (copies + sorts; fine for test/bench sizes).
+double percentile(std::span<const double> sample, double p);
+
+/// Geometric mean; ignores non-positive values.
+double geomean(std::span<const double> sample);
+
+/// Pearson chi-square statistic of `observed` counts against `expected`
+/// probabilities (used by sampling-distribution property tests).
+double chi_square(std::span<const std::uint64_t> observed,
+                  std::span<const double> expected_prob);
+
+/// Fixed-bound histogram with power-of-two buckets, for degree and latency
+/// distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value);
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // bucket i holds values in [2^i, 2^(i+1))
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fw

@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace fw {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::bytes(std::uint64_t n) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (n >= GiB) {
+    os << static_cast<double>(n) / static_cast<double>(GiB) << " GiB";
+  } else if (n >= MiB) {
+    os << static_cast<double>(n) / static_cast<double>(MiB) << " MiB";
+  } else if (n >= KiB) {
+    os << static_cast<double>(n) / static_cast<double>(KiB) << " KiB";
+  } else {
+    os << n << " B";
+  }
+  return os.str();
+}
+
+std::string TextTable::time_ns(std::uint64_t ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  if (ns >= kSec) {
+    os << static_cast<double>(ns) / static_cast<double>(kSec) << " s";
+  } else if (ns >= kMs) {
+    os << static_cast<double>(ns) / static_cast<double>(kMs) << " ms";
+  } else if (ns >= kUs) {
+    os << static_cast<double>(ns) / static_cast<double>(kUs) << " us";
+  } else {
+    os << ns << " ns";
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << cell << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace fw

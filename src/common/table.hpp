@@ -1,0 +1,32 @@
+// ASCII table printer for the bench harnesses: every table/figure bench
+// prints the same rows/series the paper reports, so output must be readable
+// and machine-greppable (pipe-separated, aligned columns).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fw {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Formats `value` with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 2);
+  /// Human-readable byte count (e.g. "1.5 GiB").
+  static std::string bytes(std::uint64_t n);
+  /// Human-readable simulated time from ns.
+  static std::string time_ns(std::uint64_t ns);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fw

@@ -1,0 +1,65 @@
+#include "common/topn.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fw {
+
+bool TopNList::update(std::uint64_t id, double score) {
+  for (auto& e : entries_) {
+    if (e.id == id) {
+      e.score = score;
+      return true;
+    }
+  }
+  if (entries_.size() < n_) {
+    entries_.push_back({id, score});
+    return true;
+  }
+  auto worst = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.score < b.score; });
+  if (worst->score < score) {
+    *worst = {id, score};
+    return true;
+  }
+  return false;
+}
+
+void TopNList::remove(std::uint64_t id) {
+  std::erase_if(entries_, [id](const Entry& e) { return e.id == id; });
+}
+
+std::optional<std::pair<std::uint64_t, double>> TopNList::peek_best() const {
+  if (entries_.empty()) return std::nullopt;
+  auto best = std::max_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.score < b.score; });
+  return std::make_pair(best->id, best->score);
+}
+
+std::optional<std::pair<std::uint64_t, double>> TopNList::pop_best() {
+  if (entries_.empty()) return std::nullopt;
+  auto best = std::max_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.score < b.score; });
+  auto result = std::make_pair(best->id, best->score);
+  *best = entries_.back();
+  entries_.pop_back();
+  return result;
+}
+
+bool TopNList::contains(std::uint64_t id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const Entry& e) { return e.id == id; });
+}
+
+double TopNList::min_score() const {
+  if (entries_.empty()) return -std::numeric_limits<double>::infinity();
+  auto worst = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.score < b.score; });
+  return worst->score;
+}
+
+}  // namespace fw

@@ -1,0 +1,55 @@
+// Bounded top-N list keyed by a mutable score (paper §III.D, subgraph
+// scheduling): the scheduler keeps, per chip, the N highest-scoring
+// subgraphs so picking the next subgraph never sorts the full set.
+//
+// The structure supports the access pattern the paper describes:
+//   - update(id, score): called every M walk insertions for a subgraph;
+//   - pop_best(): take the current best and remove it;
+//   - remove(id): a subgraph leaves the list when it is scheduled.
+// N is small (a design parameter), so O(N) updates are intentional — the
+// hardware analogue is a small comparator array, not a heap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fw {
+
+class TopNList {
+ public:
+  explicit TopNList(std::size_t n) : n_(n == 0 ? 1 : n) {}
+
+  /// Insert or refresh `id` with `score`. Keeps only the N best; returns
+  /// true if `id` is in the list after the call.
+  bool update(std::uint64_t id, double score);
+
+  /// Remove `id` if present.
+  void remove(std::uint64_t id);
+
+  /// Highest-scoring entry, if any (not removed).
+  [[nodiscard]] std::optional<std::pair<std::uint64_t, double>> peek_best() const;
+
+  /// Remove and return the highest-scoring entry.
+  std::optional<std::pair<std::uint64_t, double>> pop_best();
+
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return n_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Lowest score currently retained (used to decide if an update can
+  /// possibly enter the list without scanning).
+  [[nodiscard]] double min_score() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    double score;
+  };
+
+  std::size_t n_;
+  std::vector<Entry> entries_;  // unsorted; N is small
+};
+
+}  // namespace fw

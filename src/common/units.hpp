@@ -1,0 +1,35 @@
+// Byte and time unit helpers. All simulated time is in nanoseconds (Tick).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fw {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+inline constexpr Tick kNs = 1;
+inline constexpr Tick kUs = 1000 * kNs;
+inline constexpr Tick kMs = 1000 * kUs;
+inline constexpr Tick kSec = 1000 * kMs;
+
+/// Time to move `bytes` over a link of `mb_per_s` (decimal MB/s), rounded up.
+constexpr Tick transfer_time_ns(std::uint64_t bytes, std::uint64_t mb_per_s) {
+  if (mb_per_s == 0) return 0;
+  // bytes / (mb_per_s * 1e6 B/s) seconds = bytes * 1000 / mb_per_s ns.
+  return (bytes * 1000 + mb_per_s - 1) / mb_per_s;
+}
+
+/// Achieved bandwidth in MB/s (decimal) for `bytes` moved over `ns`.
+constexpr double bandwidth_mb_per_s(std::uint64_t bytes, Tick ns) {
+  if (ns == 0) return 0.0;
+  return static_cast<double>(bytes) * 1000.0 / static_cast<double>(ns);
+}
+
+constexpr double to_seconds(Tick t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace fw

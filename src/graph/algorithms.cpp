@@ -1,0 +1,142 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace fw::graph {
+
+std::vector<std::uint32_t> bfs_levels(const CsrGraph& g, VertexId source) {
+  std::vector<std::uint32_t> level(g.num_vertices(), ~0u);
+  if (source >= g.num_vertices()) return level;
+  std::deque<VertexId> frontier{source};
+  level[source] = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId u : g.neighbors(v)) {
+      if (level[u] == ~0u) {
+        level[u] = level[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return level;
+}
+
+namespace {
+
+/// Union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> weakly_connected_components(const CsrGraph& g,
+                                                       std::uint32_t* num_components) {
+  DisjointSets dsu(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      dsu.unite(static_cast<std::uint32_t>(v), static_cast<std::uint32_t>(u));
+    }
+  }
+  std::vector<std::uint32_t> comp(g.num_vertices());
+  std::vector<std::uint32_t> remap(g.num_vertices(), ~0u);
+  std::uint32_t next = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t root = dsu.find(static_cast<std::uint32_t>(v));
+    if (remap[root] == ~0u) remap[root] = next++;
+    comp[v] = remap[root];
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+std::uint64_t largest_wcc_size(const CsrGraph& g) {
+  std::uint32_t n = 0;
+  const auto comp = weakly_connected_components(g, &n);
+  std::vector<std::uint64_t> sizes(n, 0);
+  for (const auto c : comp) ++sizes[c];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<double> pagerank(const CsrGraph& g, double damping,
+                             std::uint32_t iterations) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeId deg = g.out_degree(v);
+      if (deg == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(deg);
+      for (VertexId u : g.neighbors(v)) next[u] += share;
+    }
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    for (VertexId v = 0; v < n; ++v) next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::uint64_t count_triangles(const CsrGraph& g, std::size_t sample) {
+  // Each directed wedge v -> u with intersection |N(v) ∩ N(u)| counts the
+  // triangles through edge (v, u); the sum triple-counts undirected
+  // triangles only for symmetric graphs, so we report the raw closed-wedge
+  // count (monotone in triangle density, which is what callers compare).
+  std::uint64_t closed = 0;
+  const VertexId n = g.num_vertices();
+  const VertexId limit = sample == 0 ? n : std::min<VertexId>(n, sample);
+  for (VertexId v = 0; v < limit; ++v) {
+    const auto nv = g.neighbors(v);
+    for (VertexId u : nv) {
+      if (u == v) continue;
+      const auto nu = g.neighbors(u);
+      // sorted intersection
+      std::size_t i = 0, j = 0;
+      while (i < nv.size() && j < nu.size()) {
+        if (nv[i] < nu[j]) {
+          ++i;
+        } else if (nv[i] > nu[j]) {
+          ++j;
+        } else {
+          ++closed;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return closed;
+}
+
+}  // namespace fw::graph

@@ -1,0 +1,33 @@
+// Classic graph algorithms used for dataset validation, sampling-quality
+// metrics, and the reordering ablation (BFS ordering).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace fw::graph {
+
+/// BFS levels from `source` over out-edges; unreachable = ~0u.
+std::vector<std::uint32_t> bfs_levels(const CsrGraph& g, VertexId source);
+
+/// Weakly-connected components (treating edges as undirected).
+/// Returns per-vertex component id (dense, 0-based) and sets
+/// `num_components`.
+std::vector<std::uint32_t> weakly_connected_components(const CsrGraph& g,
+                                                       std::uint32_t* num_components);
+
+/// Size of the largest weakly-connected component.
+std::uint64_t largest_wcc_size(const CsrGraph& g);
+
+/// Power-iteration PageRank (dangling mass redistributed uniformly).
+std::vector<double> pagerank(const CsrGraph& g, double damping = 0.85,
+                             std::uint32_t iterations = 30);
+
+/// Exact directed triangle count is expensive; this counts triangles in the
+/// undirected sense via sorted-adjacency intersection, sampling `sample`
+/// vertices (0 = all vertices).
+std::uint64_t count_triangles(const CsrGraph& g, std::size_t sample = 0);
+
+}  // namespace fw::graph

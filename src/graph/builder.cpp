@@ -1,0 +1,59 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fw::graph {
+
+void GraphBuilder::add_edge(VertexId src, VertexId dst, float weight) {
+  if (src >= num_vertices_ || dst >= num_vertices_) {
+    throw std::out_of_range("GraphBuilder: edge endpoint outside vertex space");
+  }
+  edges_.push_back(Edge{src, dst, weight});
+}
+
+void GraphBuilder::add_edges(const std::vector<Edge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const Edge& e : edges) add_edge(e.src, e.dst, e.weight);
+}
+
+CsrGraph GraphBuilder::build(const BuildOptions& opts) && {
+  std::vector<Edge> edges = std::move(edges_);
+
+  if (opts.drop_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (opts.symmetrize) {
+    const std::size_t n = edges.size();
+    edges.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      edges.push_back(Edge{edges[i].dst, edges[i].src, edges[i].weight});
+    }
+  }
+
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  if (opts.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeId> offsets(num_vertices_ + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+
+  std::vector<VertexId> targets(edges.size());
+  std::vector<float> weights;
+  if (opts.keep_weights) weights.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    targets[i] = edges[i].dst;
+    if (opts.keep_weights) weights[i] = edges[i].weight;
+  }
+  return CsrGraph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace fw::graph

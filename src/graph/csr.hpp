@@ -1,0 +1,71 @@
+// Compressed Sparse Row graph — the storage format FlashWalker keeps in
+// flash (paper §III.B: "A subgraph is stored in CSR format, which contains
+// an offsets array and an edges array").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fw::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of pre-built CSR arrays. `offsets.size()` must be
+  /// `num_vertices + 1`; `weights` is empty (unweighted) or `edges.size()`.
+  CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> edges,
+           std::vector<float> weights = {});
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+  [[nodiscard]] bool weighted() const { return !weights_.empty(); }
+
+  [[nodiscard]] EdgeId out_degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {edges_.data() + offsets_[v], static_cast<std::size_t>(out_degree(v))};
+  }
+  [[nodiscard]] std::span<const float> edge_weights(VertexId v) const {
+    return {weights_.data() + offsets_[v], static_cast<std::size_t>(out_degree(v))};
+  }
+
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<VertexId>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
+
+  /// In-degree of every vertex (one O(E) pass; used to rank hot subgraphs).
+  [[nodiscard]] std::vector<EdgeId> compute_in_degrees() const;
+
+  /// Bytes per vertex ID when stored: 4 unless IDs exceed 32 bits
+  /// (ClueWeb-class graphs; paper §IV.A).
+  [[nodiscard]] std::size_t id_bytes() const {
+    return num_vertices() > 0xFFFFFFFFull ? 8 : 4;
+  }
+
+  /// On-flash CSR footprint: offsets + edges (+ weights if any).
+  [[nodiscard]] std::uint64_t csr_size_bytes() const;
+
+  /// Estimated size as a text edge list (for Table IV's "Text Size" column).
+  [[nodiscard]] std::uint64_t text_size_bytes() const;
+
+  /// Structural validation; returns an empty string when well formed,
+  /// otherwise a description of the first violation.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<EdgeId> offsets_;   // num_vertices + 1, non-decreasing
+  std::vector<VertexId> edges_;   // neighbor lists, concatenated
+  std::vector<float> weights_;    // empty or parallel to edges_
+};
+
+}  // namespace fw::graph

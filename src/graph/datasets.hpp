@@ -1,0 +1,52 @@
+// Scaled stand-ins for the paper's Table IV datasets.
+//
+// The real Twitter / Friendster / ClueWeb graphs are 23–138 GB and cannot be
+// shipped or simulated here; R2B/R8B were synthetic R-MAT graphs already.
+// Each stand-in preserves what the evaluation depends on (DESIGN.md §3):
+//   * relative size ordering  TT < R2B < FS < R8B < CW,
+//   * power-law skew (TT extreme — drives the Fig 9 HS discussion),
+//   * ClueWeb's |V| ≈ |E| sparsity that produces the straggler tail (Fig 8d).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace fw::graph {
+
+enum class DatasetId { TT, FS, CW, R2B, R8B };
+
+enum class Scale {
+  kTest,   ///< tiny graphs for unit/integration tests (sub-second)
+  kSmall,  ///< quick bench runs
+  kBench,  ///< default benchmark scale (seconds per simulation)
+};
+
+struct PaperStats {
+  std::string vertices;  ///< as printed in Table IV, e.g. "41.6M"
+  std::string edges;
+  std::string csr_size;
+  std::string text_size;
+};
+
+struct DatasetInfo {
+  DatasetId id;
+  std::string name;    ///< e.g. "Twitter"
+  std::string abbrev;  ///< e.g. "TT"
+  PaperStats paper;    ///< the numbers Table IV reports for the real graph
+};
+
+/// All five Table IV datasets, in paper order.
+const std::vector<DatasetInfo>& all_datasets();
+
+const DatasetInfo& dataset_info(DatasetId id);
+
+/// Deterministically generate the scaled stand-in graph.
+CsrGraph make_dataset(DatasetId id, Scale scale = Scale::kBench);
+
+/// Walk count matching the paper's "number of walks" x-axis, scaled: the
+/// paper uses 10^9 for CW and 4x10^8 elsewhere at the top end.
+std::uint64_t default_walk_count(DatasetId id, Scale scale);
+
+}  // namespace fw::graph

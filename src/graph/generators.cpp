@@ -1,0 +1,140 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "graph/builder.hpp"
+
+namespace fw::graph {
+namespace {
+
+VertexId round_up_pow2(VertexId v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+float random_weight(Xoshiro256& rng) {
+  // Weights in (0, 1]; strictly positive so ITS cumulative sums are monotone.
+  return static_cast<float>(1.0 - rng.uniform() * (1.0 - 1e-6));
+}
+
+}  // namespace
+
+CsrGraph generate_rmat(const RmatParams& params) {
+  const VertexId n = round_up_pow2(params.num_vertices);
+  const int levels = std::countr_zero(n);
+  Xoshiro256 rng(params.seed);
+  GraphBuilder builder(n);
+
+  const double d = 1.0 - params.a - params.b - params.c;
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    VertexId src = 0, dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      // Perturb quadrant probabilities per level (PaRMAT's noise option)
+      // to avoid the exact self-similarity artifacts of vanilla R-MAT.
+      const double na = params.a * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nb = params.b * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nc = params.c * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nd = d * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double r = rng.uniform() * total;
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // top-left: no bits set
+      } else if (r < na + nb) {
+        dst |= 1;
+      } else if (r < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    builder.add_edge(src, dst, params.weighted ? random_weight(rng) : 1.0f);
+  }
+
+  BuildOptions opts;
+  opts.keep_weights = params.weighted;
+  return std::move(builder).build(opts);
+}
+
+CsrGraph generate_erdos_renyi(const ErdosRenyiParams& params) {
+  Xoshiro256 rng(params.seed);
+  GraphBuilder builder(params.num_vertices);
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    const VertexId src = rng.bounded(params.num_vertices);
+    const VertexId dst = rng.bounded(params.num_vertices);
+    builder.add_edge(src, dst, params.weighted ? random_weight(rng) : 1.0f);
+  }
+  BuildOptions opts;
+  opts.keep_weights = params.weighted;
+  return std::move(builder).build(opts);
+}
+
+ZipfSampler::ZipfSampler(VertexId n, double exponent) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = sum;
+  }
+  for (double& x : cdf_) x /= sum;
+}
+
+VertexId ZipfSampler::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<VertexId>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size() - 1)));
+}
+
+CsrGraph generate_zipf(const ZipfParams& params) {
+  Xoshiro256 rng(params.seed);
+  const VertexId n = params.num_vertices;
+
+  // Out-degrees: Zipf over a random permutation of vertices so hubs are not
+  // clustered at low IDs (the partitioner must find them, not assume them).
+  std::vector<double> mass(n);
+  double total_mass = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    mass[i] = 1.0 / std::pow(static_cast<double>(i + 1), params.exponent);
+    total_mass += mass[i];
+  }
+  std::vector<VertexId> perm(n);
+  for (VertexId i = 0; i < n; ++i) perm[i] = i;
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  }
+
+  std::vector<EdgeId> out_degree(n, 0);
+  EdgeId assigned = 0;
+  for (VertexId rank = 0; rank < n; ++rank) {
+    const auto deg = static_cast<EdgeId>(
+        std::floor(mass[rank] / total_mass * static_cast<double>(params.num_edges)));
+    out_degree[perm[rank]] = deg;
+    assigned += deg;
+  }
+  // Distribute rounding remainder uniformly.
+  while (assigned < params.num_edges) {
+    ++out_degree[rng.bounded(n)];
+    ++assigned;
+  }
+
+  ZipfSampler dst_sampler(n, params.exponent * 0.75);  // milder in-degree skew
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId e = 0; e < out_degree[v]; ++e) {
+      VertexId dst = perm[dst_sampler.sample(rng)];
+      if (params.hub_fraction > 0.0 && rng.chance(params.hub_fraction)) {
+        dst = perm[rng.bounded(std::max<VertexId>(1, n / 1000))];
+      }
+      builder.add_edge(v, dst, params.weighted ? random_weight(rng) : 1.0f);
+    }
+  }
+  BuildOptions opts;
+  opts.keep_weights = params.weighted;
+  return std::move(builder).build(opts);
+}
+
+}  // namespace fw::graph

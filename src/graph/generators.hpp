@@ -1,0 +1,66 @@
+// Synthetic graph generators.
+//
+// The paper's R2B/R8B graphs are PaRMAT R-MAT graphs; we implement the same
+// recursive-matrix generator. Real graphs (Twitter / Friendster / ClueWeb)
+// are replaced by scaled synthetics that preserve the structural properties
+// the paper's evaluation leans on (see DESIGN.md §3): power-law degrees for
+// hot subgraphs & dense vertices, and ClueWeb's high |V|/|E| sparsity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace fw::graph {
+
+struct RmatParams {
+  VertexId num_vertices = 1 << 16;  ///< rounded up to a power of two
+  EdgeId num_edges = 1 << 20;
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c (Graph500 defaults)
+  double noise = 0.05;                  ///< per-level probability perturbation
+  bool weighted = false;
+  std::uint64_t seed = 1;
+};
+
+/// Recursive-matrix (R-MAT) generator à la PaRMAT/Graph500.
+CsrGraph generate_rmat(const RmatParams& params);
+
+struct ErdosRenyiParams {
+  VertexId num_vertices = 1 << 14;
+  EdgeId num_edges = 1 << 18;
+  bool weighted = false;
+  std::uint64_t seed = 1;
+};
+
+/// Uniform random (Erdős–Rényi G(n, m)) generator.
+CsrGraph generate_erdos_renyi(const ErdosRenyiParams& params);
+
+struct ZipfParams {
+  VertexId num_vertices = 1 << 16;
+  EdgeId num_edges = 1 << 20;
+  double exponent = 1.8;      ///< out-degree Zipf exponent
+  double hub_fraction = 0.0;  ///< extra mass routed to the first vertices
+  bool weighted = false;
+  std::uint64_t seed = 1;
+};
+
+/// Power-law out-degree graph with Zipf-distributed destination popularity;
+/// produces the skew (a few very dense vertices) that exercises dense-vertex
+/// splitting and pre-walking.
+CsrGraph generate_zipf(const ZipfParams& params);
+
+/// Zipf destination sampler (shared with tests): returns a vertex with
+/// probability proportional to 1 / (rank+1)^exponent via rejection-free
+/// inverse-CDF over a precomputed table.
+class ZipfSampler {
+ public:
+  ZipfSampler(VertexId n, double exponent);
+  VertexId sample(Xoshiro256& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace fw::graph

@@ -1,0 +1,38 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fw::graph {
+
+GraphStats compute_stats(const CsrGraph& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  s.csr_size_bytes = graph.csr_size_bytes();
+  s.text_size_bytes = graph.text_size_bytes();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<EdgeId> out(s.num_vertices);
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    out[v] = graph.out_degree(v);
+    if (out[v] == 0) ++s.zero_out_degree_vertices;
+    s.max_out_degree = std::max(s.max_out_degree, out[v]);
+  }
+  s.avg_out_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+
+  const auto in = graph.compute_in_degrees();
+  s.max_in_degree = in.empty() ? 0 : *std::max_element(in.begin(), in.end());
+
+  std::sort(out.begin(), out.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, out.size() / 100);
+  EdgeId top_edges = 0;
+  for (std::size_t i = 0; i < top; ++i) top_edges += out[i];
+  s.top1pct_edge_share =
+      s.num_edges == 0 ? 0.0
+                       : static_cast<double>(top_edges) / static_cast<double>(s.num_edges);
+  return s;
+}
+
+}  // namespace fw::graph

@@ -1,0 +1,27 @@
+// Structural statistics used by Table IV and the dataset sanity tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "graph/csr.hpp"
+
+namespace fw::graph {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::uint64_t csr_size_bytes = 0;
+  std::uint64_t text_size_bytes = 0;
+  double avg_out_degree = 0.0;
+  EdgeId max_out_degree = 0;
+  EdgeId max_in_degree = 0;
+  VertexId zero_out_degree_vertices = 0;
+  /// Fraction of all edges owned by the top 1% of vertices by out-degree —
+  /// the skew measure behind the hot-subgraph optimization.
+  double top1pct_edge_share = 0.0;
+};
+
+GraphStats compute_stats(const CsrGraph& graph);
+
+}  // namespace fw::graph

@@ -1,0 +1,123 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace fw::graph {
+
+CsrGraph reverse(const CsrGraph& g) {
+  GraphBuilder b(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.weighted()) {
+      const auto nbrs = g.neighbors(v);
+      const auto w = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) b.add_edge(nbrs[i], v, w[i]);
+    } else {
+      for (VertexId u : g.neighbors(v)) b.add_edge(u, v);
+    }
+  }
+  BuildOptions opts;
+  opts.keep_weights = g.weighted();
+  return std::move(b).build(opts);
+}
+
+CsrGraph symmetrize(const CsrGraph& g) {
+  GraphBuilder b(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) b.add_edge(v, u);
+  }
+  BuildOptions opts;
+  opts.symmetrize = true;
+  opts.deduplicate = true;
+  return std::move(b).build(opts);
+}
+
+CsrGraph relabel(const CsrGraph& g, const std::vector<VertexId>& new_id) {
+  if (new_id.size() != g.num_vertices()) {
+    throw std::invalid_argument("relabel: permutation size mismatch");
+  }
+  GraphBuilder b(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.weighted()) {
+      const auto nbrs = g.neighbors(v);
+      const auto w = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        b.add_edge(new_id[v], new_id[nbrs[i]], w[i]);
+      }
+    } else {
+      for (VertexId u : g.neighbors(v)) b.add_edge(new_id[v], new_id[u]);
+    }
+  }
+  BuildOptions opts;
+  opts.keep_weights = g.weighted();
+  return std::move(b).build(opts);
+}
+
+std::vector<VertexId> bfs_order(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  VertexId next = 0;
+
+  VertexId root = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.out_degree(v) > g.out_degree(root)) root = v;
+  }
+  std::deque<VertexId> frontier;
+  auto visit = [&](VertexId v) {
+    if (new_id[v] == kInvalidVertex) {
+      new_id[v] = next++;
+      frontier.push_back(v);
+    }
+  };
+  visit(root);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop_front();
+    for (VertexId u : g.neighbors(v)) visit(u);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (new_id[v] == kInvalidVertex) new_id[v] = next++;
+  }
+  return new_id;
+}
+
+std::vector<VertexId> degree_order(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    return g.out_degree(a) > g.out_degree(b);
+  });
+  std::vector<VertexId> new_id(n);
+  for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
+  return new_id;
+}
+
+std::vector<VertexId> random_order(const CsrGraph& g, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> new_id(n);
+  std::iota(new_id.begin(), new_id.end(), 0u);
+  Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(new_id[i - 1], new_id[rng.bounded(i)]);
+  }
+  return new_id;
+}
+
+double edge_locality(const CsrGraph& g, VertexId span) {
+  if (g.num_edges() == 0 || span == 0) return 0.0;
+  std::uint64_t local = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      local += (v / span) == (u / span);
+    }
+  }
+  return static_cast<double>(local) / static_cast<double>(g.num_edges());
+}
+
+}  // namespace fw::graph

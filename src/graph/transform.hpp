@@ -1,0 +1,42 @@
+// Graph transformations: reversal, symmetrization, relabeling.
+//
+// Relabeling matters to FlashWalker specifically: subgraphs are contiguous
+// vertex-ID ranges, so a labeling that puts connected vertices near each
+// other (BFS / degree order) increases the chance a hop stays inside the
+// loaded subgraph — fewer roving walks, less channel traffic. The
+// `ablation_reordering` bench measures this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace fw::graph {
+
+/// Reverse every edge (in-edges become out-edges).
+CsrGraph reverse(const CsrGraph& g);
+
+/// Make the graph symmetric (add missing reverse edges, deduplicated).
+CsrGraph symmetrize(const CsrGraph& g);
+
+/// Apply a vertex relabeling: `new_id[v]` is v's ID in the result. Must be
+/// a permutation of [0, num_vertices).
+CsrGraph relabel(const CsrGraph& g, const std::vector<VertexId>& new_id);
+
+/// BFS ordering from the highest-out-degree vertex (unreached vertices are
+/// appended in ID order). Returns the new_id permutation for relabel().
+std::vector<VertexId> bfs_order(const CsrGraph& g);
+
+/// Descending-out-degree ordering (hubs first — clusters the hot vertices
+/// into few subgraphs).
+std::vector<VertexId> degree_order(const CsrGraph& g);
+
+/// Random permutation (the locality-destroying control).
+std::vector<VertexId> random_order(const CsrGraph& g, std::uint64_t seed);
+
+/// Fraction of edges whose endpoints fall in the same `span`-sized ID range
+/// — a cheap proxy for how often a hop stays inside a subgraph.
+double edge_locality(const CsrGraph& g, VertexId span);
+
+}  // namespace fw::graph

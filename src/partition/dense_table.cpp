@@ -1,0 +1,55 @@
+#include "partition/dense_table.hpp"
+
+#include <algorithm>
+
+namespace fw::partition {
+
+DenseVertexTable::DenseVertexTable(const PartitionedGraph& pg, double bloom_fpr)
+    : bloom_([&] {
+        std::size_t dense_count = 0;
+        VertexId prev = kInvalidVertex;
+        for (const Subgraph& sg : pg.subgraphs()) {
+          if (sg.dense && sg.low_vid != prev) {
+            ++dense_count;
+            prev = sg.low_vid;
+          }
+        }
+        return std::max<std::size_t>(dense_count, 1);
+      }(), bloom_fpr),
+      id_bytes_(pg.id_bytes()) {
+  const auto& sgs = pg.subgraphs();
+  for (std::size_t i = 0; i < sgs.size(); ++i) {
+    const Subgraph& sg = sgs[i];
+    if (!sg.dense || sg.dense_block_index != 0) continue;
+    DenseVertexMeta meta;
+    meta.first_sgid = sg.id;
+    meta.out_degree = pg.graph().out_degree(sg.low_vid);
+    std::size_t j = i;
+    while (j < sgs.size() && sgs[j].dense && sgs[j].low_vid == sg.low_vid) ++j;
+    meta.num_blocks = static_cast<std::uint32_t>(j - i);
+    meta.last_block_degree = sgs[j - 1].sum_out_degree();
+    table_.emplace(sg.low_vid, meta);
+    bloom_.insert(sg.low_vid);
+  }
+}
+
+DenseVertexTable::Result DenseVertexTable::lookup(VertexId v) const {
+  Result r;
+  r.bloom_positive = bloom_.may_contain(v);
+  if (!r.bloom_positive) return r;
+  const auto it = table_.find(v);
+  if (it == table_.end()) {
+    r.bloom_false_positive = true;
+    return r;
+  }
+  r.meta = it->second;
+  return r;
+}
+
+std::uint64_t DenseVertexTable::table_bytes() const {
+  // Per entry: vertex ID + {num_blocks, first block ID, last-block degree}.
+  const std::uint64_t per_entry = id_bytes_ + 4 + 4 + 4;
+  return bloom_.byte_size() + per_entry * table_.size();
+}
+
+}  // namespace fw::partition

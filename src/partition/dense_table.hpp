@@ -1,0 +1,50 @@
+// Dense vertices mapping table (paper §III.D "Pre-walking for a Dense
+// Vertex"): a Bloom filter plus a hash table of per-dense-vertex graph-block
+// metadata. The guider consults the Bloom filter first — a false positive
+// merely costs one failed hash probe, so correctness is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bloom.hpp"
+#include "partition/partitioned_graph.hpp"
+
+namespace fw::partition {
+
+/// Metadata the paper stores per dense vertex: the number of graph blocks,
+/// the first block's ID, and the out-degree of the last (partial) block.
+struct DenseVertexMeta {
+  std::uint32_t num_blocks = 0;
+  SubgraphId first_sgid = kInvalidSubgraph;
+  std::uint64_t out_degree = 0;
+  EdgeId last_block_degree = 0;
+};
+
+class DenseVertexTable {
+ public:
+  explicit DenseVertexTable(const PartitionedGraph& pg, double bloom_fpr = 0.01);
+
+  struct Result {
+    std::optional<DenseVertexMeta> meta;
+    bool bloom_positive = false;      ///< filter said "maybe"
+    bool bloom_false_positive = false;  ///< it said "maybe" but the table missed
+  };
+
+  [[nodiscard]] Result lookup(VertexId v) const;
+
+  /// Fast-path membership check only.
+  [[nodiscard]] bool may_be_dense(VertexId v) const { return bloom_.may_contain(v); }
+
+  [[nodiscard]] std::size_t num_dense_vertices() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t table_bytes() const;
+  [[nodiscard]] const BloomFilter& bloom() const { return bloom_; }
+
+ private:
+  BloomFilter bloom_;
+  std::unordered_map<VertexId, DenseVertexMeta> table_;
+  std::size_t id_bytes_;
+};
+
+}  // namespace fw::partition

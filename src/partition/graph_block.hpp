@@ -1,0 +1,46 @@
+// Graph-block layout (paper §III.D "Subgraph Mapping Table"):
+//
+//   "A subgraph stores its vertices and their out-edges in a flash memory
+//    block with the fixed size and the flash memory block is referred to as
+//    a graph block. Therefore, a subgraph contains varied number of vertices
+//    since it has different number of out-edges."
+//
+// A *dense* vertex whose edge list alone exceeds a graph block is split
+// across several consecutive graph blocks (each becomes its own subgraph
+// with low == high == the dense vertex) — the precondition for pre-walking.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fw::partition {
+
+struct Subgraph {
+  SubgraphId id = kInvalidSubgraph;
+  VertexId low_vid = 0;       ///< first vertex covered (inclusive)
+  VertexId high_vid = 0;      ///< last vertex covered (inclusive)
+  EdgeId edge_begin = 0;      ///< global CSR edge range [begin, end)
+  EdgeId edge_end = 0;
+  bool dense = false;         ///< one block of a split dense vertex
+  std::uint32_t dense_block_index = 0;  ///< position within the dense vertex's block list
+  std::uint64_t payload_bytes = 0;      ///< stored offsets + edges (+ weights)
+
+  [[nodiscard]] EdgeId sum_out_degree() const { return edge_end - edge_begin; }
+  [[nodiscard]] VertexId vertex_count() const { return high_vid - low_vid + 1; }
+};
+
+struct PartitionConfig {
+  /// Graph-block capacity. Paper: 256 KB (512 KB for ClueWeb); scaled down
+  /// by default so subgraph counts stay proportional on scaled graphs.
+  std::uint64_t block_capacity_bytes = 64 * 1024;
+  /// Subgraphs per graph partition (fixed, except the last; paper §III.D).
+  std::uint32_t subgraphs_per_partition = 256;
+  /// Subgraphs per range in the channel-level approximate-search table
+  /// (paper uses 256 as the example reduction factor).
+  std::uint32_t subgraphs_per_range = 64;
+  /// Store edge weights (biased random walk / ITS).
+  bool weighted = false;
+};
+
+}  // namespace fw::partition

@@ -1,0 +1,81 @@
+#include "partition/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+
+namespace fw::partition {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'W', 'P', 'A', 'R', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("partition bundle: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_partitioned(const PartitionedGraph& pg, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const PartitionConfig& cfg = pg.config();
+  write_pod(os, cfg.block_capacity_bytes);
+  write_pod(os, cfg.subgraphs_per_partition);
+  write_pod(os, cfg.subgraphs_per_range);
+  write_pod(os, static_cast<std::uint8_t>(cfg.weighted));
+  // Checksums the loader verifies after re-partitioning.
+  write_pod(os, static_cast<std::uint64_t>(pg.num_subgraphs()));
+  write_pod(os, static_cast<std::uint64_t>(pg.num_partitions()));
+  graph::save_binary(pg.graph(), os);
+  if (!os) throw std::runtime_error("partition bundle: write failed");
+}
+
+PartitionedBundle load_partitioned(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("partition bundle: bad magic");
+  }
+  PartitionConfig cfg;
+  cfg.block_capacity_bytes = read_pod<std::uint64_t>(is);
+  cfg.subgraphs_per_partition = read_pod<std::uint32_t>(is);
+  cfg.subgraphs_per_range = read_pod<std::uint32_t>(is);
+  cfg.weighted = read_pod<std::uint8_t>(is) != 0;
+  const auto expect_subgraphs = read_pod<std::uint64_t>(is);
+  const auto expect_partitions = read_pod<std::uint64_t>(is);
+
+  PartitionedBundle bundle;
+  bundle.graph = std::make_unique<graph::CsrGraph>(graph::load_binary(is));
+  bundle.partitioned = std::make_unique<PartitionedGraph>(*bundle.graph, cfg);
+  if (bundle.partitioned->num_subgraphs() != expect_subgraphs ||
+      bundle.partitioned->num_partitions() != expect_partitions) {
+    throw std::runtime_error(
+        "partition bundle: layout checksum mismatch (corrupt file or "
+        "incompatible partitioner version)");
+  }
+  return bundle;
+}
+
+void save_partitioned_file(const PartitionedGraph& pg, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_partitioned(pg, os);
+}
+
+PartitionedBundle load_partitioned_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_partitioned(is);
+}
+
+}  // namespace fw::partition

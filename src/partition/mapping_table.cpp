@@ -1,0 +1,107 @@
+#include "partition/mapping_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace fw::partition {
+
+SubgraphMappingTable::SubgraphMappingTable(
+    const PartitionedGraph& pg, const std::vector<std::uint64_t>& first_flash_page)
+    : subgraphs_per_range_(pg.config().subgraphs_per_range), id_bytes_(pg.id_bytes()) {
+  const auto& sgs = pg.subgraphs();
+  if (first_flash_page.size() != sgs.size()) {
+    throw std::invalid_argument("mapping table: flash placement size mismatch");
+  }
+  entries_.reserve(sgs.size());
+  for (const Subgraph& sg : sgs) {
+    entries_.push_back(MappingEntry{sg.low_vid, sg.high_vid, sg.id, first_flash_page[sg.id],
+                                    sg.sum_out_degree(), sg.dense});
+  }
+  for (std::uint32_t first = 0; first < entries_.size(); first += subgraphs_per_range_) {
+    const auto count = std::min<std::uint32_t>(
+        subgraphs_per_range_, static_cast<std::uint32_t>(entries_.size()) - first);
+    ranges_.push_back(Range{entries_[first].low_vid,
+                            entries_[first + count - 1].high_vid, first, count});
+  }
+}
+
+Lookup SubgraphMappingTable::search_span(VertexId v, std::uint32_t first,
+                                         std::uint32_t count) const {
+  Lookup result;
+  std::uint32_t lo = first;
+  std::uint32_t hi = first + count;  // exclusive
+  while (lo < hi) {
+    ++result.steps;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const MappingEntry& e = entries_[mid];
+    if (v < e.low_vid) {
+      hi = mid;
+    } else if (v > e.high_vid) {
+      lo = mid + 1;
+    } else {
+      // Dense vertices span several consecutive entries with equal
+      // low/high; report the first block (pre-walking resolves the rest).
+      // The back-scan deliberately crosses the span start: a dense vertex's
+      // blocks may straddle a range boundary, and the first block is the
+      // canonical answer regardless of which range matched.
+      std::uint32_t idx = mid;
+      while (idx > 0 && entries_[idx - 1].low_vid == e.low_vid &&
+             entries_[idx - 1].high_vid == e.high_vid) {
+        ++result.steps;
+        --idx;
+      }
+      result.sgid = entries_[idx].sgid;
+      return result;
+    }
+  }
+  return result;
+}
+
+Lookup SubgraphMappingTable::find(VertexId v) const {
+  return search_span(v, 0, static_cast<std::uint32_t>(entries_.size()));
+}
+
+RangeLookup SubgraphMappingTable::find_range(VertexId v) const {
+  RangeLookup result;
+  std::uint32_t lo = 0;
+  auto hi = static_cast<std::uint32_t>(ranges_.size());
+  while (lo < hi) {
+    ++result.steps;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const Range& r = ranges_[mid];
+    if (v < r.low_vid) {
+      hi = mid;
+    } else if (v > r.high_vid) {
+      lo = mid + 1;
+    } else {
+      result.range_id = mid;
+      return result;
+    }
+  }
+  return result;
+}
+
+Lookup SubgraphMappingTable::find_in_range(VertexId v, std::uint32_t range_id) const {
+  if (range_id >= ranges_.size()) return {};
+  const Range& r = ranges_[range_id];
+  return search_span(v, r.first_entry, r.count);
+}
+
+std::uint64_t SubgraphMappingTable::table_bytes() const {
+  // Per entry (paper): two end vertices, a flash address, sum of out-degree.
+  const std::uint64_t per_entry = 2 * id_bytes_ + 4 + 4;
+  return per_entry * entries_.size();
+}
+
+std::uint64_t SubgraphMappingTable::range_table_bytes() const {
+  // Per range entry: low-end and high-end vertex IDs.
+  return 2 * id_bytes_ * ranges_.size();
+}
+
+std::uint32_t SubgraphMappingTable::max_search_steps() const {
+  return entries_.empty()
+             ? 0
+             : static_cast<std::uint32_t>(std::bit_width(entries_.size() - 1) + 1);
+}
+
+}  // namespace fw::partition

@@ -1,0 +1,97 @@
+// Subgraph mapping table + subgraph range mapping table (paper §III.C/D).
+//
+// The board-level accelerator resolves a walk's destination subgraph by
+// binary-searching a table sorted by each subgraph's low-end vertex. Every
+// lookup returns the number of search *steps* taken so the engine can charge
+// guider cycles; the channel-level "approximate walk search" narrows a later
+// board-level search to one range of consecutive subgraphs, trading a cheap
+// small-table search for most of the big-table steps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "partition/partitioned_graph.hpp"
+
+namespace fw::partition {
+
+struct MappingEntry {
+  VertexId low_vid;
+  VertexId high_vid;
+  SubgraphId sgid;
+  std::uint64_t flash_page;      ///< first flash page of the graph block
+  std::uint64_t sum_out_degree;  ///< paper: stored per entry
+  bool dense;
+};
+
+struct Lookup {
+  SubgraphId sgid = kInvalidSubgraph;
+  std::uint32_t steps = 0;  ///< binary-search probes performed
+  [[nodiscard]] bool found() const { return sgid != kInvalidSubgraph; }
+};
+
+struct RangeLookup {
+  std::uint32_t range_id = ~0u;
+  std::uint32_t steps = 0;
+  [[nodiscard]] bool found() const { return range_id != ~0u; }
+};
+
+class SubgraphMappingTable {
+ public:
+  /// Builds entries for every subgraph; `flash_page_of(sgid)` supplies the
+  /// physical placement recorded in each entry.
+  SubgraphMappingTable(const PartitionedGraph& pg,
+                       const std::vector<std::uint64_t>& first_flash_page);
+
+  /// Full-table binary search (board-level, no range hint). For a dense
+  /// vertex this returns its *first* block; pre-walking picks the real one.
+  [[nodiscard]] Lookup find(VertexId v) const;
+
+  /// Approximate walk search (channel-level): which subgraph *range* holds v.
+  [[nodiscard]] RangeLookup find_range(VertexId v) const;
+
+  /// Board-level search constrained to one range (tagged roving walks).
+  [[nodiscard]] Lookup find_in_range(VertexId v, std::uint32_t range_id) const;
+
+  [[nodiscard]] const std::vector<MappingEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::uint32_t num_ranges() const {
+    return static_cast<std::uint32_t>(ranges_.size());
+  }
+
+  /// The entry-index span [first, first + count) of a range — used by the
+  /// channel-level foreigner check (paper §III.C: the range table "can also
+  /// decide whether a walk is in the current graph partition").
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> range_span(
+      std::uint32_t range_id) const {
+    const Range& r = ranges_[range_id];
+    return {r.first_entry, r.count};
+  }
+  [[nodiscard]] std::uint32_t subgraphs_per_range() const { return subgraphs_per_range_; }
+
+  /// SRAM footprint of the full table / range table (entry sizes follow the
+  /// paper's field lists).
+  [[nodiscard]] std::uint64_t table_bytes() const;
+  [[nodiscard]] std::uint64_t range_table_bytes() const;
+
+  /// Worst-case binary-search step count (ceil log2 of entry count).
+  [[nodiscard]] std::uint32_t max_search_steps() const;
+
+ private:
+  struct Range {
+    VertexId low_vid;
+    VertexId high_vid;
+    std::uint32_t first_entry;  ///< index into entries_
+    std::uint32_t count;
+  };
+
+  [[nodiscard]] Lookup search_span(VertexId v, std::uint32_t first,
+                                   std::uint32_t count) const;
+
+  std::vector<MappingEntry> entries_;  // sorted by low_vid (construction order)
+  std::vector<Range> ranges_;
+  std::uint32_t subgraphs_per_range_;
+  std::size_t id_bytes_;
+};
+
+}  // namespace fw::partition

@@ -1,0 +1,328 @@
+#include "rw/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fw::rw {
+namespace {
+
+SampleResult next_hop(const graph::CsrGraph& g, VertexId v, VertexId prev,
+                      const WalkSpec& spec, const ItsTable* its, Xoshiro256& rng) {
+  if (spec.second_order.enabled && prev != kInvalidVertex && g.out_degree(v) > 0) {
+    return sample_second_order(g, prev, v, g.offsets()[v], g.offsets()[v + 1],
+                               {spec.second_order.p, spec.second_order.q}, rng);
+  }
+  if (spec.biased && its != nullptr) return its->sample(g, v, rng);
+  return sample_unbiased(g, v, rng);
+}
+
+}  // namespace
+
+std::vector<VertexId> walk_path(const graph::CsrGraph& g, VertexId start,
+                                const WalkSpec& spec, Xoshiro256& rng,
+                                const ItsTable* its) {
+  std::vector<VertexId> path{start};
+  VertexId cur = start;
+  VertexId prev = kInvalidVertex;
+  for (std::uint32_t hop = 0; hop < spec.length; ++hop) {
+    if (spec.stop_prob > 0.0 && rng.chance(spec.stop_prob)) break;
+    const SampleResult s = next_hop(g, cur, prev, spec, its, rng);
+    if (s.next == kInvalidVertex) {
+      if (spec.dead_end == WalkSpec::DeadEnd::kRestart) {
+        cur = start;
+        prev = kInvalidVertex;
+        path.push_back(cur);
+        continue;
+      }
+      break;
+    }
+    prev = cur;
+    cur = s.next;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+WalkSummary run_walks(const graph::CsrGraph& g, const WalkSpec& spec, const ItsTable* its) {
+  WalkSummary summary;
+  summary.visit_counts.assign(g.num_vertices(), 0);
+  Xoshiro256 rng(spec.seed);
+
+  auto one_walk = [&](VertexId start) {
+    ++summary.walks;
+    VertexId cur = start;
+    VertexId prev = kInvalidVertex;
+    for (std::uint32_t hop = 0; hop < spec.length; ++hop) {
+      if (spec.stop_prob > 0.0 && rng.chance(spec.stop_prob)) return;
+      const SampleResult s = next_hop(g, cur, prev, spec, its, rng);
+      if (s.next == kInvalidVertex) {
+        if (spec.dead_end == WalkSpec::DeadEnd::kRestart) {
+          cur = start;
+          prev = kInvalidVertex;
+          continue;
+        }
+        ++summary.dead_ends;
+        return;
+      }
+      prev = cur;
+      cur = s.next;
+      ++summary.total_hops;
+      ++summary.visit_counts[cur];
+    }
+  };
+
+  switch (spec.start_mode) {
+    case StartMode::kAllVertices:
+      for (VertexId v = 0; v < g.num_vertices(); ++v) one_walk(v);
+      break;
+    case StartMode::kUniformRandom:
+      for (std::uint64_t i = 0; i < spec.num_walks; ++i) {
+        one_walk(rng.bounded(g.num_vertices()));
+      }
+      break;
+    case StartMode::kSingleSource:
+      for (std::uint64_t i = 0; i < spec.num_walks; ++i) one_walk(spec.source);
+      break;
+  }
+  return summary;
+}
+
+std::vector<std::vector<VertexId>> deepwalk_corpus(const graph::CsrGraph& g,
+                                                   const DeepWalkParams& params) {
+  Xoshiro256 rng(params.seed);
+  WalkSpec spec;
+  spec.length = params.walk_length;
+  std::vector<std::vector<VertexId>> corpus;
+  corpus.reserve(g.num_vertices() * params.walks_per_vertex);
+  for (std::uint32_t r = 0; r < params.walks_per_vertex; ++r) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      corpus.push_back(walk_path(g, v, spec, rng));
+    }
+  }
+  return corpus;
+}
+
+std::vector<std::pair<VertexId, double>> personalized_pagerank(const graph::CsrGraph& g,
+                                                               const PprParams& params,
+                                                               std::size_t top_k) {
+  Xoshiro256 rng(params.seed);
+  std::vector<std::uint64_t> end_counts(g.num_vertices(), 0);
+  for (std::uint64_t i = 0; i < params.num_walks; ++i) {
+    VertexId cur = params.source;
+    for (std::uint32_t hop = 0; hop < params.max_hops; ++hop) {
+      if (rng.chance(params.restart_prob)) break;
+      const SampleResult s = sample_unbiased(g, cur, rng);
+      if (s.next == kInvalidVertex) break;  // dangling: walk ends here
+      cur = s.next;
+    }
+    ++end_counts[cur];
+  }
+  std::vector<std::pair<VertexId, double>> scores;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (end_counts[v] > 0) {
+      scores.emplace_back(v, static_cast<double>(end_counts[v]) /
+                                 static_cast<double>(params.num_walks));
+    }
+  }
+  std::sort(scores.begin(), scores.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (scores.size() > top_k) scores.resize(top_k);
+  return scores;
+}
+
+std::vector<std::vector<VertexId>> node2vec_walks(const graph::CsrGraph& g,
+                                                  const Node2VecParams& params) {
+  Xoshiro256 rng(params.seed);
+  // Rejection sampling (KnightKing): propose uniform neighbor t of cur;
+  // accept with prob w(t)/w_max where w(t) is 1/p if t == prev, 1 if t is a
+  // neighbor of prev, 1/q otherwise.
+  const double wp = 1.0 / params.p;
+  const double wq = 1.0 / params.q;
+  const double w_max = std::max({wp, 1.0, wq});
+
+  auto is_neighbor = [&](VertexId a, VertexId b) {
+    const auto nbrs = g.neighbors(a);
+    return std::binary_search(nbrs.begin(), nbrs.end(), b);
+  };
+
+  std::vector<std::vector<VertexId>> walks;
+  walks.reserve(g.num_vertices() * params.walks_per_vertex);
+  for (std::uint32_t r = 0; r < params.walks_per_vertex; ++r) {
+    for (VertexId start = 0; start < g.num_vertices(); ++start) {
+      std::vector<VertexId> path{start};
+      VertexId prev = kInvalidVertex;
+      VertexId cur = start;
+      while (path.size() <= params.walk_length) {
+        const EdgeId deg = g.out_degree(cur);
+        if (deg == 0) break;
+        VertexId chosen = kInvalidVertex;
+        // First hop is unbiased; later hops rejection-sample.
+        if (prev == kInvalidVertex) {
+          chosen = sample_unbiased(g, cur, rng).next;
+        } else {
+          for (int attempt = 0; attempt < 64 && chosen == kInvalidVertex; ++attempt) {
+            const VertexId t = sample_unbiased(g, cur, rng).next;
+            double w = wq;
+            if (t == prev) {
+              w = wp;
+            } else if (is_neighbor(prev, t)) {
+              w = 1.0;
+            }
+            if (rng.uniform() * w_max < w) chosen = t;
+          }
+          if (chosen == kInvalidVertex) chosen = sample_unbiased(g, cur, rng).next;
+        }
+        prev = cur;
+        cur = chosen;
+        path.push_back(cur);
+      }
+      walks.push_back(std::move(path));
+    }
+  }
+  return walks;
+}
+
+double simrank(const graph::CsrGraph& g, VertexId a, VertexId b,
+               const SimRankParams& params) {
+  if (a == b) return 1.0;
+  Xoshiro256 rng(params.seed);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < params.num_pairs; ++i) {
+    VertexId x = a, y = b;
+    for (std::uint32_t t = 1; t <= params.max_hops; ++t) {
+      const SampleResult sx = sample_unbiased(g, x, rng);
+      const SampleResult sy = sample_unbiased(g, y, rng);
+      if (sx.next == kInvalidVertex || sy.next == kInvalidVertex) break;
+      x = sx.next;
+      y = sy.next;
+      if (x == y) {
+        sum += std::pow(params.decay, static_cast<double>(t));
+        break;
+      }
+    }
+  }
+  return sum / static_cast<double>(params.num_pairs);
+}
+
+std::vector<VertexId> mhrw_sample_vertices(const graph::CsrGraph& g,
+                                           const SamplingParams& params) {
+  Xoshiro256 rng(params.seed);
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  std::unordered_set<VertexId> sampled;
+  // Start from a vertex with out-edges so the walk can move at all.
+  VertexId cur = rng.bounded(n);
+  std::uint64_t guard = 0;
+  while (g.out_degree(cur) == 0 && ++guard < n) cur = rng.bounded(n);
+
+  std::uint64_t stuck = 0;
+  while (sampled.size() < params.target_vertices && sampled.size() < n &&
+         stuck < 100 * params.target_vertices) {
+    sampled.insert(cur);
+    ++stuck;
+    const SampleResult s = sample_unbiased(g, cur, rng);
+    if (s.next == kInvalidVertex || g.out_degree(s.next) == 0) {
+      // Dead end or sink candidate: teleport to keep exploring.
+      cur = rng.bounded(n);
+      continue;
+    }
+    // Metropolis–Hastings acceptance removes the degree bias of plain
+    // random walks: accept with min(1, deg(cur)/deg(candidate)).
+    const double ratio = static_cast<double>(g.out_degree(cur)) /
+                         static_cast<double>(g.out_degree(s.next));
+    if (ratio >= 1.0 || rng.uniform() < ratio) cur = s.next;
+  }
+  return {sampled.begin(), sampled.end()};
+}
+
+std::vector<VertexId> forest_fire_sample(const graph::CsrGraph& g,
+                                         const ForestFireParams& params) {
+  Xoshiro256 rng(params.seed);
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  std::unordered_set<VertexId> burned;
+  std::vector<VertexId> frontier;
+
+  while (burned.size() < params.target_vertices && burned.size() < n) {
+    if (frontier.empty()) {
+      // Ignite a fresh unburned seed.
+      VertexId seed_v = rng.bounded(n);
+      std::uint64_t guard = 0;
+      while (burned.contains(seed_v) && ++guard < 4 * n) seed_v = rng.bounded(n);
+      if (burned.contains(seed_v)) break;
+      burned.insert(seed_v);
+      frontier.push_back(seed_v);
+    }
+    const VertexId v = frontier.back();
+    frontier.pop_back();
+    // Geometric fan-out: keep burning neighbors while the coin says so.
+    for (VertexId u : g.neighbors(v)) {
+      if (burned.size() >= params.target_vertices) break;
+      if (burned.contains(u)) continue;
+      if (!rng.chance(params.burn_prob)) break;
+      burned.insert(u);
+      frontier.push_back(u);
+    }
+  }
+  return {burned.begin(), burned.end()};
+}
+
+GraphletConcentration graphlet_concentration(const graph::CsrGraph& g,
+                                             const GraphletParams& params) {
+  Xoshiro256 rng(params.seed);
+  GraphletConcentration result;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return result;
+  for (std::uint64_t i = 0; i < params.num_samples; ++i) {
+    // Sample a 2-hop walk segment a -> b -> c with distinct endpoints, then
+    // check whether edge (a, c) closes the triangle.
+    const VertexId a = rng.bounded(n);
+    const SampleResult sb = sample_unbiased(g, a, rng);
+    if (sb.next == kInvalidVertex) continue;
+    const VertexId b = sb.next;
+    const SampleResult sc = sample_unbiased(g, b, rng);
+    if (sc.next == kInvalidVertex) continue;
+    const VertexId c = sc.next;
+    if (c == a || b == a || c == b) continue;
+    const auto nbrs = g.neighbors(a);
+    if (std::binary_search(nbrs.begin(), nbrs.end(), c)) {
+      ++result.triangles;
+    } else {
+      ++result.wedges;
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> rw_sample_vertices(const graph::CsrGraph& g,
+                                         const SamplingParams& params) {
+  Xoshiro256 rng(params.seed);
+  std::unordered_set<VertexId> sampled;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  VertexId anchor = rng.bounded(n);
+  VertexId cur = anchor;
+  std::uint64_t stuck = 0;
+  while (sampled.size() < params.target_vertices && sampled.size() < n &&
+         stuck < 50 * params.target_vertices) {
+    sampled.insert(cur);
+    ++stuck;
+    if (rng.chance(params.restart_prob)) {
+      cur = anchor;
+      continue;
+    }
+    const SampleResult s = sample_unbiased(g, cur, rng);
+    if (s.next == kInvalidVertex) {
+      // Dead end: restart from a fresh anchor to keep exploring.
+      anchor = rng.bounded(n);
+      cur = anchor;
+      continue;
+    }
+    cur = s.next;
+  }
+  return {sampled.begin(), sampled.end()};
+}
+
+}  // namespace fw::rw

@@ -1,0 +1,153 @@
+// Host-side reference implementations of the random-walk applications the
+// paper motivates (§I): DeepWalk corpus generation, Personalized PageRank,
+// node2vec sampling, SimRank estimation, and walk-based graph sampling.
+//
+// These run directly on the CSR (no timing model). The in-storage engine
+// executes the *same* walk semantics under a timing model; tests cross-check
+// the two (visit-distribution equivalence under a fixed spec).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "rw/sampler.hpp"
+#include "rw/spec.hpp"
+
+namespace fw::rw {
+
+/// One random walk from `start`; returns the visited path (including start).
+std::vector<VertexId> walk_path(const graph::CsrGraph& g, VertexId start,
+                                const WalkSpec& spec, Xoshiro256& rng,
+                                const ItsTable* its = nullptr);
+
+struct WalkSummary {
+  std::uint64_t walks = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t dead_ends = 0;  ///< walks cut short at a zero-out-degree vertex
+  std::vector<std::uint64_t> visit_counts;  ///< per-vertex visits (excl. starts)
+};
+
+/// Execute `spec` fully on the host; the ground truth the engines must match
+/// statistically.
+WalkSummary run_walks(const graph::CsrGraph& g, const WalkSpec& spec,
+                      const ItsTable* its = nullptr);
+
+// --- DeepWalk -------------------------------------------------------------
+
+struct DeepWalkParams {
+  std::uint32_t walks_per_vertex = 2;
+  std::uint32_t walk_length = 6;
+  std::uint64_t seed = 1;
+};
+
+/// The random-walk corpus DeepWalk feeds to skip-gram: one sequence per
+/// (vertex, repeat).
+std::vector<std::vector<VertexId>> deepwalk_corpus(const graph::CsrGraph& g,
+                                                   const DeepWalkParams& params);
+
+// --- Personalized PageRank --------------------------------------------------
+
+struct PprParams {
+  VertexId source = 0;
+  std::uint64_t num_walks = 10'000;
+  double restart_prob = 0.15;
+  std::uint32_t max_hops = 32;  ///< safety bound per walk
+  std::uint64_t seed = 1;
+};
+
+/// Monte-Carlo PPR: visit frequency of walk endpoints approximates the PPR
+/// vector of `source`. Returns (vertex, score) sorted by descending score.
+std::vector<std::pair<VertexId, double>> personalized_pagerank(const graph::CsrGraph& g,
+                                                               const PprParams& params,
+                                                               std::size_t top_k = 20);
+
+// --- node2vec ----------------------------------------------------------------
+
+struct Node2VecParams {
+  double p = 1.0;  ///< return parameter
+  double q = 1.0;  ///< in-out parameter
+  std::uint32_t walk_length = 6;
+  std::uint32_t walks_per_vertex = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Second-order biased walks via rejection sampling (KnightKing-style).
+std::vector<std::vector<VertexId>> node2vec_walks(const graph::CsrGraph& g,
+                                                  const Node2VecParams& params);
+
+// --- SimRank ------------------------------------------------------------------
+
+struct SimRankParams {
+  double decay = 0.8;
+  std::uint32_t max_hops = 10;
+  std::uint64_t num_pairs = 20'000;  ///< sampled walk pairs
+  std::uint64_t seed = 1;
+};
+
+/// Monte-Carlo SimRank s(a, b): expected decay^t of the first meeting time
+/// of two reverse walks. (Uses out-edges on the given graph; pass a reversed
+/// graph for textbook SimRank.)
+double simrank(const graph::CsrGraph& g, VertexId a, VertexId b,
+               const SimRankParams& params);
+
+// --- Graph sampling -------------------------------------------------------------
+
+struct SamplingParams {
+  std::uint64_t target_vertices = 1000;
+  std::uint32_t walk_length = 16;
+  double restart_prob = 0.15;
+  std::uint64_t seed = 1;
+};
+
+/// Random-walk-with-restart vertex sampling: returns the induced vertex set,
+/// a small representative sample of a large graph (paper §I's sampling use
+/// case).
+std::vector<VertexId> rw_sample_vertices(const graph::CsrGraph& g,
+                                         const SamplingParams& params);
+
+/// Metropolis–Hastings random-walk sampling: corrects the degree bias of a
+/// plain random walk (acceptance min(1, deg(cur)/deg(candidate))), yielding
+/// a near-uniform vertex sample from walk exploration alone. The correction
+/// assumes symmetric adjacency — pass an undirected (symmetrized) graph for
+/// the textbook guarantee.
+std::vector<VertexId> mhrw_sample_vertices(const graph::CsrGraph& g,
+                                           const SamplingParams& params);
+
+/// Forest-fire sampling: burn outward from random seeds with geometric
+/// fan-out (probability `burn_prob` per additional neighbor).
+struct ForestFireParams {
+  std::uint64_t target_vertices = 1000;
+  double burn_prob = 0.7;
+  std::uint64_t seed = 1;
+};
+std::vector<VertexId> forest_fire_sample(const graph::CsrGraph& g,
+                                         const ForestFireParams& params);
+
+// --- Graphlet concentration -----------------------------------------------------
+
+struct GraphletParams {
+  std::uint64_t num_samples = 50'000;  ///< sampled length-2 walk segments
+  std::uint64_t seed = 1;
+};
+
+struct GraphletConcentration {
+  std::uint64_t wedges = 0;     ///< open 3-node paths sampled
+  std::uint64_t triangles = 0;  ///< closed ones
+  /// Fraction of sampled connected 3-node subgraphs that are triangles —
+  /// the paper §I "Graphlet Concentration" use case, estimated with random
+  /// walks (each sample is a 2-hop walk segment; closure is checked against
+  /// the adjacency list).
+  [[nodiscard]] double triangle_concentration() const {
+    const auto total = wedges + triangles;
+    return total == 0 ? 0.0
+                      : static_cast<double>(triangles) / static_cast<double>(total);
+  }
+};
+
+GraphletConcentration graphlet_concentration(const graph::CsrGraph& g,
+                                             const GraphletParams& params);
+
+}  // namespace fw::rw

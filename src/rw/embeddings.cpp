@@ -1,0 +1,138 @@
+#include "rw/embeddings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fw::rw {
+namespace {
+
+double sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+EmbeddingModel::EmbeddingModel(VertexId num_vertices, const SkipGramParams& params)
+    : num_vertices_(num_vertices), params_(params), rng_(params.seed) {
+  const std::size_t total =
+      static_cast<std::size_t>(num_vertices) * params_.dimensions;
+  in_.resize(total);
+  out_.assign(total, 0.0f);
+  // word2vec-style init: uniform in [-0.5/dim, 0.5/dim).
+  const float scale = 1.0f / static_cast<float>(params_.dimensions);
+  for (auto& x : in_) {
+    x = (static_cast<float>(rng_.uniform()) - 0.5f) * scale;
+  }
+}
+
+std::span<const float> EmbeddingModel::embedding(VertexId v) const {
+  return {in_.data() + static_cast<std::size_t>(v) * params_.dimensions,
+          params_.dimensions};
+}
+
+void EmbeddingModel::train_pair(VertexId center, VertexId context, double lr,
+                                Xoshiro256& rng) {
+  const std::uint32_t dim = params_.dimensions;
+  float* vc = in_.data() + static_cast<std::size_t>(center) * dim;
+  std::vector<float> grad_center(dim, 0.0f);
+
+  auto update = [&](VertexId target, double label) {
+    float* vo = out_.data() + static_cast<std::size_t>(target) * dim;
+    double dot = 0;
+    for (std::uint32_t d = 0; d < dim; ++d) dot += vc[d] * vo[d];
+    const double g = (label - sigmoid(dot)) * lr;
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      grad_center[d] += static_cast<float>(g) * vo[d];
+      vo[d] += static_cast<float>(g) * vc[d];
+    }
+  };
+
+  update(context, 1.0);
+  for (std::uint32_t n = 0; n < params_.negatives; ++n) {
+    const VertexId neg = rng.bounded(num_vertices_);
+    if (neg == context) continue;
+    update(neg, 0.0);
+  }
+  for (std::uint32_t d = 0; d < dim; ++d) vc[d] += grad_center[d];
+}
+
+void EmbeddingModel::train_epoch(std::span<const std::vector<VertexId>> corpus,
+                                 double lr) {
+  for (const auto& walk : corpus) {
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      const std::size_t lo = i >= params_.window ? i - params_.window : 0;
+      const std::size_t hi = std::min(walk.size(), i + params_.window + 1);
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        train_pair(walk[i], walk[j], lr, rng_);
+      }
+    }
+  }
+}
+
+void EmbeddingModel::train(std::span<const std::vector<VertexId>> corpus) {
+  for (std::uint32_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const double progress =
+        params_.epochs <= 1 ? 0.0
+                            : static_cast<double>(epoch) / (params_.epochs - 1);
+    const double lr = params_.learning_rate +
+                      (params_.min_learning_rate - params_.learning_rate) * progress;
+    train_epoch(corpus, lr);
+  }
+}
+
+double EmbeddingModel::similarity(VertexId a, VertexId b) const {
+  const auto va = embedding(a);
+  const auto vb = embedding(b);
+  double dot = 0, na = 0, nb = 0;
+  for (std::uint32_t d = 0; d < params_.dimensions; ++d) {
+    dot += va[d] * vb[d];
+    na += va[d] * va[d];
+    nb += vb[d] * vb[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+std::vector<std::pair<VertexId, double>> EmbeddingModel::nearest(VertexId v,
+                                                                 std::size_t k) const {
+  std::vector<std::pair<VertexId, double>> scored;
+  scored.reserve(num_vertices_);
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    if (u != v) scored.emplace_back(u, similarity(v, u));
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(),
+                    [](const auto& a, const auto& b) { return a.second > b.second; });
+  scored.resize(k);
+  return scored;
+}
+
+double edge_similarity_gap(const EmbeddingModel& model, const graph::CsrGraph& g,
+                           std::size_t pairs, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  double edge_sum = 0, rand_sum = 0;
+  std::size_t edge_n = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const VertexId v = rng.bounded(g.num_vertices());
+    if (g.out_degree(v) > 0) {
+      const auto nbrs = g.neighbors(v);
+      const VertexId u = nbrs[rng.bounded(nbrs.size())];
+      if (u != v) {
+        edge_sum += model.similarity(v, u);
+        ++edge_n;
+      }
+    }
+    const VertexId a = rng.bounded(g.num_vertices());
+    const VertexId b = rng.bounded(g.num_vertices());
+    rand_sum += a == b ? 0.0 : model.similarity(a, b);
+  }
+  if (edge_n == 0) return 0.0;
+  return edge_sum / static_cast<double>(edge_n) -
+         rand_sum / static_cast<double>(pairs);
+}
+
+}  // namespace fw::rw

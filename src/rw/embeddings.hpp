@@ -1,0 +1,66 @@
+// Skip-gram with negative sampling over a random-walk corpus — the
+// downstream consumer that makes DeepWalk/node2vec walks useful (paper §I:
+// "learned node embeddings are used by the downstream machine learning
+// tasks"). A compact, dependency-free trainer: enough to validate
+// end-to-end that walks produced by the engines yield embeddings where
+// graph neighbors are closer than random pairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace fw::rw {
+
+struct SkipGramParams {
+  std::uint32_t dimensions = 32;
+  std::uint32_t window = 2;          ///< context radius within a walk
+  std::uint32_t negatives = 4;       ///< negative samples per positive pair
+  std::uint32_t epochs = 2;
+  double learning_rate = 0.025;
+  double min_learning_rate = 0.0005;
+  std::uint64_t seed = 1;
+};
+
+class EmbeddingModel {
+ public:
+  EmbeddingModel(VertexId num_vertices, const SkipGramParams& params);
+
+  /// One pass of SGD over the corpus (call per epoch, or use train()).
+  void train_epoch(std::span<const std::vector<VertexId>> corpus, double lr);
+
+  /// Full training schedule with linear learning-rate decay.
+  void train(std::span<const std::vector<VertexId>> corpus);
+
+  [[nodiscard]] std::span<const float> embedding(VertexId v) const;
+  [[nodiscard]] std::uint32_t dimensions() const { return params_.dimensions; }
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+
+  /// Cosine similarity of two vertices' embeddings.
+  [[nodiscard]] double similarity(VertexId a, VertexId b) const;
+
+  /// The `k` nearest vertices to `v` by cosine similarity (excluding v).
+  [[nodiscard]] std::vector<std::pair<VertexId, double>> nearest(VertexId v,
+                                                                 std::size_t k) const;
+
+ private:
+  void train_pair(VertexId center, VertexId context, double lr, Xoshiro256& rng);
+
+  VertexId num_vertices_;
+  SkipGramParams params_;
+  std::vector<float> in_;   ///< input (center) vectors, row-major
+  std::vector<float> out_;  ///< output (context) vectors
+  Xoshiro256 rng_;
+};
+
+/// Embedding-quality probe: mean similarity of `pairs` sampled graph edges
+/// minus mean similarity of random vertex pairs. Positive and large means
+/// the embedding captures structure.
+double edge_similarity_gap(const EmbeddingModel& model, const graph::CsrGraph& g,
+                           std::size_t pairs, std::uint64_t seed);
+
+}  // namespace fw::rw

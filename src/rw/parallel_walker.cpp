@@ -1,0 +1,124 @@
+#include "rw/parallel_walker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "rw/sampler.hpp"
+
+namespace fw::rw {
+namespace {
+
+/// Start vertices are drawn up front from the spec's master stream so the
+/// workload is identical to the single-threaded reference modes.
+std::vector<VertexId> draw_starts(const graph::CsrGraph& g, const WalkSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  std::vector<VertexId> starts;
+  switch (spec.start_mode) {
+    case StartMode::kAllVertices:
+      starts.resize(g.num_vertices());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) starts[v] = v;
+      break;
+    case StartMode::kUniformRandom:
+      starts.reserve(spec.num_walks);
+      for (std::uint64_t i = 0; i < spec.num_walks; ++i) {
+        starts.push_back(rng.bounded(g.num_vertices()));
+      }
+      break;
+    case StartMode::kSingleSource:
+      starts.assign(spec.num_walks, spec.source);
+      break;
+  }
+  return starts;
+}
+
+}  // namespace
+
+ParallelWalkResult run_walks_parallel(const graph::CsrGraph& g, const WalkSpec& spec,
+                                      const ParallelWalkOptions& opts,
+                                      const ItsTable* its) {
+  ParallelWalkResult result;
+  const auto starts = draw_starts(g, spec);
+  const std::uint64_t total = starts.size();
+
+  std::uint32_t threads = opts.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(total, 1)));
+  result.threads_used = threads;
+
+  result.summary.walks = total;
+  result.summary.visit_counts.assign(g.num_vertices(), 0);
+  if (opts.record_paths) result.paths.resize(total);
+
+  std::vector<WalkSummary> partial(threads);
+  std::atomic<std::uint64_t> next_shard{0};
+  const std::uint64_t shard = std::max<std::uint64_t>(1, total / (threads * 8) + 1);
+
+  auto worker = [&](std::uint32_t tid) {
+    WalkSummary& local = partial[tid];
+    local.visit_counts.assign(g.num_vertices(), 0);
+    for (;;) {
+      const std::uint64_t begin = next_shard.fetch_add(shard);
+      if (begin >= total) break;
+      const std::uint64_t end = std::min(total, begin + shard);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        // Per-walk stream: identical walks for any thread count.
+        Xoshiro256 rng(spec.seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+        VertexId cur = starts[i];
+        VertexId prev = kInvalidVertex;
+        std::vector<VertexId>* path = opts.record_paths ? &result.paths[i] : nullptr;
+        if (path != nullptr) path->push_back(cur);
+        for (std::uint32_t hop = 0; hop < spec.length; ++hop) {
+          if (spec.stop_prob > 0.0 && rng.chance(spec.stop_prob)) break;
+          SampleResult s;
+          if (spec.second_order.enabled && prev != kInvalidVertex &&
+              g.out_degree(cur) > 0) {
+            s = sample_second_order(g, prev, cur, g.offsets()[cur], g.offsets()[cur + 1],
+                                    {spec.second_order.p, spec.second_order.q}, rng);
+          } else if (spec.biased && its != nullptr) {
+            s = its->sample(g, cur, rng);
+          } else {
+            s = sample_unbiased(g, cur, rng);
+          }
+          if (s.next == kInvalidVertex) {
+            if (spec.dead_end == WalkSpec::DeadEnd::kRestart) {
+              cur = starts[i];
+              prev = kInvalidVertex;
+              continue;
+            }
+            ++local.dead_ends;
+            break;
+          }
+          prev = cur;
+          cur = s.next;
+          ++local.total_hops;
+          ++local.visit_counts[cur];
+          if (path != nullptr) path->push_back(cur);
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+
+  for (const auto& local : partial) {
+    result.summary.total_hops += local.total_hops;
+    result.summary.dead_ends += local.dead_ends;
+    for (std::size_t v = 0; v < local.visit_counts.size(); ++v) {
+      result.summary.visit_counts[v] += local.visit_counts[v];
+    }
+  }
+  return result;
+}
+
+}  // namespace fw::rw

@@ -1,0 +1,39 @@
+// Multithreaded host-side walk execution.
+//
+// The reference `run_walks` is single-threaded by design (it is the ground
+// truth the engines are checked against). This is the practical variant for
+// corpus generation at scale: walks are sharded across threads, each shard
+// draws from its own deterministically-derived RNG stream, and per-vertex
+// visit counts merge at the end — so results are reproducible for a fixed
+// (seed, thread count) pair and walk-exact regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "rw/algorithms.hpp"
+#include "rw/spec.hpp"
+
+namespace fw::rw {
+
+struct ParallelWalkResult {
+  WalkSummary summary;
+  /// Walk sequences, in start order (independent of thread interleaving).
+  std::vector<std::vector<VertexId>> paths;
+  std::uint32_t threads_used = 0;
+};
+
+struct ParallelWalkOptions {
+  std::uint32_t threads = 0;  ///< 0 = hardware concurrency
+  bool record_paths = false;
+};
+
+/// Execute `spec` with `opts.threads` worker threads. Walk i's randomness
+/// depends only on (spec.seed, i), so any thread count produces identical
+/// walks.
+ParallelWalkResult run_walks_parallel(const graph::CsrGraph& g, const WalkSpec& spec,
+                                      const ParallelWalkOptions& opts = {},
+                                      const ItsTable* its = nullptr);
+
+}  // namespace fw::rw

@@ -1,0 +1,120 @@
+#include "rw/sampler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace fw::rw {
+
+SampleResult sample_unbiased(const graph::CsrGraph& g, VertexId v, Xoshiro256& rng) {
+  const EdgeId deg = g.out_degree(v);
+  if (deg == 0) return {};
+  const auto nbrs = g.neighbors(v);
+  return {nbrs[static_cast<std::size_t>(rng.bounded(deg))], 0};
+}
+
+SampleResult sample_unbiased_slice(const graph::CsrGraph& g, EdgeId begin, EdgeId end,
+                                   Xoshiro256& rng) {
+  if (end <= begin) return {};
+  const EdgeId pick = begin + rng.bounded(end - begin);
+  return {g.edges()[pick], 0};
+}
+
+ItsTable::ItsTable(const graph::CsrGraph& g) {
+  if (!g.weighted()) {
+    throw std::invalid_argument("ItsTable requires a weighted graph");
+  }
+  // Cumulative sums restart at every vertex: cumulative_[e] is the weight
+  // sum of the vertex's edges up to and including e.
+  cumulative_.resize(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId begin = g.offsets()[v];
+    const EdgeId end = g.offsets()[v + 1];
+    double sum = 0.0;
+    for (EdgeId e = begin; e < end; ++e) {
+      sum += static_cast<double>(g.weights()[e]);
+      cumulative_[e] = sum;
+    }
+  }
+}
+
+namespace {
+
+/// Binary search the CL slice [begin, end) for the smallest index whose
+/// cumulative value (relative to `base`) exceeds a uniform draw.
+SampleResult its_search(const graph::CsrGraph& g, const std::vector<double>& cum,
+                        EdgeId begin, EdgeId end, double base, Xoshiro256& rng) {
+  if (end <= begin) return {};
+  const double total = cum[end - 1] - base;
+  const double rnd = rng.uniform() * total;
+  SampleResult result;
+  EdgeId lo = begin, hi = end;
+  while (lo < hi) {
+    ++result.search_steps;
+    const EdgeId mid = lo + (hi - lo) / 2;
+    if (rnd < cum[mid] - base) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.next = g.edges()[std::min(lo, end - 1)];
+  return result;
+}
+
+}  // namespace
+
+SampleResult ItsTable::sample(const graph::CsrGraph& g, VertexId v, Xoshiro256& rng) const {
+  return its_search(g, cumulative_, g.offsets()[v], g.offsets()[v + 1], /*base=*/0.0, rng);
+}
+
+SampleResult ItsTable::sample_slice(const graph::CsrGraph& g, EdgeId vertex_first_edge,
+                                    EdgeId begin, EdgeId end, Xoshiro256& rng) const {
+  if (end <= begin) return {};
+  const double base = begin == vertex_first_edge ? 0.0 : cumulative_[begin - 1];
+  return its_search(g, cumulative_, begin, end, base, rng);
+}
+
+SampleResult sample_second_order(const graph::CsrGraph& g, VertexId prev, VertexId cur,
+                                 EdgeId begin, EdgeId end, const SecondOrderSpecView& so,
+                                 Xoshiro256& rng, std::uint32_t max_attempts) {
+  (void)cur;
+  if (end <= begin) return {};
+  const double wp = 1.0 / so.p;
+  const double wq = 1.0 / so.q;
+  const double w_max = std::max({wp, 1.0, wq});
+  const auto prev_nbrs = g.neighbors(prev);
+
+  SampleResult result;
+  auto membership_steps = [&](std::size_t n) {
+    return n == 0 ? 1u : static_cast<std::uint32_t>(std::bit_width(n));
+  };
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const VertexId t = g.edges()[begin + rng.bounded(end - begin)];
+    double w = wq;
+    if (t == prev) {
+      w = wp;
+    } else {
+      result.search_steps += membership_steps(prev_nbrs.size());
+      if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(), t)) w = 1.0;
+    }
+    if (rng.uniform() * w_max < w) {
+      result.next = t;
+      return result;
+    }
+  }
+  // Rejection budget exhausted (pathological p/q): fall back to uniform so
+  // walks always make progress.
+  result.next = g.edges()[begin + rng.bounded(end - begin)];
+  return result;
+}
+
+std::uint32_t prewalk_block_choice(std::uint64_t rnd, EdgeId edges_per_block) {
+  return edges_per_block == 0 ? 0 : static_cast<std::uint32_t>(rnd / edges_per_block);
+}
+
+std::uint64_t prewalk_draw(EdgeId out_degree, Xoshiro256& rng) {
+  return out_degree == 0 ? 0 : rng.bounded(out_degree);
+}
+
+}  // namespace fw::rw

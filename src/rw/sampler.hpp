@@ -1,0 +1,81 @@
+// Neighbor sampling: the walk updater's step ③–⑥ (paper §III.B).
+//
+// Unbiased: rnd1 = uniform[0, outDegree), next = edges[offset + rnd1].
+// Biased:   Inverse Transform Sampling over the vertex's cumulative weight
+//           list CL — binary search for the smallest idx with rnd < CL[idx].
+// Pre-walk: for a dense vertex split over several graph blocks, choose the
+//           destination *block* first (∝ its edge count), so only that block
+//           ever needs loading.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace fw::rw {
+
+struct SampleResult {
+  VertexId next = kInvalidVertex;   ///< kInvalidVertex at a dead end
+  std::uint32_t search_steps = 0;   ///< ITS binary-search probes (0 if unbiased)
+};
+
+/// Uniform neighbor choice.
+SampleResult sample_unbiased(const graph::CsrGraph& g, VertexId v, Xoshiro256& rng);
+
+/// Uniform choice restricted to a global-CSR edge slice [begin, end) — the
+/// in-block step of a pre-walked dense walk.
+SampleResult sample_unbiased_slice(const graph::CsrGraph& g, EdgeId begin, EdgeId end,
+                                   Xoshiro256& rng);
+
+/// Cumulative-weight table for ITS biased sampling. The hardware stores CL
+/// inside each subgraph; we precompute it once per graph.
+class ItsTable {
+ public:
+  explicit ItsTable(const graph::CsrGraph& g);
+
+  /// Biased neighbor choice for v; counts binary-search steps.
+  SampleResult sample(const graph::CsrGraph& g, VertexId v, Xoshiro256& rng) const;
+
+  /// Biased choice within edge slice [begin, end) of a single vertex whose
+  /// edge list starts at `vertex_first_edge` (dense-walk in-block step).
+  SampleResult sample_slice(const graph::CsrGraph& g, EdgeId vertex_first_edge,
+                            EdgeId begin, EdgeId end, Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t table_bytes() const {
+    return cumulative_.size() * sizeof(double);
+  }
+
+  /// In-vertex cumulative weight at edge index `e` (CL[e] in the paper).
+  [[nodiscard]] double cumulative_weight(EdgeId e) const { return cumulative_[e]; }
+
+ private:
+  std::vector<double> cumulative_;  ///< per-edge running weight sum within each vertex
+};
+
+/// Second-order (node2vec) rejection sampling over the edge slice
+/// [begin, end) of vertex `cur` (pass the full neighbor range for
+/// non-dense vertices). Each attempt proposes a uniform neighbor and
+/// accepts with probability w/w_max, where w is 1/p for returning to
+/// `prev`, 1 for a triangle-closing hop, and 1/q otherwise. `search_steps`
+/// counts the binary-search probes of prev's edge list (the membership
+/// test) so callers can charge cycles.
+struct SecondOrderSpecView {
+  double p = 1.0;
+  double q = 1.0;
+};
+
+SampleResult sample_second_order(const graph::CsrGraph& g, VertexId prev, VertexId cur,
+                                 EdgeId begin, EdgeId end, const SecondOrderSpecView& so,
+                                 Xoshiro256& rng, std::uint32_t max_attempts = 16);
+
+/// Pre-walking block choice (paper §III.D): with rnd uniform in
+/// [0, outDegree), the target is graph block floor(rnd / size(gb)).
+/// Returns the block index within the dense vertex's block list.
+std::uint32_t prewalk_block_choice(std::uint64_t rnd, EdgeId edges_per_block);
+
+/// Draw the pre-walk random offset for a dense vertex with `out_degree`.
+std::uint64_t prewalk_draw(EdgeId out_degree, Xoshiro256& rng);
+
+}  // namespace fw::rw

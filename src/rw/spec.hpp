@@ -1,0 +1,47 @@
+// Random-walk algorithm specification (paper §II.A): variants differ in the
+// neighbor-sampling distribution (unbiased / biased-by-edge-weight) and the
+// termination condition (fixed hop count / probabilistic).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fw::rw {
+
+enum class StartMode {
+  kAllVertices,     ///< one or more walks from every vertex (DeepWalk-style)
+  kUniformRandom,   ///< N walks from uniformly random vertices
+  kSingleSource,    ///< N walks from one vertex (PPR-style)
+};
+
+/// Second-order (node2vec-style) sampling parameters. This is an
+/// *extension* beyond the paper (which supports static biased walks via ITS
+/// and leaves dynamic walks to KnightKing): the updater rejection-samples
+/// with return parameter p and in-out parameter q, carrying the previous
+/// vertex in the walk state.
+struct SecondOrder {
+  bool enabled = false;
+  double p = 1.0;  ///< return parameter (1/p weight for backtracking)
+  double q = 1.0;  ///< in-out parameter (1/q weight for outward hops)
+};
+
+struct WalkSpec {
+  /// Fixed walk length in hops (paper fixes 6 in all experiments).
+  std::uint32_t length = 6;
+  /// Per-hop termination probability (0 = fixed-length only).
+  double stop_prob = 0.0;
+  /// Biased walk: next hop ∝ edge weight, via Inverse Transform Sampling.
+  bool biased = false;
+  /// node2vec-style dynamic sampling (see SecondOrder).
+  SecondOrder second_order;
+  /// What to do at a vertex with no out-edges.
+  enum class DeadEnd { kTerminate, kRestart } dead_end = DeadEnd::kTerminate;
+
+  StartMode start_mode = StartMode::kUniformRandom;
+  std::uint64_t num_walks = 100'000;  ///< for kUniformRandom / kSingleSource
+  VertexId source = 0;                ///< for kSingleSource
+  std::uint64_t seed = 42;
+};
+
+}  // namespace fw::rw

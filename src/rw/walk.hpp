@@ -1,0 +1,45 @@
+// Walk state (paper §III.B): "a walk w's state includes the ID of its source
+// vertex, the offset of the current vertex in the subgraph, and the number
+// of hops, indicated by w.src, w.cur, and w.hop."
+//
+// We carry the full current-vertex ID (the offset form is a storage
+// optimization the byte-accounting reflects instead) plus the transient
+// routing fields the accelerators attach: the approximate-search range tag
+// and the pre-walked destination block for dense walks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fw::rw {
+
+inline constexpr std::uint32_t kNoRangeTag = ~0u;
+
+struct Walk {
+  /// Simulation-side identity (used for optional path recording; not part
+  /// of the modeled on-flash state, so it never enters byte accounting).
+  std::uint32_t id = 0;
+  VertexId src = 0;
+  VertexId cur = 0;
+  /// Previous vertex — carried only for second-order (node2vec) walks,
+  /// where the sampling distribution depends on it.
+  VertexId prev = kInvalidVertex;
+  std::uint16_t hops_left = 0;
+  /// Range ID attached by the channel-level approximate walk search; the
+  /// board-level guider then searches only that slice of the mapping table.
+  std::uint32_t range_tag = kNoRangeTag;
+  /// For a dense walk: the subgraph (graph block) pre-walking selected.
+  SubgraphId prewalked_sg = kInvalidSubgraph;
+
+  [[nodiscard]] bool finished() const { return hops_left == 0; }
+};
+
+/// On-flash / in-buffer footprint of one walk: src + cur + hop counter.
+/// Dense walks stored in a dense subgraph's buffer entry omit `cur` (it is
+/// implied by the entry), which is the β asymmetry in the scheduler's Eq. 1.
+constexpr std::uint64_t walk_bytes(std::size_t id_bytes, bool dense = false) {
+  return (dense ? 1 : 2) * static_cast<std::uint64_t>(id_bytes) + 2;
+}
+
+}  // namespace fw::rw

@@ -1,0 +1,18 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace fw::sim {
+
+void EventQueue::push(Tick at, EventFn fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::pair<Tick, EventFn> EventQueue::pop() {
+  const Event& top = heap_.top();
+  std::pair<Tick, EventFn> result{top.at, std::move(top.fn)};
+  heap_.pop();
+  return result;
+}
+
+}  // namespace fw::sim

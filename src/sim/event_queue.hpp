@@ -1,0 +1,45 @@
+// Deterministic event queue for the discrete-event simulator.
+//
+// Events at equal ticks fire in insertion order (a monotone sequence number
+// breaks ties), so a fixed seed reproduces a simulation trace exactly —
+// the DES analogue of MQSim's deterministic engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fw::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(Tick at, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] Tick next_tick() const { return heap_.top().at; }
+
+  /// Pop and return the earliest event. Precondition: !empty().
+  std::pair<Tick, EventFn> pop();
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    mutable EventFn fn;  // moved out on pop; priority_queue::top() is const
+
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+}  // namespace fw::sim

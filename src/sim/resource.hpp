@@ -1,0 +1,83 @@
+// Contention primitives for the DES.
+//
+// SerialResource models anything that serves one request at a time in FIFO
+// order at a fixed per-request duration (a flash plane, an updater PE).
+// BandwidthLink models a shared serial bus with a byte rate (ONFI channel,
+// PCIe lanes, DRAM bus). Both hand back the *completion tick* of a request
+// issued "now", and keep busy-time + byte counters for utilization metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace fw::sim {
+
+class SerialResource {
+ public:
+  /// Reserve the resource for `duration` starting no earlier than `now`.
+  /// Returns the completion tick.
+  Tick acquire(Tick now, Tick duration) {
+    const Tick start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    ++requests_;
+    return busy_until_;
+  }
+
+  [[nodiscard]] Tick busy_until() const { return busy_until_; }
+  [[nodiscard]] Tick busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] bool idle_at(Tick now) const { return busy_until_ <= now; }
+
+  [[nodiscard]] double utilization(Tick elapsed) const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+  }
+
+ private:
+  Tick busy_until_ = 0;
+  Tick busy_time_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+class BandwidthLink {
+ public:
+  /// `mb_per_s` is the decimal-MB/s line rate; `fixed_latency` is added to
+  /// every transfer (command/DMA setup).
+  explicit BandwidthLink(std::uint64_t mb_per_s, Tick fixed_latency = 0)
+      : mb_per_s_(mb_per_s), fixed_latency_(fixed_latency) {}
+
+  /// Transfer `bytes` starting no earlier than `now`; returns completion tick.
+  Tick transfer(Tick now, std::uint64_t bytes) {
+    const Tick duration = transfer_time_ns(bytes, mb_per_s_) + fixed_latency_;
+    const Tick start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    bytes_moved_ += bytes;
+    ++transfers_;
+    return busy_until_;
+  }
+
+  [[nodiscard]] std::uint64_t rate_mb_per_s() const { return mb_per_s_; }
+  [[nodiscard]] Tick busy_until() const { return busy_until_; }
+  [[nodiscard]] Tick busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+
+  [[nodiscard]] double utilization(Tick elapsed) const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+  }
+
+ private:
+  std::uint64_t mb_per_s_;
+  Tick fixed_latency_;
+  Tick busy_until_ = 0;
+  Tick busy_time_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace fw::sim

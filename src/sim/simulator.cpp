@@ -1,0 +1,29 @@
+#include "sim/simulator.hpp"
+
+namespace fw::sim {
+
+std::uint64_t Simulator::run(Tick until) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.next_tick() <= until) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    fn();
+    ++executed;
+  }
+  events_executed_ += executed;
+  if (queue_.empty() && until != std::numeric_limits<Tick>::max() && now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  now_ = at;
+  fn();
+  ++events_executed_;
+  return true;
+}
+
+}  // namespace fw::sim

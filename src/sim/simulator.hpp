@@ -1,0 +1,39 @@
+// The simulation clock + event loop.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace fw::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` ns from now.
+  void schedule(Tick delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at absolute tick `at` (clamped to now).
+  void schedule_at(Tick at, EventFn fn) {
+    queue_.push(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  /// Run until the queue drains or `until` is reached. Returns the number
+  /// of events executed.
+  std::uint64_t run(Tick until = std::numeric_limits<Tick>::max());
+
+  /// Execute at most one pending event; returns false if none remain.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  Tick now_ = 0;
+  std::uint64_t events_executed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace fw::sim

@@ -1,0 +1,31 @@
+#include "sim/timeline.hpp"
+
+#include "common/units.hpp"
+
+namespace fw::sim {
+
+void TimelineRecorder::sample(Tick now, std::uint64_t flash_read_bytes,
+                              std::uint64_t flash_write_bytes, std::uint64_t channel_bytes,
+                              std::uint64_t overall_bytes, std::uint64_t walks_done,
+                              std::uint64_t walks_total) {
+  if (now <= last_at_) return;
+  const Tick elapsed = now - last_at_;
+  TimelinePoint p;
+  p.at = now;
+  p.flash_read_mb_s = bandwidth_mb_per_s(flash_read_bytes - last_read_, elapsed);
+  p.flash_write_mb_s = bandwidth_mb_per_s(flash_write_bytes - last_write_, elapsed);
+  p.channel_mb_s = bandwidth_mb_per_s(channel_bytes - last_channel_, elapsed);
+  p.overall_mb_s = bandwidth_mb_per_s(overall_bytes - last_overall_, elapsed);
+  p.walks_done_pct =
+      walks_total == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(walks_done) / static_cast<double>(walks_total);
+  points_.push_back(p);
+  last_at_ = now;
+  last_read_ = flash_read_bytes;
+  last_write_ = flash_write_bytes;
+  last_channel_ = channel_bytes;
+  last_overall_ = overall_bytes;
+}
+
+}  // namespace fw::sim

@@ -1,0 +1,49 @@
+// Periodic resource-consumption sampling (paper Fig. 8): the engine feeds
+// cumulative byte counters; the sampler converts them into per-interval
+// bandwidth series plus the walk-completion progression.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fw::sim {
+
+struct TimelinePoint {
+  Tick at = 0;
+  double flash_read_mb_s = 0.0;   ///< aggregate flash-plane read bandwidth
+  double flash_write_mb_s = 0.0;  ///< aggregate flash-plane program bandwidth
+  double channel_mb_s = 0.0;      ///< aggregate ONFI channel-bus bandwidth
+  double overall_mb_s = 0.0;      ///< achieved overall data movement
+  double walks_done_pct = 0.0;    ///< percentage of walks completed
+};
+
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(Tick interval) : interval_(interval == 0 ? 1 : interval) {}
+
+  /// Record cumulative counters observed at `now`; emits a point per elapsed
+  /// interval boundary (rates are deltas over the interval).
+  void sample(Tick now, std::uint64_t flash_read_bytes, std::uint64_t flash_write_bytes,
+              std::uint64_t channel_bytes, std::uint64_t overall_bytes,
+              std::uint64_t walks_done, std::uint64_t walks_total);
+
+  [[nodiscard]] const std::vector<TimelinePoint>& points() const { return points_; }
+  [[nodiscard]] Tick interval() const { return interval_; }
+
+  /// Next tick at which a sample is due.
+  [[nodiscard]] Tick next_due() const { return last_at_ + interval_; }
+
+ private:
+  Tick interval_;
+  Tick last_at_ = 0;
+  std::uint64_t last_read_ = 0;
+  std::uint64_t last_write_ = 0;
+  std::uint64_t last_channel_ = 0;
+  std::uint64_t last_overall_ = 0;
+  std::vector<TimelinePoint> points_;
+};
+
+}  // namespace fw::sim

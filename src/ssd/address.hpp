@@ -1,0 +1,66 @@
+// Physical flash addressing.
+#pragma once
+
+#include <cstdint>
+
+#include "ssd/config.hpp"
+
+namespace fw::ssd {
+
+struct FlashAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;   ///< within channel
+  std::uint32_t plane = 0;  ///< within chip (die folded in: plane index 0..planes_per_chip)
+  std::uint32_t block = 0;  ///< within plane
+  std::uint32_t page = 0;   ///< within block
+
+  friend bool operator==(const FlashAddress&, const FlashAddress&) = default;
+};
+
+/// Linearizes / delinearizes physical page numbers. Page order: channel,
+/// chip, plane, block, page — so consecutive PPNs within one (channel, chip,
+/// plane) stay in one plane, and the striding helpers below distribute
+/// across planes explicitly.
+class AddressMap {
+ public:
+  explicit AddressMap(const FlashTopology& topo) : topo_(topo) {}
+
+  [[nodiscard]] std::uint64_t to_ppn(const FlashAddress& a) const {
+    std::uint64_t ppn = a.channel;
+    ppn = ppn * topo_.chips_per_channel + a.chip;
+    ppn = ppn * topo_.planes_per_chip() + a.plane;
+    ppn = ppn * topo_.blocks_per_plane + a.block;
+    ppn = ppn * topo_.pages_per_block + a.page;
+    return ppn;
+  }
+
+  [[nodiscard]] FlashAddress from_ppn(std::uint64_t ppn) const {
+    FlashAddress a;
+    a.page = static_cast<std::uint32_t>(ppn % topo_.pages_per_block);
+    ppn /= topo_.pages_per_block;
+    a.block = static_cast<std::uint32_t>(ppn % topo_.blocks_per_plane);
+    ppn /= topo_.blocks_per_plane;
+    a.plane = static_cast<std::uint32_t>(ppn % topo_.planes_per_chip());
+    ppn /= topo_.planes_per_chip();
+    a.chip = static_cast<std::uint32_t>(ppn % topo_.chips_per_channel);
+    ppn /= topo_.chips_per_channel;
+    a.channel = static_cast<std::uint32_t>(ppn);
+    return a;
+  }
+
+  [[nodiscard]] std::uint64_t total_pages() const {
+    return static_cast<std::uint64_t>(topo_.channels) * topo_.chips_per_channel *
+           topo_.planes_per_chip() * topo_.blocks_per_plane * topo_.pages_per_block;
+  }
+
+  /// Global plane index (for per-plane resource arrays).
+  [[nodiscard]] std::uint32_t plane_index(const FlashAddress& a) const {
+    return (a.channel * topo_.chips_per_channel + a.chip) * topo_.planes_per_chip() +
+           a.plane;
+  }
+
+ private:
+  FlashTopology topo_;
+};
+
+}  // namespace fw::ssd

@@ -1,0 +1,16 @@
+#include "ssd/config.hpp"
+
+namespace fw::ssd {
+
+SsdConfig test_ssd_config() {
+  SsdConfig cfg;
+  cfg.topo.channels = 4;
+  cfg.topo.chips_per_channel = 2;
+  cfg.topo.dies_per_chip = 2;
+  cfg.topo.planes_per_die = 2;
+  cfg.topo.blocks_per_plane = 64;
+  cfg.topo.pages_per_block = 16;
+  return cfg;
+}
+
+}  // namespace fw::ssd

@@ -1,0 +1,94 @@
+// SSD architectural configuration — defaults are the paper's Table I/III.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace fw::ssd {
+
+struct FlashTopology {
+  std::uint32_t channels = 32;
+  std::uint32_t chips_per_channel = 4;
+  std::uint32_t dies_per_chip = 2;
+  std::uint32_t planes_per_die = 4;
+  std::uint32_t blocks_per_plane = 2048;
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t page_bytes = 4096;
+
+  [[nodiscard]] std::uint32_t planes_per_chip() const {
+    return dies_per_chip * planes_per_die;
+  }
+  [[nodiscard]] std::uint32_t total_chips() const { return channels * chips_per_channel; }
+  [[nodiscard]] std::uint32_t total_planes() const {
+    return total_chips() * planes_per_chip();
+  }
+  [[nodiscard]] std::uint64_t pages_per_plane() const {
+    return static_cast<std::uint64_t>(blocks_per_plane) * pages_per_block;
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(total_planes()) * pages_per_plane() * page_bytes;
+  }
+};
+
+struct FlashTimings {
+  Tick read_latency = 35 * kUs;      ///< page read (tR)
+  Tick program_latency = 350 * kUs;  ///< page program
+  Tick erase_latency = 2 * kMs;      ///< block erase
+  std::uint64_t channel_mb_per_s = 333;  ///< ONFI 3.1 NV-DDR2, 8-bit @ 333 MT/s
+  Tick channel_cmd_overhead = 200;       ///< command/address cycles per transfer
+};
+
+struct DramConfig {
+  // Table III: DDR4, 1600 MHz, 64-bit bus, BL 8, CL/RCD/RP 22, RAS 52.
+  std::uint32_t mts = 1600;      ///< mega-transfers per second
+  std::uint32_t bus_bits = 64;
+  std::uint32_t burst_length = 8;
+  std::uint32_t tCL = 22;
+  std::uint32_t tRCD = 22;
+  std::uint32_t tRP = 22;
+  std::uint32_t tRAS = 52;
+  std::uint64_t capacity_bytes = 4 * GiB;
+
+  [[nodiscard]] std::uint64_t peak_mb_per_s() const {
+    return static_cast<std::uint64_t>(mts) * (bus_bits / 8);
+  }
+  /// First-access latency: row activate (tRCD) + CAS (tCL) at the command
+  /// clock (half the transfer rate).
+  [[nodiscard]] Tick access_latency() const {
+    const double tck_ns = 2000.0 / static_cast<double>(mts);
+    return static_cast<Tick>((tRCD + tCL) * tck_ns);
+  }
+};
+
+struct PcieConfig {
+  std::uint32_t lanes = 4;
+  std::uint64_t mb_per_s_per_lane = 1000;  ///< paper: "1GB/s x 4"
+  Tick dma_latency = 1 * kUs;              ///< command submission + completion
+
+  [[nodiscard]] std::uint64_t mb_per_s() const { return lanes * mb_per_s_per_lane; }
+};
+
+struct SsdConfig {
+  FlashTopology topo;
+  FlashTimings timing;
+  DramConfig dram;
+  PcieConfig pcie;
+
+  /// Aggregate ONFI channel-bus bandwidth (paper: 10.4 GB/s for 32 ch).
+  [[nodiscard]] std::uint64_t aggregate_channel_mb_per_s() const {
+    return topo.channels * timing.channel_mb_per_s;
+  }
+  /// Aggregate in-plane read throughput if every plane streams pages.
+  [[nodiscard]] double aggregate_plane_read_mb_per_s() const {
+    const double per_plane =
+        bandwidth_mb_per_s(topo.page_bytes, timing.read_latency);
+    return per_plane * topo.total_planes();
+  }
+};
+
+/// Scaled-down topology for unit tests (same shape, fewer parts).
+SsdConfig test_ssd_config();
+
+}  // namespace fw::ssd

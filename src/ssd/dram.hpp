@@ -1,0 +1,33 @@
+// On-board DRAM model (DRAMSim3 substitute): a shared bus at the DDR4 peak
+// rate with a per-access row-activate + CAS latency. Good enough for the
+// role DRAM plays here — the partition walk buffer and mapping tables live
+// in it, and the evaluation depends on its *bandwidth* relative to flash and
+// the channel buses, not on bank-level scheduling detail.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/resource.hpp"
+#include "ssd/config.hpp"
+
+namespace fw::ssd {
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& config)
+      : config_(config), bus_(config.peak_mb_per_s(), config.access_latency()) {}
+
+  /// Move `bytes` to/from DRAM starting no earlier than `now`.
+  Tick access(Tick now, std::uint64_t bytes) { return bus_.transfer(now, bytes); }
+
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bus_.bytes_moved(); }
+  [[nodiscard]] std::uint64_t accesses() const { return bus_.transfers(); }
+  [[nodiscard]] double utilization(Tick elapsed) const { return bus_.utilization(elapsed); }
+
+ private:
+  DramConfig config_;
+  sim::BandwidthLink bus_;
+};
+
+}  // namespace fw::ssd

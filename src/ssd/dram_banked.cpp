@@ -1,0 +1,44 @@
+#include "ssd/dram_banked.hpp"
+
+#include <algorithm>
+
+namespace fw::ssd {
+
+BankedDram::BankedDram(const DramConfig& config, std::uint32_t banks,
+                       std::uint32_t row_bytes)
+    : config_(config),
+      row_bytes_(std::max<std::uint32_t>(row_bytes, 64)),
+      banks_(std::max<std::uint32_t>(banks, 1)),
+      bus_(config.peak_mb_per_s(), /*fixed_latency=*/0) {}
+
+Tick BankedDram::access(Tick now, std::uint64_t addr, std::uint64_t bytes) {
+  ++stats_.accesses;
+  stats_.bytes += bytes;
+
+  const std::uint64_t row = addr / row_bytes_;
+  Bank& bank = banks_[row % banks_.size()];
+
+  Tick start = std::max(now, bank.ready_at);
+  Tick command_done;
+  if (bank.open_row == row) {
+    ++stats_.row_hits;
+    command_done = start + t_cas();
+  } else {
+    ++stats_.row_misses;
+    // Precharge the old row (if any), then activate the new one. Honour
+    // tRAS: a row must stay open at least tRAS after its activate.
+    Tick precharge_at = start;
+    if (bank.open_row != ~0ull) {
+      precharge_at = std::max(start, bank.last_activate + t_ras());
+    }
+    const Tick activate_at = precharge_at + (bank.open_row != ~0ull ? t_rp() : 0);
+    bank.last_activate = activate_at;
+    bank.open_row = row;
+    command_done = activate_at + t_rcd() + t_cas();
+  }
+  bank.ready_at = command_done;
+  // Data burst over the shared channel bus.
+  return bus_.transfer(command_done, bytes);
+}
+
+}  // namespace fw::ssd

@@ -1,0 +1,77 @@
+// Banked DRAM timing model (DRAMSim3-lite).
+//
+// Refines the flat bandwidth model with the structure that actually sets
+// DDR4 latency: banks with open rows. An access to a bank's open row pays
+// CAS only (tCL); a closed-row or row-conflict access pays precharge +
+// activate + CAS (tRP + tRCD + tCL), and a bank cannot re-activate within
+// tRAS of the previous activate. Data transfer shares the single 64-bit
+// channel bus at the configured transfer rate.
+//
+// The partition walk buffer's access pattern — many small appends scattered
+// across per-subgraph entries — is row-buffer hostile, which is why this
+// matters: the flat model undercharges it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "ssd/config.hpp"
+
+namespace fw::ssd {
+
+struct BankedDramStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;  ///< closed row or conflict
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double row_hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(row_hits) / static_cast<double>(accesses);
+  }
+};
+
+class BankedDram {
+ public:
+  /// `banks` defaults to a typical DDR4 x16 arrangement (2 bank groups x 4).
+  explicit BankedDram(const DramConfig& config, std::uint32_t banks = 8,
+                      std::uint32_t row_bytes = 2048);
+
+  /// One access of `bytes` at DRAM address `addr` (drives row/bank mapping),
+  /// starting no earlier than `now`. Returns the completion tick.
+  Tick access(Tick now, std::uint64_t addr, std::uint64_t bytes);
+
+  [[nodiscard]] const BankedDramStats& stats() const { return stats_; }
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return stats_.bytes; }
+  [[nodiscard]] double bus_utilization(Tick elapsed) const {
+    return bus_.utilization(elapsed);
+  }
+
+  // Timing components in ns (derived from the Table III DDR4 numbers).
+  [[nodiscard]] Tick t_cas() const { return cycles_to_ns(config_.tCL); }
+  [[nodiscard]] Tick t_rcd() const { return cycles_to_ns(config_.tRCD); }
+  [[nodiscard]] Tick t_rp() const { return cycles_to_ns(config_.tRP); }
+  [[nodiscard]] Tick t_ras() const { return cycles_to_ns(config_.tRAS); }
+
+ private:
+  struct Bank {
+    std::uint64_t open_row = ~0ull;
+    Tick ready_at = 0;        ///< bank-level availability
+    Tick last_activate = 0;   ///< for tRAS
+  };
+
+  [[nodiscard]] Tick cycles_to_ns(std::uint32_t cycles) const {
+    // Command clock is half the transfer rate (DDR).
+    return static_cast<Tick>(cycles * 2000.0 / static_cast<double>(config_.mts));
+  }
+
+  DramConfig config_;
+  std::uint32_t row_bytes_;
+  std::vector<Bank> banks_;
+  sim::BandwidthLink bus_;
+  BankedDramStats stats_;
+};
+
+}  // namespace fw::ssd

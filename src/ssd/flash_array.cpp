@@ -1,0 +1,81 @@
+#include "ssd/flash_array.hpp"
+
+#include <stdexcept>
+
+namespace fw::ssd {
+
+FlashArray::FlashArray(const SsdConfig& config)
+    : config_(config),
+      amap_(config.topo),
+      planes_(config.topo.total_planes()),
+      channels_(config.topo.channels,
+                sim::BandwidthLink(config.timing.channel_mb_per_s,
+                                   config.timing.channel_cmd_overhead)) {}
+
+Tick FlashArray::read_page(Tick now, const FlashAddress& addr, bool over_channel) {
+  const Tick sensed = plane(addr).acquire(now, config_.timing.read_latency);
+  read_bytes_ += config_.topo.page_bytes;
+  ++page_reads_;
+  if (!over_channel) return sensed;
+  return channels_[addr.channel].transfer(sensed, config_.topo.page_bytes);
+}
+
+Tick FlashArray::read_chip_pages(Tick now, std::uint32_t channel, std::uint32_t chip,
+                                 std::uint32_t start_plane, std::uint32_t num_pages,
+                                 bool over_channel) {
+  const std::uint32_t planes = config_.topo.planes_per_chip();
+  Tick done = now;
+  for (std::uint32_t i = 0; i < num_pages; ++i) {
+    FlashAddress addr;
+    addr.channel = channel;
+    addr.chip = chip;
+    addr.plane = (start_plane + i) % planes;
+    // Block/page within the plane do not affect timing; leave zero.
+    const Tick t = read_page(now, addr, over_channel);
+    done = t > done ? t : done;
+  }
+  return done;
+}
+
+Tick FlashArray::program_page(Tick now, const FlashAddress& addr, bool over_channel) {
+  Tick data_at_chip = now;
+  if (over_channel) {
+    data_at_chip = channels_[addr.channel].transfer(now, config_.topo.page_bytes);
+  }
+  programmed_bytes_ += config_.topo.page_bytes;
+  return plane(addr).acquire(data_at_chip, config_.timing.program_latency);
+}
+
+Tick FlashArray::erase_block(Tick now, const FlashAddress& addr) {
+  ++erase_count_;
+  return plane(addr).acquire(now, config_.timing.erase_latency);
+}
+
+Tick FlashArray::channel_transfer(Tick now, std::uint32_t channel, std::uint64_t bytes) {
+  if (channel >= channels_.size()) throw std::out_of_range("channel index");
+  return channels_[channel].transfer(now, bytes);
+}
+
+std::uint64_t FlashArray::channel_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch.bytes_moved();
+  return total;
+}
+
+double FlashArray::plane_utilization(Tick elapsed) const {
+  if (elapsed == 0 || planes_.empty()) return 0.0;
+  Tick busy = 0;
+  for (const auto& p : planes_) busy += p.busy_time();
+  return static_cast<double>(busy) /
+         (static_cast<double>(elapsed) * static_cast<double>(planes_.size()));
+}
+
+double FlashArray::channel_utilization(Tick elapsed) const {
+  if (elapsed == 0 || channels_.empty()) return 0.0;
+  Tick busy = 0;
+  for (const auto& ch : channels_) busy += ch.busy_time();
+  return static_cast<double>(busy) /
+         (static_cast<double>(elapsed) * static_cast<double>(channels_.size()));
+}
+
+}  // namespace fw::ssd

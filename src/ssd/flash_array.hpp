@@ -1,0 +1,78 @@
+// NAND flash timing model: per-plane serial resources + per-channel ONFI
+// bus links, with byte accounting for the Fig 6/8 metrics.
+//
+// This is a *timing calculator*: callers pass `now` and get completion
+// ticks; the engine owns event scheduling. Two read paths exist on purpose:
+//   - `over_channel = false`: a chip-level accelerator pulling a page from
+//     its own planes (the in-storage fast path — no ONFI transfer);
+//   - `over_channel = true`: data leaving the chip over the channel bus
+//     (host reads, and board/channel-level accelerator fills).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "ssd/address.hpp"
+#include "ssd/config.hpp"
+
+namespace fw::ssd {
+
+class FlashArray {
+ public:
+  explicit FlashArray(const SsdConfig& config);
+
+  [[nodiscard]] const SsdConfig& config() const { return config_; }
+  [[nodiscard]] const AddressMap& address_map() const { return amap_; }
+
+  /// Read one page; returns the tick at which its data is available at the
+  /// requested boundary (plane register, or channel output).
+  Tick read_page(Tick now, const FlashAddress& addr, bool over_channel);
+
+  /// Read `num_pages` pages of one chip, striped round-robin over its
+  /// planes starting at `start_plane`. Returns the last completion tick.
+  Tick read_chip_pages(Tick now, std::uint32_t channel, std::uint32_t chip,
+                       std::uint32_t start_plane, std::uint32_t num_pages,
+                       bool over_channel);
+
+  /// Program one page (data reaches the chip over the channel unless the
+  /// writer sits inside it).
+  Tick program_page(Tick now, const FlashAddress& addr, bool over_channel);
+
+  Tick erase_block(Tick now, const FlashAddress& addr);
+
+  /// Transfer `bytes` of non-page data (commands, roving walks) over a
+  /// channel bus.
+  Tick channel_transfer(Tick now, std::uint32_t channel, std::uint64_t bytes);
+
+  // --- accounting -------------------------------------------------------
+  [[nodiscard]] std::uint64_t read_bytes() const { return read_bytes_; }
+  [[nodiscard]] std::uint64_t programmed_bytes() const { return programmed_bytes_; }
+  [[nodiscard]] std::uint64_t channel_bytes() const;
+  [[nodiscard]] std::uint64_t erase_count() const { return erase_count_; }
+  [[nodiscard]] std::uint64_t page_reads() const { return page_reads_; }
+
+  [[nodiscard]] double plane_utilization(Tick elapsed) const;
+  [[nodiscard]] double channel_utilization(Tick elapsed) const;
+
+  /// Earliest tick at which the given plane is free (for idle checks).
+  [[nodiscard]] Tick plane_busy_until(std::uint32_t plane_index) const {
+    return planes_[plane_index].busy_until();
+  }
+
+ private:
+  sim::SerialResource& plane(const FlashAddress& a) {
+    return planes_[amap_.plane_index(a)];
+  }
+
+  SsdConfig config_;
+  AddressMap amap_;
+  std::vector<sim::SerialResource> planes_;    // one per physical plane
+  std::vector<sim::BandwidthLink> channels_;   // one ONFI bus per channel
+  std::uint64_t read_bytes_ = 0;
+  std::uint64_t programmed_bytes_ = 0;
+  std::uint64_t erase_count_ = 0;
+  std::uint64_t page_reads_ = 0;
+};
+
+}  // namespace fw::ssd

@@ -1,0 +1,163 @@
+#include "ssd/ftl.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fw::ssd {
+
+Ftl::Ftl(FlashArray& flash, std::uint32_t reserved_blocks_per_plane)
+    : flash_(flash), reserved_(reserved_blocks_per_plane) {
+  const auto& topo = flash.config().topo;
+  if (reserved_ >= topo.blocks_per_plane) {
+    throw std::invalid_argument("Ftl: graph reservation leaves no writable blocks");
+  }
+  usable_blocks_ = topo.blocks_per_plane - reserved_;
+  planes_.resize(topo.total_planes());
+  for (auto& p : planes_) {
+    p.blocks.resize(usable_blocks_);
+    p.active_block = 0;
+    for (std::uint32_t b = 1; b < usable_blocks_; ++b) p.free_blocks.push_back(b);
+  }
+}
+
+std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
+  const auto& topo = flash_.config().topo;
+  const std::uint32_t plane_index = cursor_plane_;
+  cursor_plane_ = (cursor_plane_ + 1) % planes_.size();
+
+  PlaneState& ps = planes_[plane_index];
+  Tick ready = now;
+  BlockState* active = &ps.blocks[ps.active_block];
+  if (active->written >= topo.pages_per_block) {
+    if (ps.free_blocks.empty()) {
+      ready = collect_garbage(now, plane_index);
+    }
+    if (ps.free_blocks.empty()) {
+      throw std::runtime_error("Ftl: plane out of space even after GC");
+    }
+    ps.active_block = ps.free_blocks.front();
+    ps.free_blocks.pop_front();
+    active = &ps.blocks[ps.active_block];
+  }
+
+  FlashAddress addr;
+  const std::uint32_t planes_per_chip = topo.planes_per_chip();
+  addr.plane = plane_index % planes_per_chip;
+  const std::uint32_t chip_global = plane_index / planes_per_chip;
+  addr.chip = chip_global % topo.chips_per_channel;
+  addr.channel = chip_global / topo.chips_per_channel;
+  addr.block = reserved_ + ps.active_block;
+  addr.page = active->written;
+
+  ++active->written;
+  ++active->valid;
+  return {flash_.address_map().to_ppn(addr), ready};
+}
+
+Tick Ftl::collect_garbage(Tick now, std::uint32_t plane_index) {
+  const auto& topo = flash_.config().topo;
+  PlaneState& ps = planes_[plane_index];
+
+  // Greedy victim: fully written block with the fewest valid pages,
+  // excluding the active block; wear-leveling tie-break prefers the block
+  // with the fewest erases so wear spreads evenly.
+  std::uint32_t victim = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t victim_valid = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t victim_erases = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t b = 0; b < ps.blocks.size(); ++b) {
+    if (b == ps.active_block) continue;
+    const BlockState& bs = ps.blocks[b];
+    if (bs.written != topo.pages_per_block) continue;
+    if (bs.valid < victim_valid ||
+        (bs.valid == victim_valid && bs.erases < victim_erases)) {
+      victim = b;
+      victim_valid = bs.valid;
+      victim_erases = bs.erases;
+    }
+  }
+  if (victim == std::numeric_limits<std::uint32_t>::max()) return now;
+
+  FlashAddress victim_addr;
+  const std::uint32_t planes_per_chip = topo.planes_per_chip();
+  victim_addr.plane = plane_index % planes_per_chip;
+  const std::uint32_t chip_global = plane_index / planes_per_chip;
+  victim_addr.chip = chip_global % topo.chips_per_channel;
+  victim_addr.channel = chip_global / topo.chips_per_channel;
+  victim_addr.block = reserved_ + victim;
+
+  Tick done = now;
+  // Relocate valid pages (copy-back inside the plane: read + program, no
+  // channel transfer).
+  for (std::uint32_t pg = 0; pg < topo.pages_per_block && victim_valid > 0; ++pg) {
+    victim_addr.page = pg;
+    const std::uint64_t ppn = flash_.address_map().to_ppn(victim_addr);
+    const auto it = p2l_.find(ppn);
+    if (it == p2l_.end()) continue;
+    const std::uint64_t lpn = it->second;
+    done = flash_.read_page(done, victim_addr, /*over_channel=*/false);
+    // Re-append into some other plane via the normal allocator.
+    auto [new_ppn, ready] = allocate(done);
+    const FlashAddress new_addr = flash_.address_map().from_ppn(new_ppn);
+    done = flash_.program_page(ready, new_addr, /*over_channel=*/false);
+    p2l_.erase(it);
+    p2l_[new_ppn] = lpn;
+    l2p_[lpn] = new_ppn;
+    ++stats_.gc_page_moves;
+    --victim_valid;
+  }
+
+  victim_addr.page = 0;
+  done = flash_.erase_block(done, victim_addr);
+  ps.blocks[victim].written = 0;
+  ps.blocks[victim].valid = 0;
+  ++ps.blocks[victim].erases;
+  ps.free_blocks.push_back(victim);
+  ++stats_.gc_erases;
+  return done;
+}
+
+FtlStats Ftl::stats() const {
+  std::uint32_t min_erases = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_erases = 0;
+  for (const PlaneState& ps : planes_) {
+    for (const BlockState& bs : ps.blocks) {
+      min_erases = std::min(min_erases, bs.erases);
+      max_erases = std::max(max_erases, bs.erases);
+    }
+  }
+  stats_.min_block_erases = planes_.empty() ? 0 : min_erases;
+  stats_.max_block_erases = max_erases;
+  return stats_;
+}
+
+Tick Ftl::write_page(Tick now, std::uint64_t lpn, bool over_channel) {
+  // Invalidate the previous version.
+  const auto old = l2p_.find(lpn);
+  if (old != l2p_.end()) {
+    const FlashAddress addr = flash_.address_map().from_ppn(old->second);
+    const std::uint32_t plane_index = flash_.address_map().plane_index(addr);
+    PlaneState& ps = planes_[plane_index];
+    const std::uint32_t rel_block = addr.block - reserved_;
+    if (rel_block < ps.blocks.size() && ps.blocks[rel_block].valid > 0) {
+      --ps.blocks[rel_block].valid;
+    }
+    p2l_.erase(old->second);
+  }
+
+  auto [ppn, ready] = allocate(now);
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  ++stats_.host_page_writes;
+  const FlashAddress addr = flash_.address_map().from_ppn(ppn);
+  return flash_.program_page(ready, addr, over_channel);
+}
+
+Tick Ftl::read_page(Tick now, std::uint64_t lpn, bool over_channel) {
+  const auto it = l2p_.find(lpn);
+  if (it == l2p_.end()) throw std::out_of_range("Ftl: read of unmapped LPN");
+  ++stats_.host_page_reads;
+  const FlashAddress addr = flash_.address_map().from_ppn(it->second);
+  return flash_.read_page(now, addr, over_channel);
+}
+
+}  // namespace fw::ssd

@@ -1,0 +1,94 @@
+// Page-level flash translation layer.
+//
+// The graph itself is written once at preprocessing time and never updated,
+// so the engine places it directly (see GraphLayout) and reserves the first
+// blocks of every plane for it. The FTL manages the remaining blocks for
+// runtime writes — completed/foreigner/overflow walk flushes — with
+// log-structured allocation, out-of-place update, and greedy garbage
+// collection, mirroring the MQSim FTL features the paper lists (§II.C).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ssd/flash_array.hpp"
+
+namespace fw::ssd {
+
+struct FtlStats {
+  std::uint64_t host_page_writes = 0;
+  std::uint64_t host_page_reads = 0;
+  std::uint64_t gc_page_moves = 0;
+  std::uint64_t gc_erases = 0;
+  std::uint32_t min_block_erases = 0;
+  std::uint32_t max_block_erases = 0;
+
+  [[nodiscard]] double write_amplification() const {
+    return host_page_writes == 0
+               ? 1.0
+               : 1.0 + static_cast<double>(gc_page_moves) /
+                           static_cast<double>(host_page_writes);
+  }
+
+  /// Wear spread across blocks (0 = perfectly even).
+  [[nodiscard]] std::uint32_t wear_spread() const {
+    return max_block_erases - min_block_erases;
+  }
+};
+
+class Ftl {
+ public:
+  /// `reserved_blocks_per_plane` blocks at the start of every plane hold the
+  /// immutable graph and are never allocated.
+  Ftl(FlashArray& flash, std::uint32_t reserved_blocks_per_plane);
+
+  /// Write one logical page; allocates a fresh physical page (round-robin
+  /// across channels/chips/planes for parallelism), invalidating any prior
+  /// mapping. Returns the program completion tick.
+  Tick write_page(Tick now, std::uint64_t lpn, bool over_channel = true);
+
+  /// Read a previously written logical page. Throws on unmapped LPN.
+  Tick read_page(Tick now, std::uint64_t lpn, bool over_channel = true);
+
+  [[nodiscard]] bool is_mapped(std::uint64_t lpn) const { return l2p_.contains(lpn); }
+  /// Stats with the wear counters folded in.
+  [[nodiscard]] FtlStats stats() const;
+  [[nodiscard]] std::uint32_t reserved_blocks_per_plane() const { return reserved_; }
+
+ private:
+  struct BlockState {
+    std::uint32_t written = 0;  ///< next page to program
+    std::uint32_t valid = 0;    ///< live pages
+    std::uint32_t erases = 0;   ///< wear counter
+  };
+
+  struct PlaneState {
+    std::vector<BlockState> blocks;       ///< indexed by block - reserved
+    std::uint32_t active_block = 0;
+    std::deque<std::uint32_t> free_blocks;
+  };
+
+  /// Pick the next physical page on the allocation cursor, running GC on
+  /// the target plane if it has no free block. Returns the PPN and the tick
+  /// at which the plane is ready (GC may delay it).
+  std::pair<std::uint64_t, Tick> allocate(Tick now);
+
+  Tick collect_garbage(Tick now, std::uint32_t plane_index);
+
+  [[nodiscard]] PlaneState& plane_state(std::uint32_t plane_index) {
+    return planes_[plane_index];
+  }
+
+  FlashArray& flash_;
+  std::uint32_t reserved_;
+  std::uint32_t usable_blocks_;  ///< per plane
+  std::vector<PlaneState> planes_;
+  std::unordered_map<std::uint64_t, std::uint64_t> l2p_;
+  std::unordered_map<std::uint64_t, std::uint64_t> p2l_;
+  std::uint32_t cursor_plane_ = 0;  ///< global plane round-robin cursor
+  mutable FtlStats stats_;
+};
+
+}  // namespace fw::ssd

@@ -1,0 +1,74 @@
+#include "ssd/graph_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ssd/address.hpp"
+
+namespace fw::ssd {
+
+GraphLayout::GraphLayout(const partition::PartitionedGraph& pg, const SsdConfig& ssd) {
+  const auto& topo = ssd.topo;
+  chips_total_ = topo.total_chips();
+  chips_per_channel_ = topo.chips_per_channel;
+  per_chip_.resize(chips_total_);
+  placements_.resize(pg.num_subgraphs());
+
+  AddressMap amap(topo);
+  // Pages already placed per chip, to derive plane striping offsets and the
+  // per-plane block reservation.
+  std::vector<std::uint64_t> chip_pages(chips_total_, 0);
+
+  std::uint32_t cursor = 0;
+  for (const auto& sg : pg.subgraphs()) {
+    const std::uint32_t chip_global = cursor;
+    cursor = (cursor + 1) % chips_total_;
+
+    SubgraphPlacement p;
+    p.channel = chip_global / topo.chips_per_channel;
+    p.chip = chip_global % topo.chips_per_channel;
+    p.num_pages = static_cast<std::uint32_t>(
+        (sg.payload_bytes + topo.page_bytes - 1) / topo.page_bytes);
+    if (p.num_pages == 0) p.num_pages = 1;
+    p.start_plane =
+        static_cast<std::uint32_t>(chip_pages[chip_global] % topo.planes_per_chip());
+
+    FlashAddress first;
+    first.channel = p.channel;
+    first.chip = p.chip;
+    first.plane = p.start_plane;
+    const std::uint64_t per_plane_pages =
+        chip_pages[chip_global] / topo.planes_per_chip();
+    first.block = static_cast<std::uint32_t>(per_plane_pages / topo.pages_per_block);
+    first.page = static_cast<std::uint32_t>(per_plane_pages % topo.pages_per_block);
+    p.first_ppn = amap.to_ppn(first);
+
+    chip_pages[chip_global] += p.num_pages;
+    placements_[sg.id] = p;
+    per_chip_[chip_global].push_back(sg.id);
+  }
+
+  std::uint64_t max_chip_pages = 0;
+  for (auto pages : chip_pages) max_chip_pages = std::max(max_chip_pages, pages);
+  const std::uint64_t per_plane =
+      (max_chip_pages + topo.planes_per_chip() - 1) / topo.planes_per_chip();
+  reserved_blocks_ =
+      static_cast<std::uint32_t>((per_plane + topo.pages_per_block - 1) /
+                                 topo.pages_per_block);
+  if (reserved_blocks_ >= topo.blocks_per_plane) {
+    throw std::runtime_error("GraphLayout: graph does not fit in the configured SSD");
+  }
+}
+
+const std::vector<SubgraphId>& GraphLayout::chip_subgraphs(std::uint32_t channel,
+                                                           std::uint32_t chip) const {
+  return per_chip_[channel * chips_per_channel_ + chip];
+}
+
+std::vector<std::uint64_t> GraphLayout::first_pages() const {
+  std::vector<std::uint64_t> pages(placements_.size());
+  for (std::size_t i = 0; i < placements_.size(); ++i) pages[i] = placements_[i].first_ppn;
+  return pages;
+}
+
+}  // namespace fw::ssd

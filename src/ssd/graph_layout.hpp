@@ -1,0 +1,56 @@
+// Static placement of graph blocks onto flash.
+//
+// Each subgraph (one graph block) lives wholly inside one chip, its pages
+// striped across that chip's planes — the paper restricts "subgraphs fetched
+// by a chip-level accelerator must be in the same chip's flash planes"
+// (§III.D), which this layout guarantees by construction. Chips are filled
+// round-robin so subgraph load across channels/chips is balanced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioned_graph.hpp"
+#include "ssd/config.hpp"
+
+namespace fw::ssd {
+
+struct SubgraphPlacement {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;         ///< within channel
+  std::uint32_t start_plane = 0;  ///< first plane of the page stripe
+  std::uint32_t num_pages = 0;
+  std::uint64_t first_ppn = 0;    ///< representative physical page number
+};
+
+class GraphLayout {
+ public:
+  GraphLayout(const partition::PartitionedGraph& pg, const SsdConfig& ssd);
+
+  [[nodiscard]] const SubgraphPlacement& placement(SubgraphId sg) const {
+    return placements_[sg];
+  }
+  [[nodiscard]] const std::vector<SubgraphPlacement>& placements() const {
+    return placements_;
+  }
+
+  /// Subgraphs stored in a given chip (used to scope per-chip scheduling and
+  /// channel-level hot-subgraph selection).
+  [[nodiscard]] const std::vector<SubgraphId>& chip_subgraphs(std::uint32_t channel,
+                                                              std::uint32_t chip) const;
+
+  /// Flash blocks per plane consumed by the graph (the FTL reserves them).
+  [[nodiscard]] std::uint32_t reserved_blocks_per_plane() const { return reserved_blocks_; }
+
+  /// First-page PPN per subgraph, for the mapping table's flash address field.
+  [[nodiscard]] std::vector<std::uint64_t> first_pages() const;
+
+ private:
+  std::uint32_t chips_total_;
+  std::uint32_t chips_per_channel_ = 1;
+  std::vector<SubgraphPlacement> placements_;
+  std::vector<std::vector<SubgraphId>> per_chip_;  // indexed channel*chips+chip
+  std::uint32_t reserved_blocks_ = 0;
+};
+
+}  // namespace fw::ssd

@@ -1,0 +1,71 @@
+#include "ssd/nvme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fw::ssd {
+
+NvmeInterface::NvmeInterface(SsdDevice& device, const NvmeConfig& config)
+    : device_(device), config_(config), pairs_(std::max<std::uint32_t>(1, config.queue_pairs)) {
+  if (config_.queue_depth == 0 || config_.mdts_bytes == 0) {
+    throw std::invalid_argument("NvmeConfig: zero queue depth or MDTS");
+  }
+}
+
+Tick NvmeInterface::reserve_slot(QueuePair& pair, Tick now) {
+  // Retire completions that have already landed.
+  while (!pair.outstanding.empty() && pair.outstanding.front() <= now) {
+    pair.outstanding.pop_front();
+  }
+  if (pair.outstanding.size() < config_.queue_depth) return now;
+  // Queue full: the submission waits for the oldest completion.
+  ++stats_.depth_stalls;
+  const Tick free_at = pair.outstanding.front();
+  pair.outstanding.pop_front();
+  return free_at;
+}
+
+Tick NvmeInterface::submit(Tick now, std::uint32_t qp, std::uint64_t bytes,
+                           bool is_write) {
+  if (bytes == 0) return now;
+  QueuePair& pair = pairs_[qp % pairs_.size()];
+
+  Tick last_completion = now;
+  std::uint64_t remaining = bytes;
+  Tick t = now;
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min(remaining, config_.mdts_bytes);
+    remaining -= chunk;
+
+    t = reserve_slot(pair, t);
+    // Controller fetches and decodes the command (shared across pairs —
+    // round-robin arbitration degenerates to FIFO here).
+    const Tick decoded = controller_.acquire(t, config_.command_process);
+    const Tick data_done = is_write ? device_.host_write(decoded, chunk)
+                                    : device_.host_read(decoded, chunk);
+    const Tick completed = data_done + config_.completion_post;
+    // Keep completions ordered oldest-first.
+    const auto pos =
+        std::upper_bound(pair.outstanding.begin(), pair.outstanding.end(), completed);
+    pair.outstanding.insert(pos, completed);
+
+    last_completion = std::max(last_completion, completed);
+    ++stats_.commands;
+    if (is_write) {
+      ++stats_.write_commands;
+    } else {
+      ++stats_.read_commands;
+    }
+  }
+  return last_completion;
+}
+
+Tick NvmeInterface::read(Tick now, std::uint32_t qp, std::uint64_t bytes) {
+  return submit(now, qp, bytes, /*is_write=*/false);
+}
+
+Tick NvmeInterface::write(Tick now, std::uint32_t qp, std::uint64_t bytes) {
+  return submit(now, qp, bytes, /*is_write=*/true);
+}
+
+}  // namespace fw::ssd

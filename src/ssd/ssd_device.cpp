@@ -1,0 +1,60 @@
+#include "ssd/ssd_device.hpp"
+
+#include <algorithm>
+
+namespace fw::ssd {
+
+SsdDevice::SsdDevice(FlashArray& flash)
+    : flash_(flash),
+      pcie_(flash.config().pcie.mb_per_s(), flash.config().pcie.dma_latency) {}
+
+Tick SsdDevice::host_read(Tick now, std::uint64_t bytes) {
+  if (bytes == 0) return now;
+  const auto& topo = flash_.config().topo;
+  const std::uint64_t pages = (bytes + topo.page_bytes - 1) / topo.page_bytes;
+
+  // Stripe page reads over chips: each involved chip senses its share of
+  // pages across its planes and ships them over its channel.
+  const std::uint32_t chips = topo.total_chips();
+  const std::uint64_t involved = std::min<std::uint64_t>(pages, chips);
+  Tick flash_done = now;
+  for (std::uint64_t i = 0; i < involved; ++i) {
+    const std::uint32_t chip_global = (stripe_cursor_ + static_cast<std::uint32_t>(i)) % chips;
+    const std::uint64_t chip_pages = pages / involved + (i < pages % involved ? 1 : 0);
+    const Tick t = flash_.read_chip_pages(
+        now, chip_global / topo.chips_per_channel, chip_global % topo.chips_per_channel,
+        /*start_plane=*/0, static_cast<std::uint32_t>(chip_pages), /*over_channel=*/true);
+    flash_done = std::max(flash_done, t);
+  }
+  stripe_cursor_ = (stripe_cursor_ + static_cast<std::uint32_t>(involved)) % chips;
+
+  host_read_bytes_ += bytes;
+  return pcie_.transfer(flash_done, bytes);
+}
+
+Tick SsdDevice::host_write(Tick now, std::uint64_t bytes) {
+  if (bytes == 0) return now;
+  const auto& topo = flash_.config().topo;
+  const Tick at_ssd = pcie_.transfer(now, bytes);
+  const std::uint64_t pages = (bytes + topo.page_bytes - 1) / topo.page_bytes;
+
+  const std::uint32_t chips = topo.total_chips();
+  const std::uint64_t involved = std::min<std::uint64_t>(pages, chips);
+  Tick done = at_ssd;
+  for (std::uint64_t i = 0; i < involved; ++i) {
+    const std::uint32_t chip_global = (stripe_cursor_ + static_cast<std::uint32_t>(i)) % chips;
+    const std::uint64_t chip_pages = pages / involved + (i < pages % involved ? 1 : 0);
+    for (std::uint64_t p = 0; p < chip_pages; ++p) {
+      FlashAddress addr;
+      addr.channel = chip_global / topo.chips_per_channel;
+      addr.chip = chip_global % topo.chips_per_channel;
+      addr.plane = static_cast<std::uint32_t>(p % topo.planes_per_chip());
+      done = std::max(done, flash_.program_page(at_ssd, addr, /*over_channel=*/true));
+    }
+  }
+  stripe_cursor_ = (stripe_cursor_ + static_cast<std::uint32_t>(involved)) % chips;
+  host_write_bytes_ += bytes;
+  return done;
+}
+
+}  // namespace fw::ssd

@@ -1,0 +1,44 @@
+// Host-facing SSD view: reads and writes travel flash plane → ONFI channel
+// → PCIe, the data path whose two narrow stages (channel bus, PCIe lanes)
+// motivate the whole paper. Used by the GraphWalker / DrunkardMob baselines.
+//
+// Large transfers are striped across every plane (the layout a filesystem's
+// large sequential file gets), so a host read's latency is the max of
+//   - per-plane sensing time   (pages/planes × tR),
+//   - per-channel bus time     (bytes/channels ÷ 333 MB/s),
+//   - PCIe time                (bytes ÷ 4 GB/s),
+// each charged against the real shared resources so concurrent requests
+// queue realistically.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/resource.hpp"
+#include "ssd/flash_array.hpp"
+
+namespace fw::ssd {
+
+class SsdDevice {
+ public:
+  explicit SsdDevice(FlashArray& flash);
+
+  /// Read `bytes` of (striped) data to the host. Returns completion tick.
+  Tick host_read(Tick now, std::uint64_t bytes);
+
+  /// Write `bytes` from the host (striped programs).
+  Tick host_write(Tick now, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t host_read_bytes() const { return host_read_bytes_; }
+  [[nodiscard]] std::uint64_t host_write_bytes() const { return host_write_bytes_; }
+  [[nodiscard]] const sim::BandwidthLink& pcie() const { return pcie_; }
+  [[nodiscard]] FlashArray& flash() { return flash_; }
+
+ private:
+  FlashArray& flash_;
+  sim::BandwidthLink pcie_;
+  std::uint32_t stripe_cursor_ = 0;  ///< rotates start channel for fairness
+  std::uint64_t host_read_bytes_ = 0;
+  std::uint64_t host_write_bytes_ = 0;
+};
+
+}  // namespace fw::ssd

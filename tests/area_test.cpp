@@ -1,0 +1,64 @@
+// Area model: Table II reproduction within documented tolerance, and
+// monotonicity properties used by the ablation benches.
+#include <gtest/gtest.h>
+
+#include "accel/area_model.hpp"
+
+namespace fw::accel {
+namespace {
+
+TEST(AreaModel, MatchesTableIIWithinTolerance) {
+  const AccelConfig cfg = paper_accel_config();
+  for (auto level : {AccelLevel::kChip, AccelLevel::kChannel, AccelLevel::kBoard}) {
+    const double model = estimate_area(cfg, level).total();
+    const double paper = paper_area_mm2(level);
+    EXPECT_NEAR(model, paper, 0.20 * paper)
+        << "level " << static_cast<int>(level) << ": model " << model << " vs paper "
+        << paper;
+  }
+}
+
+TEST(AreaModel, OrderingMatchesPaper) {
+  const AccelConfig cfg = paper_accel_config();
+  const double chip = estimate_area(cfg, AccelLevel::kChip).total();
+  const double channel = estimate_area(cfg, AccelLevel::kChannel).total();
+  const double board = estimate_area(cfg, AccelLevel::kBoard).total();
+  EXPECT_LT(chip, channel);
+  EXPECT_LT(channel, board);
+}
+
+TEST(AreaModel, SramGrowsWithBuffers) {
+  AccelConfig small = paper_accel_config();
+  AccelConfig big = paper_accel_config();
+  big.chip.subgraph_buffer_bytes *= 4;
+  EXPECT_GT(estimate_area(big, AccelLevel::kChip).sram_mm2,
+            estimate_area(small, AccelLevel::kChip).sram_mm2);
+}
+
+TEST(AreaModel, LogicGrowsWithPEs) {
+  AccelConfig more = paper_accel_config();
+  more.board.guiders *= 2;
+  EXPECT_GT(estimate_area(more, AccelLevel::kBoard).logic_mm2,
+            estimate_area(paper_accel_config(), AccelLevel::kBoard).logic_mm2);
+}
+
+TEST(AreaModel, OnlyBoardPaysForTables) {
+  const AccelConfig cfg = paper_accel_config();
+  EXPECT_EQ(estimate_area(cfg, AccelLevel::kChip).tables_mm2, 0.0);
+  EXPECT_EQ(estimate_area(cfg, AccelLevel::kChannel).tables_mm2, 0.0);
+  EXPECT_GT(estimate_area(cfg, AccelLevel::kBoard).tables_mm2, 0.0);
+}
+
+TEST(AreaModel, TotalSsdOverheadIsSmall) {
+  // The paper's pitch: the whole hierarchy (128 chip + 32 channel + 1 board
+  // accelerators) has acceptable area. Sanity: under ~400 mm² total at 45 nm.
+  const AccelConfig cfg = paper_accel_config();
+  const double total = 128 * estimate_area(cfg, AccelLevel::kChip).total() +
+                       32 * estimate_area(cfg, AccelLevel::kChannel).total() +
+                       estimate_area(cfg, AccelLevel::kBoard).total();
+  EXPECT_LT(total, 400.0);
+  EXPECT_GT(total, 50.0);
+}
+
+}  // namespace
+}  // namespace fw::accel

@@ -1,0 +1,275 @@
+// Unit tests for src/common: RNG, Bloom filter, cache model, top-N list,
+// statistics, table printer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/assoc_cache.hpp"
+#include "common/bloom.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/topn.hpp"
+#include "common/units.hpp"
+
+namespace fw {
+namespace {
+
+// --- RNG -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kTrials = 100'000;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.bounded(kBound)];
+  std::vector<double> expected(kBound, 1.0 / kBound);
+  // chi-square with 9 dof: 27.9 is p ~ 0.001
+  EXPECT_LT(chi_square(counts, expected), 27.9);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(sm.next(), first);
+}
+
+// --- Bloom filter ------------------------------------------------------------
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bf(1000, 0.01);
+  for (std::uint64_t k = 0; k < 1000; ++k) bf.insert(k * 7919);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(bf.may_contain(k * 7919));
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+  BloomFilter bf(10'000, 0.01);
+  for (std::uint64_t k = 0; k < 10'000; ++k) bf.insert(k);
+  int fp = 0;
+  const int kProbes = 20'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bf.may_contain(1'000'000 + i)) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(rate, 0.03);  // target 1%, generous bound
+  EXPECT_NEAR(bf.predicted_fpr(), 0.01, 0.01);
+}
+
+TEST(Bloom, EmptyFilterRejectsEverything) {
+  BloomFilter bf(100);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_FALSE(bf.may_contain(k));
+}
+
+TEST(Bloom, SizeGrowsWithItems) {
+  BloomFilter small(100), large(100'000);
+  EXPECT_LT(small.byte_size(), large.byte_size());
+}
+
+// --- AssocCacheModel -----------------------------------------------------------
+
+TEST(AssocCache, HitAfterInsert) {
+  AssocCacheModel cache(1024, 16, 4);
+  EXPECT_FALSE(cache.access(42));
+  EXPECT_TRUE(cache.access(42));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(AssocCache, LruEvictionWithinSet) {
+  // 1 set, 2 ways: third distinct key evicts the LRU.
+  AssocCacheModel cache(32, 16, 2);
+  ASSERT_EQ(cache.num_sets(), 1u);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);       // 1 is now MRU
+  cache.access(3);       // evicts 2
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+}
+
+TEST(AssocCache, ClearInvalidatesAll) {
+  AssocCacheModel cache(1024, 16);
+  cache.access(7);
+  cache.clear();
+  EXPECT_FALSE(cache.access(7));
+}
+
+TEST(AssocCache, HotWorkingSetHitsOften) {
+  AssocCacheModel cache(4096, 16, 4);  // 256 entries
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20'000; ++i) cache.access(rng.bounded(64));  // fits
+  EXPECT_GT(cache.hit_rate(), 0.95);
+}
+
+TEST(AssocCache, ColdStreamMissesOften) {
+  AssocCacheModel cache(1024, 16, 4);  // 64 entries
+  for (std::uint64_t i = 0; i < 10'000; ++i) cache.access(i);
+  EXPECT_LT(cache.hit_rate(), 0.01);
+}
+
+// --- TopNList ---------------------------------------------------------------------
+
+TEST(TopN, KeepsOnlyBestN) {
+  TopNList list(3);
+  for (std::uint64_t i = 0; i < 10; ++i) list.update(i, static_cast<double>(i));
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.contains(9));
+  EXPECT_TRUE(list.contains(8));
+  EXPECT_TRUE(list.contains(7));
+  EXPECT_FALSE(list.contains(0));
+}
+
+TEST(TopN, PopBestReturnsDescending) {
+  TopNList list(4);
+  list.update(1, 5.0);
+  list.update(2, 9.0);
+  list.update(3, 7.0);
+  EXPECT_EQ(list.pop_best()->first, 2u);
+  EXPECT_EQ(list.pop_best()->first, 3u);
+  EXPECT_EQ(list.pop_best()->first, 1u);
+  EXPECT_FALSE(list.pop_best().has_value());
+}
+
+TEST(TopN, UpdateExistingChangesScore) {
+  TopNList list(2);
+  list.update(1, 1.0);
+  list.update(2, 2.0);
+  list.update(1, 10.0);
+  EXPECT_EQ(list.peek_best()->first, 1u);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(TopN, RemoveDeletes) {
+  TopNList list(3);
+  list.update(5, 1.0);
+  list.remove(5);
+  EXPECT_TRUE(list.empty());
+  list.remove(5);  // idempotent
+}
+
+TEST(TopN, LowScoreDoesNotEnterFullList) {
+  TopNList list(2);
+  list.update(1, 10.0);
+  list.update(2, 20.0);
+  EXPECT_FALSE(list.update(3, 5.0));
+  EXPECT_FALSE(list.contains(3));
+}
+
+// --- Stats -------------------------------------------------------------------------
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Percentile, Median) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Geomean, Basic) {
+  std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-9);
+}
+
+TEST(Geomean, IgnoresNonPositive) {
+  std::vector<double> v{0.0, -3.0, 4.0, 4.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-9);
+}
+
+TEST(ChiSquare, UniformFitIsSmall) {
+  std::vector<std::uint64_t> obs{100, 101, 99, 100};
+  std::vector<double> exp(4, 0.25);
+  EXPECT_LT(chi_square(obs, exp), 1.0);
+}
+
+TEST(Log2Histogram, BucketsByMagnitude) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.buckets()[0], 1u);   // 0
+  EXPECT_EQ(h.buckets()[1], 1u);   // 1
+  EXPECT_EQ(h.buckets()[2], 2u);   // 2..3
+  EXPECT_EQ(h.buckets()[11], 1u);  // 1024
+}
+
+// --- Units / table -----------------------------------------------------------
+
+TEST(Units, TransferTime) {
+  EXPECT_EQ(transfer_time_ns(1'000'000, 1000), 1'000'000u);  // 1 MB @ 1 GB/s = 1 ms
+  EXPECT_EQ(transfer_time_ns(0, 333), 0u);
+  EXPECT_EQ(transfer_time_ns(333, 333), 1000u);  // 333 B @ 333 MB/s = 1 us
+  EXPECT_EQ(transfer_time_ns(1, 1000), 1u);      // rounds up
+}
+
+TEST(Units, Bandwidth) {
+  EXPECT_DOUBLE_EQ(bandwidth_mb_per_s(1'000'000, 1'000'000), 1000.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mb_per_s(100, 0), 0.0);
+}
+
+TEST(TextTable, PrintsAlignedRows) {
+  TextTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::bytes(2048), "2.00 KiB");
+  EXPECT_EQ(TextTable::time_ns(1'500'000), "1.500 ms");
+}
+
+}  // namespace
+}  // namespace fw

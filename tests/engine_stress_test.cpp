@@ -1,0 +1,187 @@
+// Engine stress and edge cases: pathological buffer sizes, poll intervals,
+// degenerate graphs, cache-clearing across partitions, hot-queue overflow
+// fallback, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include "accel/engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace fw::accel {
+namespace {
+
+partition::PartitionConfig small_pc(std::uint32_t per_partition = 1u << 20) {
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 4096;
+  pc.subgraphs_per_partition = per_partition;
+  pc.subgraphs_per_range = 8;
+  return pc;
+}
+
+EngineOptions small_opts(std::uint64_t walks = 2000) {
+  EngineOptions o;
+  o.ssd = ssd::test_ssd_config();
+  o.spec.num_walks = walks;
+  o.spec.length = 6;
+  o.spec.seed = 5;
+  return o;
+}
+
+TEST(EngineStress, TinyRovingBufferStillCompletes) {
+  // Roving buffer of one walk: chips stall constantly, channel polls must
+  // drain them; conservation must survive the stalling.
+  const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(3000);
+  opts.accel.chip.roving_buffer_bytes = 16;  // ~1 walk
+  FlashWalkerEngine engine(pg, opts);
+  EXPECT_EQ(engine.run().metrics.walks_completed, 3000u);
+}
+
+TEST(EngineStress, SlowPollIntervalStillCompletes) {
+  const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(2000);
+  opts.accel.roving_poll_interval = 500 * kUs;  // 250x the default
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 2000u);
+}
+
+TEST(EngineStress, FastPollIntervalStillCompletes) {
+  const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(2000);
+  opts.accel.roving_poll_interval = 100;  // 100 ns
+  FlashWalkerEngine engine(pg, opts);
+  EXPECT_EQ(engine.run().metrics.walks_completed, 2000u);
+}
+
+TEST(EngineStress, SingleSlotChips) {
+  const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(3000);
+  opts.accel.chip.subgraph_buffer_bytes = 4096;  // exactly one slot
+  FlashWalkerEngine engine(pg, opts);
+  EXPECT_EQ(engine.run().metrics.walks_completed, 3000u);
+}
+
+TEST(EngineStress, TinyHotQueuesFallBackToPwb) {
+  // Hot queues that hold almost nothing: the full path must reroute via the
+  // partition walk buffer instead of dropping walks.
+  const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(5000);
+  opts.accel.board.walk_queue_bytes = 64;
+  opts.accel.channel.walk_queue_bytes = 64;
+  FlashWalkerEngine engine(pg, opts);
+  EXPECT_EQ(engine.run().metrics.walks_completed, 5000u);
+}
+
+TEST(EngineStress, SelfLoopGraph) {
+  // Every vertex loops to itself: walks never leave their subgraph.
+  graph::GraphBuilder b(256);
+  for (VertexId v = 0; v < 256; ++v) b.add_edge(v, v);
+  const auto g = std::move(b).build();
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(1000);
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 1000u);
+  EXPECT_EQ(r.metrics.total_hops, 6000u);  // all walks run the full length
+}
+
+TEST(EngineStress, AllDeadEndsGraph) {
+  // No vertex has out-edges: every walk dies on its first update.
+  graph::GraphBuilder b(64);
+  b.add_edge(0, 1);  // one edge so the graph is non-empty
+  const auto g = std::move(b).build();
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(500);
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 500u);
+  EXPECT_GE(r.metrics.dead_ends, 400u);
+}
+
+TEST(EngineStress, StarGraphSerializesOnOneSubgraph) {
+  // All edges point at one hub: extreme skew, one dense-or-hot subgraph
+  // absorbs everything.
+  graph::GraphBuilder b(4096);
+  for (VertexId v = 1; v < 4096; ++v) {
+    b.add_edge(v, 0);
+    b.add_edge(0, v);
+  }
+  const auto g = std::move(b).build();
+  partition::PartitionedGraph pg(g, small_pc());
+  ASSERT_TRUE(pg.is_dense_vertex(0));  // 4095 out-edges > one 4 KiB block
+  auto opts = small_opts(2000);
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 2000u);
+  // Every other hop returns to the dense hub: pre-walking must fire.
+  EXPECT_GT(r.metrics.dense_prewalks, 0u);
+}
+
+TEST(EngineStress, WalkLengthOne) {
+  const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(2000);
+  opts.spec.length = 1;
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 2000u);
+  EXPECT_LE(r.metrics.total_hops, 2000u);
+}
+
+TEST(EngineStress, LongWalks) {
+  const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(500);
+  opts.spec.length = 64;
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 500u);
+  EXPECT_LE(r.metrics.total_hops, 500u * 64);
+}
+
+TEST(EngineStress, QueryCachesClearAcrossPartitions) {
+  // With multiple partitions, cache hit counts must reflect the clears:
+  // run two configurations and confirm conservation + nonzero switches.
+  const auto g = graph::make_dataset(graph::DatasetId::CW, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc(/*per_partition=*/8));
+  auto opts = small_opts(4000);
+  FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 4000u);
+  EXPECT_GT(r.metrics.partition_switches, 0u);
+  EXPECT_GT(r.metrics.range_foreigner_hints, 0u);  // channel foreigner check fires
+}
+
+TEST(EngineStress, UtilizationAccountingSane) {
+  const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  FlashWalkerEngine engine(pg, small_opts(10'000));
+  const auto r = engine.run();
+  ASSERT_EQ(r.chip_utilization.size(),
+            ssd::test_ssd_config().topo.total_chips());
+  for (const double u : r.chip_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GT(r.mean_chip_utilization(), 0.0);
+  EXPECT_GE(r.max_chip_utilization(), r.mean_chip_utilization());
+}
+
+TEST(EngineStress, BatchSizeOneMatchesConservation) {
+  const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionedGraph pg(g, small_pc());
+  auto opts = small_opts(1000);
+  opts.accel.batch_walks = 1;
+  FlashWalkerEngine engine(pg, opts);
+  EXPECT_EQ(engine.run().metrics.walks_completed, 1000u);
+}
+
+}  // namespace
+}  // namespace fw::accel

@@ -1,0 +1,204 @@
+// Graph algorithms & transforms: BFS, WCC, PageRank, triangle proxy,
+// reverse/symmetrize/relabel, ordering permutations, and edge locality.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace fw::graph {
+namespace {
+
+CsrGraph chain(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+TEST(Bfs, LevelsOnChain) {
+  const auto g = chain(5);
+  const auto levels = bfs_levels(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(levels[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto g = std::move(b).build();
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], ~0u);
+  EXPECT_EQ(levels[3], ~0u);
+}
+
+TEST(Wcc, TwoComponents) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const auto g = std::move(b).build();
+  std::uint32_t n = 0;
+  const auto comp = weakly_connected_components(g, &n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(largest_wcc_size(g), 3u);
+}
+
+TEST(Wcc, DirectionIgnored) {
+  GraphBuilder b(3);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const auto g = std::move(b).build();
+  std::uint32_t n = 0;
+  weakly_connected_components(g, &n);
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(Pagerank, SumsToOne) {
+  RmatParams p;
+  p.num_vertices = 512;
+  p.num_edges = 4096;
+  const auto g = generate_rmat(p);
+  const auto pr = pagerank(g);
+  const double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Pagerank, HubOutranksLeaf) {
+  // Everyone points to vertex 0; 0 points to 1.
+  GraphBuilder b(6);
+  for (VertexId v = 1; v < 6; ++v) b.add_edge(v, 0);
+  b.add_edge(0, 1);
+  const auto g = std::move(b).build();
+  const auto pr = pagerank(g);
+  for (VertexId v = 2; v < 6; ++v) EXPECT_GT(pr[0], pr[v]);
+}
+
+TEST(Triangles, TriangleDetected) {
+  GraphBuilder b(3);
+  for (VertexId v = 0; v < 3; ++v) {
+    for (VertexId u = 0; u < 3; ++u) {
+      if (v != u) b.add_edge(v, u);
+    }
+  }
+  const auto g = std::move(b).build();
+  EXPECT_GT(count_triangles(g), 0u);
+}
+
+TEST(Triangles, ChainHasNone) {
+  EXPECT_EQ(count_triangles(chain(10)), 0u);
+}
+
+// --- transforms ----------------------------------------------------------------
+
+TEST(Transform, ReverseFlipsEdges) {
+  const auto g = chain(4);
+  const auto r = reverse(g);
+  EXPECT_EQ(r.out_degree(0), 0u);
+  EXPECT_EQ(r.out_degree(3), 1u);
+  EXPECT_EQ(r.neighbors(3)[0], 2u);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+}
+
+TEST(Transform, ReverseIsInvolution) {
+  RmatParams p;
+  p.num_vertices = 256;
+  p.num_edges = 2048;
+  const auto g = generate_rmat(p);
+  const auto rr = reverse(reverse(g));
+  EXPECT_EQ(rr.offsets(), g.offsets());
+  EXPECT_EQ(rr.edges(), g.edges());
+}
+
+TEST(Transform, ReversePreservesWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 3.5f);
+  BuildOptions opts;
+  opts.keep_weights = true;
+  const auto g = std::move(b).build(opts);
+  const auto r = reverse(g);
+  ASSERT_TRUE(r.weighted());
+  EXPECT_FLOAT_EQ(r.edge_weights(1)[0], 3.5f);
+}
+
+TEST(Transform, SymmetrizeMakesDegreesMatch) {
+  const auto g = chain(5);
+  const auto s = symmetrize(g);
+  const auto in = s.compute_in_degrees();
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(s.out_degree(v), in[v]);
+}
+
+TEST(Transform, RelabelPreservesStructure) {
+  RmatParams p;
+  p.num_vertices = 128;
+  p.num_edges = 1024;
+  const auto g = generate_rmat(p);
+  const auto perm = random_order(g, 7);
+  const auto h = relabel(g, perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // Edge (v, u) in g iff (perm[v], perm[u]) in h.
+  for (VertexId v = 0; v < g.num_vertices(); v += 5) {
+    for (VertexId u : g.neighbors(v)) {
+      const auto nbrs = h.neighbors(perm[v]);
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), perm[u]));
+    }
+  }
+}
+
+TEST(Transform, RelabelRejectsBadPermutation) {
+  const auto g = chain(4);
+  EXPECT_THROW(relabel(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(Transform, OrderingsArePermutations) {
+  RmatParams p;
+  p.num_vertices = 256;
+  p.num_edges = 2048;
+  const auto g = generate_rmat(p);
+  for (const auto& perm : {bfs_order(g), degree_order(g), random_order(g, 3)}) {
+    std::vector<bool> seen(g.num_vertices(), false);
+    for (VertexId id : perm) {
+      ASSERT_LT(id, g.num_vertices());
+      ASSERT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(Transform, DegreeOrderPutsHubsFirst) {
+  ZipfParams p;
+  p.num_vertices = 512;
+  p.num_edges = 8192;
+  const auto g = generate_zipf(p);
+  const auto perm = degree_order(g);
+  const auto h = relabel(g, perm);
+  EXPECT_GE(h.out_degree(0), h.out_degree(100));
+  EXPECT_GE(h.out_degree(0), h.out_degree(511));
+}
+
+TEST(Transform, BfsOrderImprovesLocalityOverRandom) {
+  RmatParams p;
+  p.num_vertices = 1 << 12;
+  p.num_edges = 1 << 15;
+  const auto g = generate_rmat(p);
+  const auto bfs = relabel(g, bfs_order(g));
+  const auto rnd = relabel(g, random_order(g, 5));
+  constexpr VertexId kSpan = 256;
+  EXPECT_GT(edge_locality(bfs, kSpan), edge_locality(rnd, kSpan));
+}
+
+TEST(Transform, EdgeLocalityBounds) {
+  const auto g = chain(100);
+  EXPECT_GT(edge_locality(g, 50), 0.9);  // chains are maximally local
+  EXPECT_EQ(edge_locality(g, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fw::graph

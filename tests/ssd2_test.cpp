@@ -1,0 +1,172 @@
+// Tests for the deeper SSD substrates: banked DRAM timing, the NVMe host
+// interface (MDTS splitting, queue-depth backpressure, multi-queue), and
+// FTL wear leveling.
+#include <gtest/gtest.h>
+
+#include "ssd/dram_banked.hpp"
+#include "ssd/ftl.hpp"
+#include "ssd/nvme.hpp"
+
+namespace fw::ssd {
+namespace {
+
+// --- BankedDram --------------------------------------------------------------
+
+TEST(BankedDram, RowHitIsCheaperThanMiss) {
+  BankedDram dram{DramConfig{}};
+  // First access to a row: activate + CAS.
+  const Tick t1 = dram.access(0, /*addr=*/0, 64);
+  // Same row immediately after: CAS only — strictly sooner per byte.
+  BankedDram dram2{DramConfig{}};
+  dram2.access(0, 0, 64);
+  const Tick t_hit = dram2.access(t1, 0, 64) - t1;
+  BankedDram dram3{DramConfig{}};
+  const Tick t_coldmiss = dram3.access(0, 0, 64);
+  EXPECT_LT(t_hit, t_coldmiss);
+  EXPECT_EQ(dram3.stats().row_misses, 1u);
+}
+
+TEST(BankedDram, SequentialStreamHitsRows) {
+  BankedDram dram{DramConfig{}, 8, 2048};
+  Tick t = 0;
+  for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
+    t = dram.access(t, a, 64);
+  }
+  EXPECT_GT(dram.stats().row_hit_rate(), 0.9);
+}
+
+TEST(BankedDram, ScatteredAccessesMissRows) {
+  BankedDram dram{DramConfig{}, 8, 2048};
+  Tick t = 0;
+  // Stride far beyond the row size and bank count.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    t = dram.access(t, i * 1'000'003, 16);
+  }
+  EXPECT_LT(dram.stats().row_hit_rate(), 0.1);
+}
+
+TEST(BankedDram, ScatteredSlowerThanSequential) {
+  BankedDram seq{DramConfig{}, 8, 2048};
+  BankedDram scat{DramConfig{}, 8, 2048};
+  Tick t_seq = 0, t_scat = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    t_seq = seq.access(t_seq, i * 16, 16);
+    t_scat = scat.access(t_scat, i * 1'000'003, 16);
+  }
+  EXPECT_GT(t_scat, t_seq);
+}
+
+TEST(BankedDram, TimingDerivation) {
+  BankedDram dram{DramConfig{}};  // DDR4-1600: tCK = 1.25 ns
+  EXPECT_EQ(dram.t_cas(), static_cast<Tick>(22 * 1.25));
+  EXPECT_EQ(dram.t_rcd(), static_cast<Tick>(22 * 1.25));
+  EXPECT_EQ(dram.t_ras(), static_cast<Tick>(52 * 1.25));
+}
+
+TEST(BankedDram, BytesAccounted) {
+  BankedDram dram{DramConfig{}};
+  dram.access(0, 0, 100);
+  dram.access(0, 5000, 200);
+  EXPECT_EQ(dram.bytes_moved(), 300u);
+  EXPECT_EQ(dram.stats().accesses, 2u);
+}
+
+// --- NVMe --------------------------------------------------------------------
+
+struct NvmeFixture : ::testing::Test {
+  NvmeFixture() : flash(test_ssd_config()), dev(flash), nvme(dev, NvmeConfig{}) {}
+  FlashArray flash;
+  SsdDevice dev;
+  NvmeInterface nvme;
+};
+
+TEST_F(NvmeFixture, MdtsSplitsLargeTransfers) {
+  const auto mdts = nvme.config().mdts_bytes;
+  nvme.read(0, 0, 4 * mdts + 1);
+  EXPECT_EQ(nvme.stats().commands, 5u);
+  EXPECT_EQ(nvme.stats().read_commands, 5u);
+}
+
+TEST_F(NvmeFixture, SmallTransferIsOneCommand) {
+  nvme.read(0, 0, 4096);
+  EXPECT_EQ(nvme.stats().commands, 1u);
+}
+
+TEST_F(NvmeFixture, ZeroBytesIsFree) {
+  EXPECT_EQ(nvme.read(42, 0, 0), 42u);
+  EXPECT_EQ(nvme.stats().commands, 0u);
+}
+
+TEST_F(NvmeFixture, CommandOverheadAdds) {
+  // Through NVMe, a read completes later than the raw device path.
+  FlashArray flash2(test_ssd_config());
+  SsdDevice dev2(flash2);
+  const Tick raw = dev2.host_read(0, 64 * KiB);
+  const Tick via_nvme = nvme.read(0, 0, 64 * KiB);
+  EXPECT_GT(via_nvme, raw);
+}
+
+TEST_F(NvmeFixture, WritesCounted) {
+  nvme.write(0, 1, 8 * KiB);
+  EXPECT_EQ(nvme.stats().write_commands, 1u);
+}
+
+TEST(Nvme, QueueDepthBackpressure) {
+  FlashArray flash(test_ssd_config());
+  SsdDevice dev(flash);
+  NvmeConfig cfg;
+  cfg.queue_pairs = 1;
+  cfg.queue_depth = 2;
+  cfg.mdts_bytes = 4096;
+  NvmeInterface nvme(dev, cfg);
+  // 16 pages split into 16 commands against depth 2: must stall.
+  nvme.read(0, 0, 16 * 4096);
+  EXPECT_GT(nvme.stats().depth_stalls, 0u);
+}
+
+TEST(Nvme, DeeperQueueFinishesNoLater) {
+  auto run = [](std::uint32_t depth) {
+    FlashArray flash(test_ssd_config());
+    SsdDevice dev(flash);
+    NvmeConfig cfg;
+    cfg.queue_depth = depth;
+    cfg.mdts_bytes = 4096;
+    NvmeInterface nvme(dev, cfg);
+    return nvme.read(0, 0, 64 * 4096);
+  };
+  EXPECT_LE(run(64), run(1));
+}
+
+TEST(Nvme, RejectsZeroDepth) {
+  FlashArray flash(test_ssd_config());
+  SsdDevice dev(flash);
+  NvmeConfig cfg;
+  cfg.queue_depth = 0;
+  EXPECT_THROW(NvmeInterface(dev, cfg), std::invalid_argument);
+}
+
+// --- FTL wear leveling ----------------------------------------------------------
+
+TEST(FtlWear, EraseCountsTracked) {
+  SsdConfig cfg = test_ssd_config();
+  cfg.topo.channels = 1;
+  cfg.topo.chips_per_channel = 1;
+  cfg.topo.dies_per_chip = 1;
+  cfg.topo.planes_per_die = 1;
+  cfg.topo.blocks_per_plane = 4;
+  cfg.topo.pages_per_block = 4;
+  FlashArray flash(cfg);
+  Ftl ftl(flash, 1);
+  for (int round = 0; round < 40; ++round) {
+    for (std::uint64_t lpn = 0; lpn < 4; ++lpn) ftl.write_page(0, lpn);
+  }
+  const auto stats = ftl.stats();
+  EXPECT_GT(stats.gc_erases, 0u);
+  EXPECT_GT(stats.max_block_erases, 0u);
+  // Wear-aware victim selection keeps wear within a small spread.
+  EXPECT_LE(stats.wear_spread(), stats.max_block_erases);
+  EXPECT_LE(stats.wear_spread(), 4u);
+}
+
+}  // namespace
+}  // namespace fw::ssd
