@@ -1,8 +1,12 @@
 #include "bench_common.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace fw::bench {
 
@@ -71,8 +75,21 @@ accel::EngineResult run_flashwalker(const RunConfig& cfg) {
   opts.spec.seed = cfg.seed;
   opts.record_visits = false;
   opts.timeline_interval = cfg.timeline_interval;
+  obs::TraceRecorder trace;
+  if (!cfg.trace_out.empty()) opts.trace = &trace;
   accel::FlashWalkerEngine engine(bench_partitioned(cfg.dataset), opts);
-  return engine.run();
+  auto result = engine.run();
+  if (!cfg.trace_out.empty()) {
+    std::ofstream out(cfg.trace_out);
+    trace.write_json(out);
+    out << "\n";
+  }
+  if (!cfg.metrics_out.empty()) {
+    std::ofstream out(cfg.metrics_out);
+    obs::write_counters_json(out, result.counters);
+    out << "\n";
+  }
+  return result;
 }
 
 baseline::BaselineResult run_graphwalker(const RunConfig& cfg) {

@@ -38,6 +38,10 @@ struct RunConfig {
   std::uint64_t host_memory_bytes = 0;  ///< 0 = bench_host() default
   Tick timeline_interval = 0;
   std::uint64_t seed = 42;
+  /// When set, the FlashWalker run writes a Chrome trace_event JSON here.
+  std::string trace_out;
+  /// When set, the FlashWalker run writes its nested counter JSON here.
+  std::string metrics_out;
 };
 
 struct ComparisonResult {

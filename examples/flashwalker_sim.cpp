@@ -17,11 +17,19 @@
 //     --memory BYTES               GraphWalker cache (default 6 MiB)
 //     --scale test|small|bench     dataset scale (default bench)
 //     --seed N
+//     --json PATH                  full FlashWalker run report as JSON
+//     --trace-out PATH             Chrome trace_event JSON of the FW run
+//                                  (open in Perfetto / chrome://tracing)
+//     --metrics-out PATH           hierarchical counter JSON for every
+//                                  engine that ran (artifact comparison)
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "accel/energy_model.hpp"
 #include "accel/report.hpp"
@@ -34,6 +42,8 @@
 #include "graph/datasets.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 using namespace fw;
 
@@ -52,6 +62,8 @@ struct CliOptions {
   graph::Scale scale = graph::Scale::kBench;
   std::uint64_t seed = 42;
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +72,7 @@ struct CliOptions {
                "       [--length N] [--biased] [--node2vec P Q]\n"
                "       [--engines fw,gw,dm,tr,gs] [--no-wq] [--no-hs] [--no-ss]\n"
                "       [--memory BYTES] [--scale test|small|bench] [--seed N]\n"
-               "       [--json PATH]\n";
+               "       [--json PATH] [--trace-out PATH] [--metrics-out PATH]\n";
   std::exit(2);
 }
 
@@ -118,6 +130,10 @@ CliOptions parse(int argc, char** argv) {
       o.seed = std::strtoull(need(i), nullptr, 10);
     } else if (arg == "--json") {
       o.json_path = need(i);
+    } else if (arg == "--trace-out") {
+      o.trace_path = need(i);
+    } else if (arg == "--metrics-out") {
+      o.metrics_path = need(i);
     } else {
       usage(argv[0]);
     }
@@ -172,6 +188,8 @@ int main(int argc, char** argv) {
   TextTable table({"engine", "time", "hops", "flash read", "flash write",
                    "read BW MB/s", "energy mJ"});
   Tick fw_time = 0;
+  // Per-engine counter payloads for --metrics-out: {"flashwalker": {...}, ...}.
+  std::vector<std::pair<std::string, std::string>> metric_parts;
 
   if (cli.run_fw) {
     const partition::PartitionedGraph pg(g, pc);
@@ -181,9 +199,27 @@ int main(int argc, char** argv) {
     opts.accel.features = cli.features;
     opts.spec = spec;
     opts.record_visits = false;
+    obs::TraceRecorder trace;
+    if (!cli.trace_path.empty()) opts.trace = &trace;
     accel::FlashWalkerEngine engine(pg, opts);
     const auto r = engine.run();
     fw_time = r.exec_time;
+    if (!cli.trace_path.empty()) {
+      std::ofstream out(cli.trace_path);
+      if (!out) {
+        std::cerr << "cannot write " << cli.trace_path << "\n";
+      } else {
+        trace.write_json(out);
+        out << "\n";
+        std::cout << "wrote Chrome trace (" << trace.num_events() << " events) to "
+                  << cli.trace_path << "\n";
+      }
+    }
+    if (!cli.metrics_path.empty()) {
+      std::ostringstream ss;
+      accel::write_counters_json(ss, r);
+      metric_parts.emplace_back("flashwalker", ss.str());
+    }
     if (!cli.json_path.empty()) {
       std::ofstream json(cli.json_path);
       accel::write_json(json, "flashwalker", r);
@@ -198,7 +234,13 @@ int main(int argc, char** argv) {
                    TextTable::num(r.flash_read_mb_per_s(), 0),
                    TextTable::num(e.total_j() * 1e3, 1)});
   }
-  auto add_baseline = [&](const std::string& name, const baseline::BaselineResult& r) {
+  auto add_baseline = [&](const std::string& name, const std::string& key,
+                          const baseline::BaselineResult& r) {
+    if (!cli.metrics_path.empty()) {
+      std::ostringstream ss;
+      accel::write_counters_json(ss, r);
+      metric_parts.emplace_back(key, ss.str());
+    }
     const auto e = accel::estimate_baseline(r, ssd_cfg);
     table.add_row({name, TextTable::time_ns(r.exec_time), std::to_string(r.total_hops),
                    TextTable::bytes(r.flash_read_bytes), TextTable::bytes(r.bytes_written),
@@ -219,7 +261,7 @@ int main(int argc, char** argv) {
     opts.host.memory_bytes = cli.memory;
     opts.record_visits = false;
     baseline::GraphWalkerEngine engine(g, opts);
-    add_baseline("GraphWalker", engine.run());
+    add_baseline("GraphWalker", "graphwalker", engine.run());
   }
   if (cli.run_dm) {
     baseline::DrunkardMobOptions opts;
@@ -228,7 +270,7 @@ int main(int argc, char** argv) {
     opts.host.memory_bytes = cli.memory;
     opts.record_visits = false;
     baseline::DrunkardMobEngine engine(g, opts);
-    add_baseline("DrunkardMob", engine.run());
+    add_baseline("DrunkardMob", "drunkardmob", engine.run());
   }
   if (cli.run_gs) {
     baseline::GraphSsdOptions opts;
@@ -237,7 +279,7 @@ int main(int argc, char** argv) {
     opts.host.memory_bytes = cli.memory;
     opts.record_visits = false;
     baseline::GraphSsdEngine engine(g, opts);
-    add_baseline("GraphSSD (semantic reads)", engine.run());
+    add_baseline("GraphSSD (semantic reads)", "graphssd", engine.run());
   }
   if (cli.run_tr) {
     baseline::ThunderOptions opts;
@@ -246,7 +288,21 @@ int main(int argc, char** argv) {
     opts.host.memory_bytes = std::max<std::uint64_t>(cli.memory, g.csr_size_bytes() + MiB);
     opts.record_visits = false;
     baseline::ThunderEngine engine(g, opts);
-    add_baseline("ThunderRW (in-memory)", engine.run());
+    add_baseline("ThunderRW (in-memory)", "thunderrw", engine.run());
+  }
+  if (!cli.metrics_path.empty()) {
+    std::ofstream out(cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli.metrics_path << "\n";
+      return 1;
+    }
+    out << '{';
+    for (std::size_t i = 0; i < metric_parts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '"' << metric_parts[i].first << "\":" << metric_parts[i].second;
+    }
+    out << "}\n";
+    std::cout << "wrote metrics JSON to " << cli.metrics_path << "\n";
   }
   table.print(std::cout);
   return 0;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <span>
 #include <stdexcept>
+#include <string>
 
 namespace fw::accel {
 namespace {
@@ -21,6 +22,12 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
   flash_ = std::make_unique<ssd::FlashArray>(opt_.ssd);
   layout_ = std::make_unique<ssd::GraphLayout>(pg, opt_.ssd);
   ftl_ = std::make_unique<ssd::Ftl>(*flash_, layout_->reserved_blocks_per_plane());
+  ftl_->attach_observability(&registry_, opt_.trace);
+  // Walk flushes cycle through a bounded LPN window sized well under the
+  // FTL's spare capacity, so steady flushing overwrites (and invalidates)
+  // earlier pages instead of marching through fresh LPNs forever — that is
+  // what gives garbage collection something to reclaim.
+  flush_window_ = std::clamp<std::uint64_t>(ftl_->host_capacity_pages() / 3, 1, 1024);
   dram_ = std::make_unique<ssd::BankedDram>(opt_.ssd.dram);
   mtab_ = std::make_unique<partition::SubgraphMappingTable>(pg, layout_->first_pages());
   dtab_ = std::make_unique<partition::DenseVertexTable>(pg);
@@ -67,6 +74,18 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
   if (opt_.record_endpoints) endpoints_.assign(pg.graph().num_vertices(), 0);
   if (opt_.timeline_interval > 0) {
     timeline_ = std::make_unique<sim::TimelineRecorder>(opt_.timeline_interval);
+  }
+  if (opt_.trace != nullptr) {
+    for (auto& c : chips_) {
+      c.trace_track =
+          opt_.trace->register_track("chip", "chip." + std::to_string(c.global));
+    }
+    for (auto& ch : channels_) {
+      ch.trace_track =
+          opt_.trace->register_track("channel", "channel." + std::to_string(ch.index));
+    }
+    board_.guider_track = opt_.trace->register_track("board", "guider");
+    board_.updater_track = opt_.trace->register_track("board", "updater");
   }
 }
 
@@ -205,6 +224,25 @@ void FlashWalkerEngine::schedule_heartbeats() {
     };
     sim_.schedule(interval, [tick]() mutable { tick(tick); });
   }
+  if (opt_.trace != nullptr) {
+    // Periodic counter samples give the trace its progress overlays. Reuse
+    // the Fig-8 cadence when timeline sampling is on; otherwise sample at a
+    // coarse multiple of the roving poll so the overhead stays negligible.
+    const Tick interval = opt_.timeline_interval > 0
+                              ? opt_.timeline_interval
+                              : opt_.accel.roving_poll_interval * 64;
+    auto sample = [this, interval](auto&& self) -> void {
+      const Tick now = sim_.now();
+      opt_.trace->counter("engine.walks_completed", now, metrics_.walks_completed);
+      opt_.trace->counter("flash.read_bytes", now, flash_->read_bytes());
+      opt_.trace->counter("flash.write_bytes", now, flash_->programmed_bytes());
+      opt_.trace->counter("dram.bytes", now, dram_->bytes_moved());
+      if (!done_) {
+        sim_.schedule(interval, [self]() mutable { self(self); });
+      }
+    };
+    sim_.schedule(interval, [sample]() mutable { sample(sample); });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -277,10 +315,11 @@ void FlashWalkerEngine::flush_walk_pages(std::uint64_t bytes, std::uint64_t& cou
   const std::uint32_t page = opt_.ssd.topo.page_bytes;
   const std::uint64_t pages = (bytes + page - 1) / page;
   for (std::uint64_t i = 0; i < pages; ++i) {
-    // Rolling LPN window: later flushes overwrite older (already consumed)
-    // walk pages, so long runs exercise FTL garbage collection.
+    // Rolling LPN window (sized in the constructor from FTL capacity): later
+    // flushes overwrite older (already consumed) walk pages, invalidating
+    // them so FTL garbage collection has blocks to reclaim.
     ftl_->write_page(sim_.now(), flush_lpn_);
-    flush_lpn_ = (flush_lpn_ + 1) % 16384;
+    flush_lpn_ = (flush_lpn_ + 1) % flush_window_;
     ++counter;
   }
 }
@@ -563,6 +602,11 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
     metrics_.walk_reload_pages += pages;
   }
 
+  if (opt_.trace != nullptr) {
+    opt_.trace->complete(c.trace_track, refresh ? "walk_fetch" : "sg_load", t_cmd, done,
+                         sg, "subgraph");
+  }
+
   sim_.schedule_at(done, [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
     LoadedSg& s = c.slots[slot_idx];
     s.sg = sg;
@@ -610,6 +654,7 @@ void FlashWalkerEngine::process_chip(ChipState& c) {
     const HopOutcome hop = update_walk(w, sg);
     cost += (5 + hop.extra_cycles) * ucycle;
     ++metrics_.chip_updates;
+    ++c.updates;
 
     if (hop.completed) {
       complete_walk(w, c.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
@@ -644,6 +689,10 @@ void FlashWalkerEngine::process_chip(ChipState& c) {
   }
   (void)stalled;
   const Tick completion = c.unit.acquire(sim_.now(), cost);
+  if (opt_.trace != nullptr && cost > 0) {
+    opt_.trace->complete(c.trace_track, "update", completion - cost, completion,
+                         processed, "walks");
+  }
   c.processing = true;
   sim_.schedule_at(completion, [this, &c] {
     c.processing = false;
@@ -722,6 +771,10 @@ void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> w
   }
 
   const Tick completion = ch.unit.acquire(sim_.now(), cost);
+  if (opt_.trace != nullptr && cost > 0) {
+    opt_.trace->complete(ch.trace_track, "rove", completion - cost, completion,
+                         walks.size(), "walks");
+  }
   if (!to_board.empty()) {
     metrics_.to_board_walks += to_board.size();
     sim_.schedule_at(completion, [this, walks2 = std::move(to_board)]() mutable {
@@ -771,6 +824,7 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
     const HopOutcome hop = update_walk(w, sg);
     cost += (5 + hop.extra_cycles) * ucycle / updaters;
     ++metrics_.channel_updates;
+    ++ch.updates;
 
     if (hop.completed) {
       complete_walk(w, board_.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
@@ -804,6 +858,10 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
   }
 
   const Tick completion = ch.unit.acquire(sim_.now(), cost);
+  if (opt_.trace != nullptr && cost > 0) {
+    opt_.trace->complete(ch.trace_track, "update", completion - cost, completion,
+                         processed, "walks");
+  }
   ch.processing = true;
   sim_.schedule_at(completion, [this, &ch, walks = std::move(to_board)]() mutable {
     ch.processing = false;
@@ -852,6 +910,10 @@ void FlashWalkerEngine::process_board_guider() {
   }
   const Tick cost = static_cast<Tick>(cycles) * gcycle / guiders;
   const Tick completion = board_.guider_unit.acquire(sim_.now(), cost);
+  if (opt_.trace != nullptr && cost > 0) {
+    opt_.trace->complete(board_.guider_track, "guide", completion - cost, completion,
+                         processed, "walks");
+  }
   board_.guiding = true;
   sim_.schedule_at(completion, [this, touched = std::move(touched_chips)] {
     board_.guiding = false;
@@ -900,6 +962,7 @@ void FlashWalkerEngine::process_board_updater() {
     const HopOutcome hop = update_walk(w, sg);
     cost += (5 + hop.extra_cycles) * ucycle / updaters;
     ++metrics_.board_updates;
+    ++board_.updates;
 
     if (hop.completed) {
       complete_walk(w, board_.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
@@ -910,6 +973,10 @@ void FlashWalkerEngine::process_board_updater() {
   }
 
   const Tick completion = board_.updater_unit.acquire(sim_.now(), cost);
+  if (opt_.trace != nullptr && cost > 0) {
+    opt_.trace->complete(board_.updater_track, "update", completion - cost, completion,
+                         processed, "walks");
+  }
   board_.updating = true;
   sim_.schedule_at(completion, [this, walks = std::move(to_guide)]() mutable {
     board_.updating = false;
@@ -926,6 +993,7 @@ void FlashWalkerEngine::process_board_updater() {
 void FlashWalkerEngine::check_done() {
   if (!done_ && metrics_.walks_completed == metrics_.walks_started) {
     done_ = true;
+    done_tick_ = sim_.now();
   }
 }
 
@@ -954,6 +1022,38 @@ void FlashWalkerEngine::maybe_switch_partition() {
 // Top level
 // ---------------------------------------------------------------------------
 
+void FlashWalkerEngine::publish_counters() {
+  auto set = [this](const std::string& name, std::uint64_t v) {
+    registry_.counter(name).set(v);
+  };
+  set("engine.walks_started", metrics_.walks_started);
+  set("engine.walks_completed", metrics_.walks_completed);
+  set("engine.total_hops", metrics_.total_hops);
+  set("engine.dead_ends", metrics_.dead_ends);
+  set("engine.foreigner_walks", metrics_.foreigner_walks);
+  set("engine.partition_switches", metrics_.partition_switches);
+  set("sched.compare_ops", metrics_.scheduler_compare_ops);
+  set("sched.subgraph_loads", metrics_.subgraph_loads);
+  set("sched.subgraph_load_pages", metrics_.subgraph_load_pages);
+  set("flash.read_bytes", flash_->read_bytes());
+  set("flash.write_bytes", flash_->programmed_bytes());
+  set("flash.channel_bytes", flash_->channel_bytes());
+  set("dram.bytes", dram_->bytes_moved());
+  for (const ChipState& c : chips_) {
+    const std::string prefix = "chip." + std::to_string(c.global);
+    set(prefix + ".updates", c.updates);
+    set(prefix + ".busy_ns", c.unit.busy_time());
+  }
+  for (const ChannelState& ch : channels_) {
+    const std::string prefix = "channel." + std::to_string(ch.index);
+    set(prefix + ".updates", ch.updates);
+    set(prefix + ".busy_ns", ch.unit.busy_time());
+  }
+  set("board.updates", board_.updates);
+  set("board.guider.busy_ns", board_.guider_unit.busy_time());
+  set("board.updater.busy_ns", board_.updater_unit.busy_time());
+}
+
 EngineResult FlashWalkerEngine::run() {
   init_walks();
   check_done();  // zero-walk workloads finish immediately
@@ -979,13 +1079,26 @@ EngineResult FlashWalkerEngine::run() {
   }
 
   EngineResult result;
-  result.exec_time = sim_.now();
+  // The run ends when the final walk completes. Heartbeat timers (channel
+  // polls, timeline/trace samplers) already queued at that point still fire
+  // and advance the sim clock, so sim_.now() would overstate the run by up
+  // to one sampling interval — and would make attaching a tracer perturb
+  // the measurement.
+  result.exec_time = done_tick_;
   result.metrics = metrics_;
-  result.ftl = ftl_->stats();
   result.flash_read_bytes = flash_->read_bytes();
   result.flash_write_bytes = flash_->programmed_bytes();
   result.channel_bytes = flash_->channel_bytes();
   result.dram_bytes = dram_->bytes_moved();
+  // Run totals (exec time, bandwidth numerators) are captured above; the
+  // idle-GC pass below models background compaction after the workload
+  // drains, so its flash traffic must not count against the run.
+  publish_counters();
+  if (opt_.idle_gc_episodes > 0) {
+    ftl_->idle_gc(sim_.now(), opt_.idle_gc_episodes);
+  }
+  result.ftl = ftl_->stats();
+  result.counters = registry_.snapshot();
   result.chip_utilization.reserve(chips_.size());
   for (const ChipState& c : chips_) {
     result.chip_utilization.push_back(c.unit.utilization(result.exec_time));

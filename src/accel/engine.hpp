@@ -32,6 +32,8 @@
 #include "accel/scheduler.hpp"
 #include "common/assoc_cache.hpp"
 #include "common/rng.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/dense_table.hpp"
 #include "partition/mapping_table.hpp"
 #include "partition/partitioned_graph.hpp"
@@ -59,12 +61,27 @@ struct EngineOptions {
   /// PPR consumer reads back from the completed-walk flash region.
   bool record_endpoints = false;
   Tick timeline_interval = 0;  ///< 0 disables Fig-8 sampling
+  /// When set, the engine records Chrome trace_event spans (chip/channel/
+  /// board unit activity, subgraph loads, FTL GC episodes) and periodic
+  /// counter samples into this recorder. Null disables tracing entirely:
+  /// every hook is a single pointer test on the hot path. The recorder must
+  /// outlive the engine.
+  obs::TraceRecorder* trace = nullptr;
+  /// Post-run idle-time GC budget (block collections). The FTL compacts
+  /// fragmented planes while the device would otherwise sit idle after the
+  /// walk workload drains; 0 disables the pass.
+  std::uint32_t idle_gc_episodes = 256;
 };
 
 struct EngineResult {
   Tick exec_time = 0;
   EngineMetrics metrics;
   ssd::FtlStats ftl;
+
+  /// Snapshot of the engine's counter registry (sorted by name): the
+  /// hierarchical `chip.*` / `channel.*` / `board.*` / `ftl.*` / `engine.*`
+  /// namespace that `--metrics-out` serializes.
+  std::vector<obs::CounterSample> counters;
 
   std::uint64_t flash_read_bytes = 0;
   std::uint64_t flash_write_bytes = 0;
@@ -116,6 +133,8 @@ class FlashWalkerEngine {
   }
   [[nodiscard]] const partition::DenseVertexTable& dense_table() const { return *dtab_; }
   [[nodiscard]] const ssd::GraphLayout& layout() const { return *layout_; }
+  /// Live counter registry (fully populated after `run`).
+  [[nodiscard]] const obs::CounterRegistry& counters() const { return registry_; }
 
  private:
   struct LoadedSg {
@@ -134,6 +153,8 @@ class FlashWalkerEngine {
     sim::SerialResource unit;
     bool processing = false;
     std::uint32_t rr = 0;
+    std::uint64_t updates = 0;     ///< walk updates executed on this chip
+    std::uint32_t trace_track = 0; ///< trace lane, valid when tracing
   };
 
   struct ChannelState {
@@ -142,6 +163,8 @@ class FlashWalkerEngine {
     sim::SerialResource unit;
     bool processing = false;
     std::uint32_t rr = 0;
+    std::uint64_t updates = 0;
+    std::uint32_t trace_track = 0;
   };
 
   struct BoardState {
@@ -154,6 +177,9 @@ class FlashWalkerEngine {
     std::uint64_t foreigner_buffered_bytes = 0;
     std::uint64_t completed_buffered_bytes = 0;
     std::uint32_t rr = 0;
+    std::uint64_t updates = 0;
+    std::uint32_t guider_track = 0;
+    std::uint32_t updater_track = 0;
   };
 
   /// Result of updating one walk (shared by all three levels).
@@ -207,6 +233,10 @@ class FlashWalkerEngine {
   [[nodiscard]] bool walk_in_sg(const rw::Walk& w, const partition::Subgraph& sg) const;
   [[nodiscard]] std::uint64_t wbytes() const { return walk_bytes_; }
 
+  /// Fold run totals (per-unit update counts, busy times, byte counters,
+  /// scheduler work) into the counter registry; called once at end of run.
+  void publish_counters();
+
   // --- members ----------------------------------------------------------------
   const partition::PartitionedGraph* pg_;
   EngineOptions opt_;
@@ -233,6 +263,7 @@ class FlashWalkerEngine {
 
   Xoshiro256 rng_;
   EngineMetrics metrics_;
+  obs::CounterRegistry registry_;
   std::vector<std::uint64_t> visits_;
   std::vector<std::uint64_t> endpoints_;
   std::vector<std::vector<VertexId>> paths_;
@@ -241,9 +272,11 @@ class FlashWalkerEngine {
   PartitionId current_partition_ = 0;
   std::uint64_t active_walks_ = 0;  ///< unfinished walks owned by current partition
   std::uint64_t walk_bytes_ = 0;
-  std::uint64_t flush_lpn_ = 0;  ///< rolling logical page for walk flushes
+  std::uint64_t flush_lpn_ = 0;     ///< rolling logical page for walk flushes
+  std::uint64_t flush_window_ = 1;  ///< LPN window size for walk flushes
   std::uint64_t cache_rr_ = 0;   ///< distributes lookups over the query caches
   bool done_ = false;
+  Tick done_tick_ = 0;  ///< when the final walk completed (== exec time)
 };
 
 }  // namespace fw::accel

@@ -1,7 +1,10 @@
 #include "accel/report.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+
+#include "obs/counters.hpp"
 
 namespace fw::accel {
 namespace {
@@ -24,6 +27,12 @@ class JsonWriter {
     sep();
     os_ << '"' << key << "\":" << value;
   }
+  /// Emit `"key":` and leave the value to the caller (for nested objects).
+  void raw_field(const std::string& key) {
+    sep();
+    os_ << '"' << key << "\":";
+  }
+
   void field(const std::string& key, const std::string& value) {
     sep();
     os_ << '"' << key << "\":\"";
@@ -91,6 +100,10 @@ void write_json(std::ostream& os, const std::string& label, const EngineResult& 
   w.field("max_chip_utilization", r.max_chip_utilization());
   w.field("ftl_gc_erases", r.ftl.gc_erases);
   w.field("ftl_write_amplification", r.ftl.write_amplification());
+  if (!r.counters.empty()) {
+    w.raw_field("counters");
+    obs::write_counters_json(w.stream(), r.counters);
+  }
   if (!r.timeline.empty()) {
     w.array("timeline", r.timeline, [&](const sim::TimelinePoint& p) {
       w.stream() << "{\"at_ns\":" << p.at << ",\"read_mb_s\":" << p.flash_read_mb_s
@@ -138,6 +151,36 @@ std::string to_json(const std::string& label, const baseline::BaselineResult& re
   std::ostringstream os;
   write_json(os, label, result);
   return os.str();
+}
+
+std::vector<obs::CounterSample> counter_samples(const baseline::BaselineResult& r) {
+  std::vector<obs::CounterSample> s;
+  s.emplace_back("engine.walks_started", r.walks_started);
+  s.emplace_back("engine.walks_completed", r.walks_completed);
+  s.emplace_back("engine.total_hops", r.total_hops);
+  s.emplace_back("engine.dead_ends", r.dead_ends);
+  s.emplace_back("host.block_loads", r.block_loads);
+  s.emplace_back("host.cache_hits", r.cache_hits);
+  s.emplace_back("host.bytes_read", r.bytes_read);
+  s.emplace_back("host.bytes_written", r.bytes_written);
+  s.emplace_back("flash.read_bytes", r.flash_read_bytes);
+  s.emplace_back("nvme.commands", r.nvme.commands);
+  s.emplace_back("nvme.depth_stalls", r.nvme.depth_stalls);
+  s.emplace_back("time.exec_ns", r.exec_time);
+  s.emplace_back("time.graph_load_ns", r.breakdown.graph_load);
+  s.emplace_back("time.walk_load_ns", r.breakdown.walk_load);
+  s.emplace_back("time.walk_write_ns", r.breakdown.walk_write);
+  s.emplace_back("time.compute_ns", r.breakdown.compute);
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+void write_counters_json(std::ostream& os, const EngineResult& result) {
+  obs::write_counters_json(os, result.counters);
+}
+
+void write_counters_json(std::ostream& os, const baseline::BaselineResult& result) {
+  obs::write_counters_json(os, counter_samples(result));
 }
 
 }  // namespace fw::accel

@@ -23,4 +23,12 @@ void write_json(std::ostream& os, const std::string& label,
 std::string to_json(const std::string& label, const EngineResult& result);
 std::string to_json(const std::string& label, const baseline::BaselineResult& result);
 
+/// Counter-style samples for a baseline run (sorted by name), so
+/// `--metrics-out` emits the same hierarchical shape for every engine.
+std::vector<obs::CounterSample> counter_samples(const baseline::BaselineResult& result);
+
+/// Nested counter JSON (the `--metrics-out` payload) for one run.
+void write_counters_json(std::ostream& os, const EngineResult& result);
+void write_counters_json(std::ostream& os, const baseline::BaselineResult& result);
+
 }  // namespace fw::accel

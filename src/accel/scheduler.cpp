@@ -91,23 +91,31 @@ std::optional<SubgraphScheduler::Pick> SubgraphScheduler::pick_for_chip(
   }
   // Fallback / baseline: scan the chip's candidates. Baseline policy is
   // GraphWalker's most-walks-first; with SS on this also repopulates a
-  // drained top-N list.
+  // drained top-N list, so the scan's work is amortized — subsequent picks
+  // take the N-comparison fast path again instead of rescanning.
   std::uint64_t best_walks = 0;
   double best_score = -1.0;
   for (SubgraphId sg : candidates_[chip_global]) {
     ++pick.compare_ops;
-    if (!eligible(sg)) continue;
     const std::uint64_t walks = pending_walks(sg);
     if (walks == 0) continue;
     if (config_.features.subgraph_scheduling) {
+      // Repopulate regardless of eligibility: a subgraph mid-load is only
+      // transiently ineligible and should stay ranked for future picks.
+      topn_[chip_global].update(sg, score(sg));
+      state_[sg].inserts_since_update = 0;
+      if (!eligible(sg)) continue;
       const double s = score(sg);
       if (s > best_score) {
         best_score = s;
         pick.sg = sg;
       }
-    } else if (walks > best_walks) {
-      best_walks = walks;
-      pick.sg = sg;
+    } else {
+      if (!eligible(sg)) continue;
+      if (walks > best_walks) {
+        best_walks = walks;
+        pick.sg = sg;
+      }
     }
   }
   if (pick.sg == kInvalidSubgraph) return std::nullopt;

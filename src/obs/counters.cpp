@@ -1,0 +1,112 @@
+#include "obs/counters.hpp"
+
+#include <ostream>
+
+namespace fw::obs {
+
+Counter& CounterRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  auto [pos, inserted] =
+      counters_.emplace(std::string(name), std::make_unique<Counter>());
+  return *pos->second;
+}
+
+const Counter* CounterRegistry::find(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+std::vector<CounterSample> CounterRegistry::snapshot() const {
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  return out;  // map iteration order is already sorted
+}
+
+void CounterRegistry::write_json(std::ostream& os) const { write_counters_json(os, snapshot()); }
+
+namespace {
+
+/// Longest shared dotted-segment prefix depth of two names.
+std::size_t common_depth(std::string_view a, std::string_view b) {
+  std::size_t depth = 0;
+  std::size_t i = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  while (i < n && a[i] == b[i]) {
+    if (a[i] == '.') ++depth;
+    ++i;
+  }
+  // A full-prefix match counts only if it ends exactly on a segment boundary.
+  if (i == a.size() && (i == b.size() || b[i] == '.')) ++depth;
+  else if (i == b.size() && a[i] == '.') ++depth;
+  return depth;
+}
+
+std::vector<std::string_view> split_segments(std::string_view name) {
+  std::vector<std::string_view> segs;
+  while (true) {
+    const auto dot = name.find('.');
+    if (dot == std::string_view::npos) {
+      segs.push_back(name);
+      return segs;
+    }
+    segs.push_back(name.substr(0, dot));
+    name.remove_prefix(dot + 1);
+  }
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_counters_json(std::ostream& os, const std::vector<CounterSample>& sorted) {
+  // Sorted names make nesting a stack walk: compare each name's segment path
+  // with its predecessor, close the objects that ended, open the new ones.
+  os << '{';
+  std::vector<std::string_view> open;  // currently open object path
+  bool first = true;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& [name, value] = sorted[i];
+    auto segs = split_segments(name);
+    // A name that is also a prefix of the next name gets an object of its
+    // own; its value goes under the reserved "value" key inside it.
+    const bool is_prefix =
+        i + 1 < sorted.size() &&
+        common_depth(name, sorted[i + 1].first) == segs.size();
+    std::size_t shared = 0;
+    while (shared < open.size() && shared < segs.size() - (is_prefix ? 0 : 1) &&
+           open[shared] == segs[shared]) {
+      ++shared;
+    }
+    for (std::size_t k = open.size(); k > shared; --k) os << '}';
+    if (open.size() > shared) first = false;
+    open.resize(shared);
+    if (!first) os << ',';
+    first = false;
+    for (std::size_t k = shared; k + 1 < segs.size(); ++k) {
+      write_escaped(os, segs[k]);
+      os << ":{";
+      open.push_back(segs[k]);
+    }
+    if (is_prefix) {
+      write_escaped(os, segs.back());
+      os << ":{\"value\":" << value;
+      open.push_back(segs.back());
+    } else {
+      write_escaped(os, segs.back());
+      os << ':' << value;
+    }
+  }
+  for (std::size_t k = open.size(); k > 0; --k) os << '}';
+  os << '}';
+}
+
+}  // namespace fw::obs

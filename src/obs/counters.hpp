@@ -1,0 +1,68 @@
+// Named, hierarchical counter registry — the export path for run metrics.
+//
+// Components register counters by dotted name ("chip.3.updates",
+// "ftl.gc.page_moves") and keep the returned `Counter&` for hot-path
+// increments (one pointer-chase, no lookup). The registry owns storage, so
+// handles stay valid for its lifetime; `write_json` renders the dotted
+// namespace as nested JSON objects, which is what `--metrics-out` emits.
+//
+// Naming convention (see docs/MODELING.md "Observability"):
+//   <component>[.<instance>].<metric>
+// e.g. chip.7.updates, channel.0.busy_ns, board.guider.busy_ns,
+//      ftl.gc.page_moves, flash.read_bytes, dram.row_hits.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fw::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  void set(std::uint64_t value) { value_ = value; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// One (name, value) pair of a registry snapshot, sorted by name.
+using CounterSample = std::pair<std::string, std::uint64_t>;
+
+class CounterRegistry {
+ public:
+  /// Get-or-create the counter named `name`. The reference stays valid for
+  /// the registry's lifetime.
+  Counter& counter(std::string_view name);
+
+  /// Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Counter* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+
+  /// All counters as (name, value), sorted by name.
+  [[nodiscard]] std::vector<CounterSample> snapshot() const;
+
+  /// Nested-object JSON keyed by the dotted name segments. A name that is
+  /// both a leaf and a prefix ("a" next to "a.b") emits its own value under
+  /// the key "value" inside the shared object.
+  void write_json(std::ostream& os) const;
+
+ private:
+  // std::map: stable addresses for handed-out references, sorted iteration.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+};
+
+/// Render a sorted snapshot with the same nesting rules as
+/// `CounterRegistry::write_json` (used when only a snapshot survives, e.g.
+/// inside an `EngineResult`).
+void write_counters_json(std::ostream& os, const std::vector<CounterSample>& sorted);
+
+}  // namespace fw::obs

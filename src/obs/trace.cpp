@@ -1,0 +1,136 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace fw::obs {
+
+namespace {
+
+/// Chrome's `ts`/`dur` unit is microseconds; keep nanosecond precision by
+/// printing the sub-microsecond remainder as three fractional digits.
+void write_us(std::ostream& os, Tick ns) {
+  os << (ns / 1000);
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  if (frac != 0) {
+    os << '.' << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + frac / 10 % 10) << static_cast<char>('0' + frac % 10);
+  }
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::uint32_t TraceRecorder::pid_of(const std::string& process) {
+  for (const auto& [name, pid] : pids_) {
+    if (name == process) return pid;
+  }
+  const auto pid = static_cast<std::uint32_t>(pids_.size() + 1);
+  pids_.emplace_back(process, pid);
+  return pid;
+}
+
+std::uint32_t TraceRecorder::register_track(const std::string& process,
+                                            const std::string& thread) {
+  const auto track = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back(Track{pid_of(process), track + 1, process, thread});
+  return track;
+}
+
+void TraceRecorder::complete(std::uint32_t track, const char* name, Tick start, Tick end,
+                             std::uint64_t arg0, const char* arg0_name) {
+  events_.push_back(Event{Kind::kComplete, track, name, start, end, arg0, arg0_name});
+}
+
+void TraceRecorder::instant(std::uint32_t track, const char* name, Tick at) {
+  events_.push_back(Event{Kind::kInstant, track, name, at, at, 0, nullptr});
+}
+
+void TraceRecorder::counter(const char* name, Tick at, std::uint64_t value) {
+  events_.push_back(Event{Kind::kCounter, 0, name, at, at, value, "value"});
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  // Metadata first: name every process and thread lane.
+  for (const auto& [name, pid] : pids_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":";
+    write_escaped(os, name);
+    os << "}}";
+  }
+  for (const auto& t : tracks_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_escaped(os, t.thread);
+    os << "}}";
+  }
+  constexpr std::uint32_t kCounterPid = 0;  // pids_ start at 1
+  bool counter_meta_done = false;
+  for (const auto& e : events_) {
+    if (e.kind != Kind::kCounter) continue;
+    if (!counter_meta_done) {
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << kCounterPid
+         << ",\"name\":\"process_name\",\"args\":{\"name\":\"counters\"}}";
+      counter_meta_done = true;
+    }
+    break;
+  }
+  for (const auto& e : events_) {
+    sep();
+    switch (e.kind) {
+      case Kind::kComplete: {
+        const auto& t = tracks_[e.track];
+        os << "{\"ph\":\"X\",\"pid\":" << t.pid << ",\"tid\":" << t.tid << ",\"name\":";
+        write_escaped(os, e.name);
+        os << ",\"ts\":";
+        write_us(os, e.start);
+        os << ",\"dur\":";
+        write_us(os, e.end - e.start);
+        if (e.arg0_name != nullptr) {
+          os << ",\"args\":{";
+          write_escaped(os, e.arg0_name);
+          os << ':' << e.arg0 << '}';
+        }
+        os << '}';
+        break;
+      }
+      case Kind::kInstant: {
+        const auto& t = tracks_[e.track];
+        os << "{\"ph\":\"i\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+           << ",\"s\":\"t\",\"name\":";
+        write_escaped(os, e.name);
+        os << ",\"ts\":";
+        write_us(os, e.start);
+        os << '}';
+        break;
+      }
+      case Kind::kCounter: {
+        os << "{\"ph\":\"C\",\"pid\":" << kCounterPid << ",\"name\":";
+        write_escaped(os, e.name);
+        os << ",\"ts\":";
+        write_us(os, e.start);
+        os << ",\"args\":{\"value\":" << e.arg0 << "}}";
+        break;
+      }
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace fw::obs

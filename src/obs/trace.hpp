@@ -1,0 +1,78 @@
+// Chrome trace_event recorder for the DES (open the output in Perfetto or
+// chrome://tracing).
+//
+// The simulator's unit hierarchy maps onto the trace's process/thread grid:
+// a *track* is one (process, thread) lane — e.g. process "chip", thread
+// "chip.3" — registered once up front; spans and instants then reference the
+// track by handle. Ticks are nanoseconds; the JSON emits microsecond
+// timestamps (Chrome's unit) with nanosecond precision kept in the
+// fractional digits.
+//
+// Cost model: recording appends one POD-ish event to a vector (names are
+// `const char*` string literals by contract — no allocation per event);
+// serialization happens once at `write_json`. Disabled tracing is a null
+// `TraceRecorder*` at every call site, so hot paths pay one branch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fw::obs {
+
+class TraceRecorder {
+ public:
+  /// Register a lane named `thread` under process `process`; processes are
+  /// created on first use. Returns the track handle spans refer to.
+  std::uint32_t register_track(const std::string& process, const std::string& thread);
+
+  /// A completed span [start, end] on `track`. `name` must outlive the
+  /// recorder (string literals). Zero-length spans are recorded; Perfetto
+  /// renders them as instants.
+  void complete(std::uint32_t track, const char* name, Tick start, Tick end,
+                std::uint64_t arg0 = 0, const char* arg0_name = nullptr);
+
+  /// An instant marker on `track` at `at`.
+  void instant(std::uint32_t track, const char* name, Tick at);
+
+  /// A counter sample: `name` series takes `value` at `at`. Counters live in
+  /// their own "counters" process so they plot under the unit lanes.
+  void counter(const char* name, Tick at, std::uint64_t value);
+
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+  [[nodiscard]] std::size_t num_tracks() const { return tracks_.size(); }
+
+  /// Emit the whole trace as a JSON object: {"traceEvents":[...], ...}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  enum class Kind : std::uint8_t { kComplete, kInstant, kCounter };
+
+  struct Track {
+    std::uint32_t pid;
+    std::uint32_t tid;
+    std::string process;
+    std::string thread;
+  };
+
+  struct Event {
+    Kind kind;
+    std::uint32_t track;  // counters: unused
+    const char* name;
+    Tick start;
+    Tick end;  // complete only
+    std::uint64_t arg0;
+    const char* arg0_name;  // nullptr = no args object
+  };
+
+  std::uint32_t pid_of(const std::string& process);
+
+  std::vector<Track> tracks_;
+  std::vector<std::pair<std::string, std::uint32_t>> pids_;  // process -> pid
+  std::vector<Event> events_;
+};
+
+}  // namespace fw::obs

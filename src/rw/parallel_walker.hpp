@@ -6,6 +6,14 @@
 // draws from its own deterministically-derived RNG stream, and per-vertex
 // visit counts merge at the end — so results are reproducible for a fixed
 // (seed, thread count) pair and walk-exact regardless of scheduling.
+//
+// Relationship to the serial reference: `run_walks` draws every hop of every
+// walk from ONE master stream, so walk i's randomness depends on all walks
+// before it. Here each walk's stream is derived from (seed, walk index) so
+// walks are independent of execution order. The two executors therefore
+// *intentionally* produce different individual walks for the same seed; they
+// agree in distribution (visit frequencies, expected hop counts), and the
+// parallel executor is byte-identical to itself across any thread count.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,7 @@
 // the DES analogue of MQSim's deterministic engine.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -22,7 +23,11 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] Tick next_tick() const { return heap_.top().at; }
+  /// Tick of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Tick next_tick() const {
+    assert(!heap_.empty() && "EventQueue::next_tick on empty queue");
+    return heap_.top().at;
+  }
 
   /// Pop and return the earliest event. Precondition: !empty().
   std::pair<Tick, EventFn> pop();

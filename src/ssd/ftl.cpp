@@ -1,7 +1,12 @@
 #include "ssd/ftl.hpp"
 
+#include <cassert>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace fw::ssd {
 
@@ -16,8 +21,38 @@ Ftl::Ftl(FlashArray& flash, std::uint32_t reserved_blocks_per_plane)
   for (auto& p : planes_) {
     p.blocks.resize(usable_blocks_);
     p.active_block = 0;
-    for (std::uint32_t b = 1; b < usable_blocks_; ++b) p.free_blocks.push_back(b);
+    // The last usable block is the GC copy-back spare: relocated pages land
+    // there, which keeps GC strictly in-plane. A one-block plane has no
+    // spare (and thus no way to relocate valid data).
+    if (usable_blocks_ >= 2) p.spare_block = usable_blocks_ - 1;
+    const std::uint32_t free_end = usable_blocks_ >= 2 ? usable_blocks_ - 1 : usable_blocks_;
+    for (std::uint32_t b = 1; b < free_end; ++b) p.free_blocks.push_back(b);
   }
+}
+
+void Ftl::attach_observability(obs::CounterRegistry* registry,
+                               obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (registry != nullptr) {
+    c_host_writes_ = &registry->counter("ftl.host_page_writes");
+    c_host_reads_ = &registry->counter("ftl.host_page_reads");
+    c_gc_moves_ = &registry->counter("ftl.gc.page_moves");
+    c_gc_erases_ = &registry->counter("ftl.gc.erases");
+    c_gc_idle_ = &registry->counter("ftl.gc.idle_episodes");
+  } else {
+    c_host_writes_ = c_host_reads_ = c_gc_moves_ = c_gc_erases_ = c_gc_idle_ = nullptr;
+  }
+}
+
+FlashAddress Ftl::plane_address(std::uint32_t plane_index) const {
+  const auto& topo = flash_.config().topo;
+  FlashAddress addr;
+  const std::uint32_t planes_per_chip = topo.planes_per_chip();
+  addr.plane = plane_index % planes_per_chip;
+  const std::uint32_t chip_global = plane_index / planes_per_chip;
+  addr.chip = chip_global % topo.chips_per_channel;
+  addr.channel = chip_global / topo.chips_per_channel;
+  return addr;
 }
 
 std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
@@ -29,8 +64,14 @@ std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
   Tick ready = now;
   BlockState* active = &ps.blocks[ps.active_block];
   if (active->written >= topo.pages_per_block) {
-    if (ps.free_blocks.empty()) {
-      ready = collect_garbage(now, plane_index);
+    // Each successful GC pass erases one block; it may rotate into the
+    // spare instead of landing on the free list, so keep collecting while
+    // progress is being made (bounded by the plane's block count).
+    for (std::uint32_t attempt = 0;
+         ps.free_blocks.empty() && attempt < usable_blocks_; ++attempt) {
+      const std::uint64_t erases_before = stats_.gc_erases;
+      ready = collect_garbage(ready, plane_index);
+      if (stats_.gc_erases == erases_before) break;
     }
     if (ps.free_blocks.empty()) {
       throw std::runtime_error("Ftl: plane out of space even after GC");
@@ -40,12 +81,7 @@ std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
     active = &ps.blocks[ps.active_block];
   }
 
-  FlashAddress addr;
-  const std::uint32_t planes_per_chip = topo.planes_per_chip();
-  addr.plane = plane_index % planes_per_chip;
-  const std::uint32_t chip_global = plane_index / planes_per_chip;
-  addr.chip = chip_global % topo.chips_per_channel;
-  addr.channel = chip_global / topo.chips_per_channel;
+  FlashAddress addr = plane_address(plane_index);
   addr.block = reserved_ + ps.active_block;
   addr.page = active->written;
 
@@ -54,20 +90,33 @@ std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
   return {flash_.address_map().to_ppn(addr), ready};
 }
 
-Tick Ftl::collect_garbage(Tick now, std::uint32_t plane_index) {
+std::uint32_t Ftl::find_victim(const PlaneState& ps, bool idle) const {
   const auto& topo = flash_.config().topo;
-  PlaneState& ps = planes_[plane_index];
-
-  // Greedy victim: fully written block with the fewest valid pages,
-  // excluding the active block; wear-leveling tie-break prefers the block
-  // with the fewest erases so wear spreads evenly.
-  std::uint32_t victim = std::numeric_limits<std::uint32_t>::max();
+  const std::uint32_t spare_room =
+      ps.spare_block == kNone
+          ? 0
+          : topo.pages_per_block - ps.blocks[ps.spare_block].written;
+  std::uint32_t victim = kNone;
   std::uint32_t victim_valid = std::numeric_limits<std::uint32_t>::max();
   std::uint32_t victim_erases = std::numeric_limits<std::uint32_t>::max();
   for (std::uint32_t b = 0; b < ps.blocks.size(); ++b) {
-    if (b == ps.active_block) continue;
+    if (b == ps.spare_block) continue;
     const BlockState& bs = ps.blocks[b];
-    if (bs.written != topo.pages_per_block) continue;
+    // The open (active) block is off-limits while pages can still land in
+    // it; once full it is sealed de facto and collectible under space
+    // pressure (`allocate` re-opens on a fresh block right after). Idle GC
+    // seals the open block itself, with the reassignment done first.
+    if (b == ps.active_block && (idle || bs.written != topo.pages_per_block)) continue;
+    if (bs.written == 0) continue;
+    const std::uint32_t invalid = bs.written - bs.valid;
+    if (idle) {
+      // Background compaction is worth an erase once half the block's
+      // written pages are garbage.
+      if (invalid < std::max(1u, bs.written / 2)) continue;
+    } else {
+      if (bs.written != topo.pages_per_block || invalid == 0) continue;
+    }
+    if (bs.valid > spare_room) continue;  // relocations must fit in the spare
     if (bs.valid < victim_valid ||
         (bs.valid == victim_valid && bs.erases < victim_erases)) {
       victim = b;
@@ -75,44 +124,138 @@ Tick Ftl::collect_garbage(Tick now, std::uint32_t plane_index) {
       victim_erases = bs.erases;
     }
   }
-  if (victim == std::numeric_limits<std::uint32_t>::max()) return now;
+  return victim;
+}
 
-  FlashAddress victim_addr;
-  const std::uint32_t planes_per_chip = topo.planes_per_chip();
-  victim_addr.plane = plane_index % planes_per_chip;
-  const std::uint32_t chip_global = plane_index / planes_per_chip;
-  victim_addr.chip = chip_global % topo.chips_per_channel;
-  victim_addr.channel = chip_global / topo.chips_per_channel;
+Tick Ftl::gc_block(Tick now, std::uint32_t plane_index, std::uint32_t victim) {
+  // GC never re-enters: relocation targets come from the plane's own spare
+  // block, not the allocator, so a collection cannot trigger another one.
+  assert(!gc_active_ && "Ftl: recursive garbage collection");
+  gc_active_ = true;
+
+  const auto& topo = flash_.config().topo;
+  PlaneState& ps = planes_[plane_index];
+  BlockState& vb = ps.blocks[victim];
+
+  FlashAddress victim_addr = plane_address(plane_index);
   victim_addr.block = reserved_ + victim;
 
   Tick done = now;
-  // Relocate valid pages (copy-back inside the plane: read + program, no
-  // channel transfer).
-  for (std::uint32_t pg = 0; pg < topo.pages_per_block && victim_valid > 0; ++pg) {
+  std::uint64_t moves = 0;
+  // Copy-back relocation: read + program inside the plane, no channel
+  // transfer. Valid pages land in the plane's spare block, so they never
+  // leave the plane the timing model says they stay in.
+  for (std::uint32_t pg = 0; pg < topo.pages_per_block && vb.valid > 0; ++pg) {
     victim_addr.page = pg;
     const std::uint64_t ppn = flash_.address_map().to_ppn(victim_addr);
     const auto it = p2l_.find(ppn);
     if (it == p2l_.end()) continue;
     const std::uint64_t lpn = it->second;
+    assert(ps.spare_block != kNone && "Ftl: relocation with no spare block");
+    BlockState& sb = ps.blocks[ps.spare_block];
+    FlashAddress new_addr = victim_addr;
+    new_addr.block = reserved_ + ps.spare_block;
+    new_addr.page = sb.written;
     done = flash_.read_page(done, victim_addr, /*over_channel=*/false);
-    // Re-append into some other plane via the normal allocator.
-    auto [new_ppn, ready] = allocate(done);
-    const FlashAddress new_addr = flash_.address_map().from_ppn(new_ppn);
-    done = flash_.program_page(ready, new_addr, /*over_channel=*/false);
+    done = flash_.program_page(done, new_addr, /*over_channel=*/false);
+    const std::uint64_t new_ppn = flash_.address_map().to_ppn(new_addr);
     p2l_.erase(it);
     p2l_[new_ppn] = lpn;
     l2p_[lpn] = new_ppn;
+    ++sb.written;
+    ++sb.valid;
+    --vb.valid;
     ++stats_.gc_page_moves;
-    --victim_valid;
+    ++moves;
   }
 
   victim_addr.page = 0;
   done = flash_.erase_block(done, victim_addr);
-  ps.blocks[victim].written = 0;
-  ps.blocks[victim].valid = 0;
-  ++ps.blocks[victim].erases;
-  ps.free_blocks.push_back(victim);
+  vb.written = 0;
+  vb.valid = 0;
+  ++vb.erases;
   ++stats_.gc_erases;
+
+  // Spare rotation. The freshly erased victim is the most attractive spare
+  // (it is empty and just gained an erase, so handing it the cold relocation
+  // role levels wear); what happens to the old spare depends on how full it
+  // is:
+  //   - full: it becomes a regular block (a future GC victim), victim is the
+  //     new spare — note no block reaches the free list this round;
+  //   - empty: swap roles and push the old spare to the free list;
+  //   - partially filled: keep it as the spare so it can absorb more
+  //     relocations, and free the victim.
+  if (ps.spare_block == kNone) {
+    ps.free_blocks.push_back(victim);
+  } else {
+    const BlockState& sb = ps.blocks[ps.spare_block];
+    if (sb.written == topo.pages_per_block) {
+      ps.spare_block = victim;
+    } else if (sb.written == 0) {
+      ps.free_blocks.push_back(ps.spare_block);
+      ps.spare_block = victim;
+    } else {
+      ps.free_blocks.push_back(victim);
+    }
+  }
+
+  if (c_gc_moves_ != nullptr && moves > 0) c_gc_moves_->add(moves);
+  if (c_gc_erases_ != nullptr) c_gc_erases_->add();
+  if (trace_ != nullptr) {
+    if (ps.trace_track == kNone) {
+      ps.trace_track =
+          trace_->register_track("ftl", "gc.plane." + std::to_string(plane_index));
+    }
+    trace_->complete(ps.trace_track, "gc", now, done, moves, "page_moves");
+  }
+
+  gc_active_ = false;
+  return done;
+}
+
+Tick Ftl::collect_garbage(Tick now, std::uint32_t plane_index) {
+  const std::uint32_t victim = find_victim(planes_[plane_index], /*idle=*/false);
+  if (victim == kNone) return now;
+  return gc_block(now, plane_index, victim);
+}
+
+Tick Ftl::idle_gc(Tick now, std::uint32_t max_episodes) {
+  const auto& topo = flash_.config().topo;
+  Tick done = now;
+  std::uint32_t episodes = 0;
+  // Planes compact independently and concurrently; the pass finishes when
+  // the slowest plane does.
+  for (std::uint32_t plane = 0; plane < planes_.size() && episodes < max_episodes;
+       ++plane) {
+    PlaneState& ps = planes_[plane];
+    Tick plane_done = now;
+    while (episodes < max_episodes) {
+      std::uint32_t victim = find_victim(ps, /*idle=*/true);
+      if (victim == kNone) {
+        // Closed blocks are clean; seal-and-compact the open (active) block
+        // if it is fragmented enough, the way background GC closes open
+        // blocks on a real drive. Needs a free block to re-open and spare
+        // room for the survivors.
+        const BlockState& ab = ps.blocks[ps.active_block];
+        const std::uint32_t spare_room =
+            ps.spare_block == kNone
+                ? 0
+                : topo.pages_per_block - ps.blocks[ps.spare_block].written;
+        if (ab.written == 0 || ab.written - ab.valid < std::max(1u, ab.written / 2) ||
+            ab.valid > spare_room || ps.free_blocks.empty()) {
+          break;
+        }
+        victim = ps.active_block;
+        ps.active_block = ps.free_blocks.front();
+        ps.free_blocks.pop_front();
+      }
+      plane_done = gc_block(plane_done, plane, victim);
+      ++episodes;
+      ++stats_.gc_idle_episodes;
+      if (c_gc_idle_ != nullptr) c_gc_idle_->add();
+    }
+    done = std::max(done, plane_done);
+  }
   return done;
 }
 
@@ -128,6 +271,18 @@ FtlStats Ftl::stats() const {
   stats_.min_block_erases = planes_.empty() ? 0 : min_erases;
   stats_.max_block_erases = max_erases;
   return stats_;
+}
+
+std::uint64_t Ftl::host_capacity_pages() const {
+  const auto& topo = flash_.config().topo;
+  const std::uint32_t data_blocks = usable_blocks_ >= 2 ? usable_blocks_ - 1 : usable_blocks_;
+  return static_cast<std::uint64_t>(planes_.size()) * data_blocks * topo.pages_per_block;
+}
+
+std::uint64_t Ftl::physical_of(std::uint64_t lpn) const {
+  const auto it = l2p_.find(lpn);
+  if (it == l2p_.end()) throw std::out_of_range("Ftl: physical_of unmapped LPN");
+  return it->second;
 }
 
 Tick Ftl::write_page(Tick now, std::uint64_t lpn, bool over_channel) {
@@ -148,6 +303,7 @@ Tick Ftl::write_page(Tick now, std::uint64_t lpn, bool over_channel) {
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
   ++stats_.host_page_writes;
+  if (c_host_writes_ != nullptr) c_host_writes_->add();
   const FlashAddress addr = flash_.address_map().from_ppn(ppn);
   return flash_.program_page(ready, addr, over_channel);
 }
@@ -156,6 +312,7 @@ Tick Ftl::read_page(Tick now, std::uint64_t lpn, bool over_channel) {
   const auto it = l2p_.find(lpn);
   if (it == l2p_.end()) throw std::out_of_range("Ftl: read of unmapped LPN");
   ++stats_.host_page_reads;
+  if (c_host_reads_ != nullptr) c_host_reads_->add();
   const FlashAddress addr = flash_.address_map().from_ppn(it->second);
   return flash_.read_page(now, addr, over_channel);
 }

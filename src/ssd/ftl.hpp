@@ -6,6 +6,12 @@
 // runtime writes — completed/foreigner/overflow walk flushes — with
 // log-structured allocation, out-of-place update, and greedy garbage
 // collection, mirroring the MQSim FTL features the paper lists (§II.C).
+//
+// GC is strictly in-plane: each plane keeps one over-provisioned spare block
+// that receives copy-back relocations, so valid pages never cross a plane
+// boundary and the copy-back timing model (no channel transfer) matches what
+// actually happens. See docs/MODELING.md "GC model" for the spare-rotation
+// policy and the idle-GC pass.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,12 @@
 
 #include "ssd/flash_array.hpp"
 
+namespace fw::obs {
+class Counter;
+class CounterRegistry;
+class TraceRecorder;
+}  // namespace fw::obs
+
 namespace fw::ssd {
 
 struct FtlStats {
@@ -22,6 +34,7 @@ struct FtlStats {
   std::uint64_t host_page_reads = 0;
   std::uint64_t gc_page_moves = 0;
   std::uint64_t gc_erases = 0;
+  std::uint64_t gc_idle_episodes = 0;
   std::uint32_t min_block_erases = 0;
   std::uint32_t max_block_erases = 0;
 
@@ -41,7 +54,9 @@ struct FtlStats {
 class Ftl {
  public:
   /// `reserved_blocks_per_plane` blocks at the start of every plane hold the
-  /// immutable graph and are never allocated.
+  /// immutable graph and are never allocated. Of the remaining blocks, one
+  /// per plane is held back as the GC copy-back spare (when at least two
+  /// remain), so host-visible capacity is `usable - 1` blocks per plane.
   Ftl(FlashArray& flash, std::uint32_t reserved_blocks_per_plane);
 
   /// Write one logical page; allocates a fresh physical page (round-robin
@@ -52,10 +67,27 @@ class Ftl {
   /// Read a previously written logical page. Throws on unmapped LPN.
   Tick read_page(Tick now, std::uint64_t lpn, bool over_channel = true);
 
+  /// Background compaction pass, run while the device is idle: every plane
+  /// independently collects blocks whose invalid-page count has reached half
+  /// the block, up to `max_episodes` block collections in total. Returns the
+  /// tick at which the last plane finishes (planes run concurrently).
+  Tick idle_gc(Tick now, std::uint32_t max_episodes);
+
   [[nodiscard]] bool is_mapped(std::uint64_t lpn) const { return l2p_.contains(lpn); }
+  /// Current physical page of a mapped LPN (throws on unmapped). Exposed so
+  /// tests can assert GC relocations stay inside the victim's plane.
+  [[nodiscard]] std::uint64_t physical_of(std::uint64_t lpn) const;
   /// Stats with the wear counters folded in.
   [[nodiscard]] FtlStats stats() const;
   [[nodiscard]] std::uint32_t reserved_blocks_per_plane() const { return reserved_; }
+  [[nodiscard]] std::uint32_t usable_blocks_per_plane() const { return usable_blocks_; }
+  /// Pages the host can keep live at once (spare blocks excluded).
+  [[nodiscard]] std::uint64_t host_capacity_pages() const;
+
+  /// Mirror FTL activity into live counters (`ftl.*`) and record one trace
+  /// span per GC episode. Both pointers may be null; pass the pair that is
+  /// wanted. Handles must outlive the FTL.
+  void attach_observability(obs::CounterRegistry* registry, obs::TraceRecorder* trace);
 
  private:
   struct BlockState {
@@ -64,10 +96,14 @@ class Ftl {
     std::uint32_t erases = 0;   ///< wear counter
   };
 
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
   struct PlaneState {
-    std::vector<BlockState> blocks;       ///< indexed by block - reserved
+    std::vector<BlockState> blocks;  ///< indexed by block - reserved
     std::uint32_t active_block = 0;
+    std::uint32_t spare_block = kNone;  ///< GC copy-back destination
     std::deque<std::uint32_t> free_blocks;
+    std::uint32_t trace_track = kNone;  ///< lazily registered GC lane
   };
 
   /// Pick the next physical page on the allocation cursor, running GC on
@@ -75,11 +111,22 @@ class Ftl {
   /// at which the plane is ready (GC may delay it).
   std::pair<std::uint64_t, Tick> allocate(Tick now);
 
+  /// Greedy victim in `plane`: a non-active, non-spare block whose valid
+  /// pages fit in the spare; fewest valid first, fewest erases as the wear
+  /// tie-break. Space-pressure mode (`idle == false`) considers only full
+  /// blocks with at least one invalid page; idle mode also compacts
+  /// partially written blocks once half their pages are invalid. kNone if
+  /// no block qualifies.
+  [[nodiscard]] std::uint32_t find_victim(const PlaneState& ps, bool idle) const;
+
+  /// Collect one block: copy-back its valid pages into the plane's spare,
+  /// erase it, rotate the spare. Returns the completion tick.
+  Tick gc_block(Tick now, std::uint32_t plane_index, std::uint32_t victim);
+
+  /// Space-pressure GC for `allocate`: collect the greediest victim, if any.
   Tick collect_garbage(Tick now, std::uint32_t plane_index);
 
-  [[nodiscard]] PlaneState& plane_state(std::uint32_t plane_index) {
-    return planes_[plane_index];
-  }
+  [[nodiscard]] FlashAddress plane_address(std::uint32_t plane_index) const;
 
   FlashArray& flash_;
   std::uint32_t reserved_;
@@ -88,7 +135,15 @@ class Ftl {
   std::unordered_map<std::uint64_t, std::uint64_t> l2p_;
   std::unordered_map<std::uint64_t, std::uint64_t> p2l_;
   std::uint32_t cursor_plane_ = 0;  ///< global plane round-robin cursor
+  bool gc_active_ = false;          ///< recursion guard: GC must never re-enter
   mutable FtlStats stats_;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Counter* c_host_writes_ = nullptr;
+  obs::Counter* c_host_reads_ = nullptr;
+  obs::Counter* c_gc_moves_ = nullptr;
+  obs::Counter* c_gc_erases_ = nullptr;
+  obs::Counter* c_gc_idle_ = nullptr;
 };
 
 }  // namespace fw::ssd

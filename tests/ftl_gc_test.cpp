@@ -1,0 +1,147 @@
+// FTL garbage-collection regressions: copy-back must stay inside the
+// victim's plane (the bug was round-robin reallocation scattering relocated
+// pages across planes), idle-time GC (including open-block sealing), and
+// determinism of engine runs that exercise GC.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/engine.hpp"
+#include "graph/datasets.hpp"
+#include "ssd/address.hpp"
+#include "ssd/config.hpp"
+#include "ssd/flash_array.hpp"
+#include "ssd/ftl.hpp"
+
+namespace fw::ssd {
+namespace {
+
+SsdConfig tiny_config(std::uint32_t planes, std::uint32_t blocks = 4,
+                      std::uint32_t pages = 4) {
+  SsdConfig cfg = test_ssd_config();
+  cfg.topo.channels = 1;
+  cfg.topo.chips_per_channel = 1;
+  cfg.topo.dies_per_chip = 1;
+  cfg.topo.planes_per_die = planes;
+  cfg.topo.blocks_per_plane = blocks;
+  cfg.topo.pages_per_block = pages;
+  return cfg;
+}
+
+TEST(FtlGc, RelocationsStayInVictimPlane) {
+  // Two planes; cold pages in both. Hammering hot LPNs forces GC in every
+  // plane, and the cold survivors must be copied back within their own
+  // plane — never migrate across the plane boundary.
+  const SsdConfig cfg = tiny_config(/*planes=*/2);
+  const AddressMap amap(cfg.topo);
+  FlashArray flash(cfg);
+  Ftl ftl(flash, /*reserved_blocks_per_plane=*/1);
+  // usable = 3/plane, 1 spare -> host capacity 2 planes x 2 blocks x 4 pages.
+  ASSERT_EQ(ftl.host_capacity_pages(), 16u);
+
+  constexpr std::uint64_t kColdLpns = 8;
+  for (std::uint64_t lpn = 0; lpn < kColdLpns; ++lpn) ftl.write_page(0, lpn);
+  std::vector<std::uint32_t> home_plane;
+  for (std::uint64_t lpn = 0; lpn < kColdLpns; ++lpn) {
+    home_plane.push_back(amap.plane_index(amap.from_ppn(ftl.physical_of(lpn))));
+  }
+
+  // Hot overwrites: 4 live hot LPNs, rewritten until GC has run plenty.
+  for (int round = 0; round < 30; ++round) {
+    for (std::uint64_t lpn = kColdLpns; lpn < kColdLpns + 4; ++lpn) {
+      ftl.write_page(0, lpn);
+    }
+  }
+  ASSERT_GT(ftl.stats().gc_erases, 0u);
+  ASSERT_GT(ftl.stats().gc_page_moves, 0u);
+
+  for (std::uint64_t lpn = 0; lpn < kColdLpns; ++lpn) {
+    const auto addr = amap.from_ppn(ftl.physical_of(lpn));
+    EXPECT_EQ(amap.plane_index(addr), home_plane[lpn])
+        << "LPN " << lpn << " migrated out of its plane during GC";
+    ftl.read_page(0, lpn);  // still mapped and readable
+  }
+}
+
+TEST(FtlGc, IdleGcWithNoGarbageIsNoOp) {
+  const SsdConfig cfg = tiny_config(/*planes=*/1);
+  FlashArray flash(cfg);
+  Ftl ftl(flash, 1);
+  ftl.write_page(0, 0);
+  ftl.write_page(0, 1);  // two valid pages, zero invalid
+  const Tick done = ftl.idle_gc(/*now=*/5000, /*max_episodes=*/16);
+  EXPECT_EQ(done, 5000u);
+  EXPECT_EQ(ftl.stats().gc_idle_episodes, 0u);
+  EXPECT_EQ(ftl.stats().gc_erases, 0u);
+}
+
+TEST(FtlGc, IdleGcSealsFragmentedOpenBlock) {
+  // The active block never fills, but half its pages are stale: background
+  // GC must seal it (re-open on a free block) and compact the survivors.
+  const SsdConfig cfg = tiny_config(/*planes=*/1);
+  FlashArray flash(cfg);
+  Ftl ftl(flash, 1);
+  ftl.write_page(0, 0);
+  ftl.write_page(0, 1);
+  ftl.write_page(0, 0);  // overwrite: active block now written=3, invalid=1
+  const Tick done = ftl.idle_gc(/*now=*/1000, /*max_episodes=*/16);
+  EXPECT_GT(done, 1000u);
+  EXPECT_EQ(ftl.stats().gc_idle_episodes, 1u);
+  EXPECT_EQ(ftl.stats().gc_page_moves, 2u);  // LPNs 0 and 1 survive
+  EXPECT_EQ(ftl.stats().gc_erases, 1u);
+  ftl.read_page(0, 0);
+  ftl.read_page(0, 1);
+}
+
+TEST(FtlGc, IdleGcHonorsEpisodeCap) {
+  // Garbage in both planes, but only one episode allowed per pass.
+  const SsdConfig cfg = tiny_config(/*planes=*/2);
+  FlashArray flash(cfg);
+  Ftl ftl(flash, 1);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t lpn = 0; lpn < 8; ++lpn) ftl.write_page(0, lpn);
+  }
+  const auto before = ftl.stats().gc_idle_episodes;
+  ftl.idle_gc(/*now=*/0, /*max_episodes=*/1);
+  EXPECT_EQ(ftl.stats().gc_idle_episodes, before + 1);
+}
+
+TEST(FtlGc, PhysicalOfThrowsOnUnmapped) {
+  FlashArray flash(test_ssd_config());
+  Ftl ftl(flash, 4);
+  EXPECT_THROW((void)ftl.physical_of(123), std::out_of_range);
+}
+
+TEST(FtlGc, EngineRunWithGcIsDeterministic) {
+  // Same seed -> byte-identical results, including the FTL's GC activity
+  // (allocation, victim choice, and the post-run idle pass are all
+  // deterministic functions of the workload).
+  const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 4096;
+  pc.subgraphs_per_partition = 1u << 20;
+  pc.subgraphs_per_range = 8;
+  const partition::PartitionedGraph pg(g, pc);
+  auto opts = [] {
+    accel::EngineOptions o;
+    o.ssd = test_ssd_config();
+    o.spec.num_walks = 2000;
+    o.spec.length = 6;
+    o.spec.seed = 99;
+    return o;
+  };
+  accel::FlashWalkerEngine e1(pg, opts());
+  accel::FlashWalkerEngine e2(pg, opts());
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+  EXPECT_EQ(r1.exec_time, r2.exec_time);
+  EXPECT_EQ(r1.metrics.total_hops, r2.metrics.total_hops);
+  EXPECT_EQ(r1.ftl.host_page_writes, r2.ftl.host_page_writes);
+  EXPECT_EQ(r1.ftl.gc_page_moves, r2.ftl.gc_page_moves);
+  EXPECT_EQ(r1.ftl.gc_erases, r2.ftl.gc_erases);
+  EXPECT_EQ(r1.ftl.gc_idle_episodes, r2.ftl.gc_idle_episodes);
+  EXPECT_EQ(r1.counters, r2.counters);
+}
+
+}  // namespace
+}  // namespace fw::ssd

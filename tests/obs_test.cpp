@@ -1,0 +1,411 @@
+// Observability layer: counter registry semantics, nested-JSON rendering,
+// Chrome trace_event output (syntax, metadata, unit conversion), and the
+// engine/FTL integration that --trace-out / --metrics-out rely on.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "accel/engine.hpp"
+#include "graph/datasets.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "ssd/config.hpp"
+#include "ssd/flash_array.hpp"
+#include "ssd/ftl.hpp"
+
+namespace fw::obs {
+namespace {
+
+// --- mini JSON validator ------------------------------------------------------
+//
+// Recursive-descent syntax checker for the subset the emitters produce
+// (objects, arrays, strings with \" and \\ escapes, unsigned/decimal
+// numbers, true/false/null). Certifies well-formedness without pulling in a
+// JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ == start) return false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+      if (pos_ == frac) return false;
+    }
+    return true;
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    do {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+    } while (eat(','));
+    return eat(']');
+  }
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_valid(const std::string& text) { return JsonChecker(text).valid(); }
+
+TEST(JsonValidator, SelfCheck) {
+  EXPECT_TRUE(json_valid(R"({"a":[1,2.500,"x\"y"],"b":{"c":true,"d":null}})"));
+  EXPECT_FALSE(json_valid(R"({"a":1)"));
+  EXPECT_FALSE(json_valid(R"({"a":1} trailing)"));
+  EXPECT_FALSE(json_valid(R"({"a":.5})"));
+  EXPECT_FALSE(json_valid(R"([1,])"));
+}
+
+// --- CounterRegistry ----------------------------------------------------------
+
+TEST(CounterRegistry, GetOrCreateReturnsStableReference) {
+  CounterRegistry reg;
+  Counter& a = reg.counter("chip.0.updates");
+  a.add(3);
+  // Creating more counters must not invalidate the first handle.
+  for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+  Counter& again = reg.counter("chip.0.updates");
+  EXPECT_EQ(&a, &again);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(CounterRegistry, FindDoesNotCreate) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("present").set(9);
+  ASSERT_NE(reg.find("present"), nullptr);
+  EXPECT_EQ(reg.find("present")->value(), 9u);
+}
+
+TEST(CounterRegistry, SnapshotSortedByName) {
+  CounterRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.counter("m.middle").add(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "a.first");
+  EXPECT_EQ(snap[1].first, "m.middle");
+  EXPECT_EQ(snap[2].first, "z.last");
+  EXPECT_EQ(snap[0].second, 2u);
+}
+
+TEST(CounterRegistry, WriteJsonNestsDottedNames) {
+  CounterRegistry reg;
+  reg.counter("chip.0.updates").set(5);
+  reg.counter("chip.1.updates").set(7);
+  reg.counter("ftl.gc.page_moves").set(2);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_EQ(json,
+            R"({"chip":{"0":{"updates":5},"1":{"updates":7}},"ftl":{"gc":{"page_moves":2}}})");
+}
+
+TEST(CounterRegistry, LeafAndPrefixCollisionUsesValueKey) {
+  // "a" is both a counter and a namespace: its own value must survive under
+  // the reserved "value" key inside the shared object.
+  CounterRegistry reg;
+  reg.counter("a").set(1);
+  reg.counter("a.b").set(2);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_EQ(json, R"({"a":{"value":1,"b":2}})");
+}
+
+TEST(CounterRegistry, EmptyRegistryIsEmptyObject) {
+  CounterRegistry reg;
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(CounterRegistry, SnapshotRoundTripsThroughFreeFunction) {
+  CounterRegistry reg;
+  reg.counter("x.a").set(1);
+  reg.counter("x.b").set(2);
+  std::ostringstream direct, via_snapshot;
+  reg.write_json(direct);
+  write_counters_json(via_snapshot, reg.snapshot());
+  EXPECT_EQ(direct.str(), via_snapshot.str());
+}
+
+// --- TraceRecorder ------------------------------------------------------------
+
+TEST(TraceRecorder, EmitsProcessAndThreadMetadata) {
+  TraceRecorder trace;
+  const auto t0 = trace.register_track("chip", "chip.0");
+  const auto t1 = trace.register_track("chip", "chip.1");
+  const auto t2 = trace.register_track("board", "guider");
+  EXPECT_EQ(trace.num_tracks(), 3u);
+  trace.complete(t0, "update", 0, 100);
+  trace.complete(t1, "update", 0, 100);
+  trace.complete(t2, "guide", 0, 100);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  // One process_name per unique process, one thread_name per track.
+  EXPECT_NE(json.find(R"("name":"process_name","args":{"name":"chip"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"process_name","args":{"name":"board"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"thread_name","args":{"name":"chip.1"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"thread_name","args":{"name":"guider"})"),
+            std::string::npos);
+  // Both chip tracks share a pid; the board track does not.
+  EXPECT_EQ(json.find(R"("args":{"name":"chip"})"), json.rfind(R"("args":{"name":"chip"})"));
+}
+
+TEST(TraceRecorder, SpanTimesConvertToMicrosecondsWithNsPrecision) {
+  TraceRecorder trace;
+  const auto track = trace.register_track("chip", "chip.0");
+  trace.complete(track, "update", 1500, 4750);  // 1.5 us start, 3.25 us long
+  trace.complete(track, "whole", 2000, 5000);   // integral microseconds
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find(R"("ts":1.500,"dur":3.250)"), std::string::npos) << json;
+  EXPECT_NE(json.find(R"("ts":2,"dur":3)"), std::string::npos) << json;
+}
+
+TEST(TraceRecorder, SpanArgsAndInstants) {
+  TraceRecorder trace;
+  const auto track = trace.register_track("channel", "channel.0");
+  trace.complete(track, "rove", 10, 20, 17, "walks");
+  trace.instant(track, "wakeup", 30);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find(R"("args":{"walks":17})"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
+}
+
+TEST(TraceRecorder, CounterSamplesLiveInOwnProcess) {
+  TraceRecorder trace;
+  trace.counter("engine.walks_completed", 1000, 42);
+  trace.counter("engine.walks_completed", 2000, 84);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find(R"("name":"process_name","args":{"name":"counters"})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"C","pid":0,"name":"engine.walks_completed","ts":1,"args":{"value":42})"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyTraceIsValidJson) {
+  TraceRecorder trace;
+  std::ostringstream os;
+  trace.write_json(os);
+  EXPECT_TRUE(json_valid(os.str()));
+  EXPECT_EQ(trace.num_events(), 0u);
+}
+
+// --- FTL GC tracing -----------------------------------------------------------
+
+TEST(FtlTrace, GcEpisodeEmitsSpanAndCounters) {
+  ssd::SsdConfig cfg = ssd::test_ssd_config();
+  cfg.topo.channels = 1;
+  cfg.topo.chips_per_channel = 1;
+  cfg.topo.dies_per_chip = 1;
+  cfg.topo.planes_per_die = 1;
+  cfg.topo.blocks_per_plane = 4;
+  cfg.topo.pages_per_block = 4;
+  ssd::FlashArray flash(cfg);
+  ssd::Ftl ftl(flash, /*reserved_blocks_per_plane=*/1);
+  CounterRegistry reg;
+  TraceRecorder trace;
+  ftl.attach_observability(&reg, &trace);
+  // Hammer 4 LPNs until space-pressure GC must run.
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint64_t lpn = 0; lpn < 4; ++lpn) ftl.write_page(0, lpn);
+  }
+  ASSERT_GT(ftl.stats().gc_erases, 0u);
+  ASSERT_NE(reg.find("ftl.gc.erases"), nullptr);
+  EXPECT_EQ(reg.find("ftl.gc.erases")->value(), ftl.stats().gc_erases);
+  EXPECT_EQ(reg.find("ftl.gc.page_moves")->value(), ftl.stats().gc_page_moves);
+  EXPECT_EQ(reg.find("ftl.host_page_writes")->value(), ftl.stats().host_page_writes);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find(R"("name":"gc")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"process_name","args":{"name":"ftl"})"),
+            std::string::npos);
+  EXPECT_NE(json.find("page_moves"), std::string::npos);
+}
+
+// --- engine integration -------------------------------------------------------
+
+TEST(EngineTrace, RunProducesSpansForAllUnitLevels) {
+  const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 4096;
+  pc.subgraphs_per_partition = 1u << 20;
+  pc.subgraphs_per_range = 8;
+  const partition::PartitionedGraph pg(g, pc);
+  accel::EngineOptions opts;
+  opts.ssd = ssd::test_ssd_config();
+  opts.spec.num_walks = 2000;
+  opts.spec.length = 6;
+  opts.spec.seed = 99;
+  TraceRecorder trace;
+  opts.trace = &trace;
+  accel::FlashWalkerEngine engine(pg, opts);
+  const auto r = engine.run();
+  EXPECT_EQ(r.metrics.walks_completed, 2000u);
+  EXPECT_GT(trace.num_events(), 0u);
+
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(json_valid(json));
+  // Spans for every accelerator level of the hierarchy.
+  EXPECT_NE(json.find(R"("args":{"name":"chip"})"), std::string::npos);
+  EXPECT_NE(json.find(R"("args":{"name":"channel"})"), std::string::npos);
+  EXPECT_NE(json.find(R"("args":{"name":"guider"})"), std::string::npos);
+  EXPECT_NE(json.find(R"("args":{"name":"updater"})"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"sg_load")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"guide")"), std::string::npos);
+
+  // The run's counter snapshot feeds --metrics-out: spot-check hierarchy
+  // names and agreement with the run metrics.
+  ASSERT_FALSE(r.counters.empty());
+  std::uint64_t walks = 0, chip0 = 0;
+  bool saw_chip0 = false;
+  for (const auto& [name, value] : r.counters) {
+    if (name == "engine.walks_completed") walks = value;
+    if (name == "chip.0.updates") {
+      chip0 = value;
+      saw_chip0 = true;
+    }
+  }
+  EXPECT_EQ(walks, r.metrics.walks_completed);
+  EXPECT_TRUE(saw_chip0);
+  (void)chip0;
+  std::ostringstream cos;
+  write_counters_json(cos, r.counters);
+  EXPECT_TRUE(json_valid(cos.str())) << cos.str();
+}
+
+TEST(EngineTrace, DisabledTracingLeavesResultIdentical) {
+  const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 4096;
+  pc.subgraphs_per_partition = 1u << 20;
+  pc.subgraphs_per_range = 8;
+  const partition::PartitionedGraph pg(g, pc);
+  auto opts = [&] {
+    accel::EngineOptions o;
+    o.ssd = ssd::test_ssd_config();
+    o.spec.num_walks = 1000;
+    o.spec.length = 6;
+    o.spec.seed = 7;
+    return o;
+  };
+  auto with = opts();
+  TraceRecorder trace;
+  with.trace = &trace;
+  accel::FlashWalkerEngine e1(pg, with);
+  accel::FlashWalkerEngine e2(pg, opts());
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+  EXPECT_EQ(r1.exec_time, r2.exec_time);
+  EXPECT_EQ(r1.metrics.total_hops, r2.metrics.total_hops);
+  EXPECT_EQ(r1.counters, r2.counters);
+  EXPECT_GT(trace.num_events(), 0u);
+}
+
+}  // namespace
+}  // namespace fw::obs

@@ -149,6 +149,25 @@ TEST_F(SchedulerFixture, SsPickIsCheaperThanScan) {
   }
 }
 
+TEST_F(SchedulerFixture, FallbackScanRepopulatesDrainedTopN) {
+  // Regression: the fallback candidate scan claimed to repopulate a drained
+  // top-N list but didn't, so every pick after a drain paid the full scan.
+  auto sched = make(true);  // top_n = 4
+  const auto& list = layout_->chip_subgraphs(0, 0);
+  ASSERT_GT(list.size(), 4u) << "fixture must own more subgraphs than top_n";
+  for (SubgraphId sg : list) sched.on_walk_insert(sg);
+  // Drain: an all-ineligible pick pops every top-N entry, then falls back to
+  // the candidate scan (which must refill the list on its way through).
+  const auto none = sched.pick_for_chip(0, [](SubgraphId) { return false; });
+  EXPECT_FALSE(none.has_value());
+  // The next pick must ride the repopulated fast path: ~top_n comparisons,
+  // not a rescan of every candidate.
+  const auto pick = sched.pick_for_chip(0, [](SubgraphId) { return true; });
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_LE(pick->compare_ops, 4u);
+  EXPECT_LT(pick->compare_ops, static_cast<std::uint32_t>(list.size()));
+}
+
 TEST_F(SchedulerFixture, AlphaWeightsPwbOverFlash) {
   // update_every = 1: refresh the top-N on every insert so scores are exact
   // (the lazy default is covered by LazyTopNDefersRefresh below).
