@@ -1,9 +1,11 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -12,6 +14,16 @@ namespace fw::bench {
 
 ssd::SsdConfig bench_ssd() {
   return ssd::SsdConfig{};  // Table I/III defaults
+}
+
+std::uint64_t bench_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("FW_BENCH_SEED")) {
+      return static_cast<std::uint64_t>(std::stoull(std::string(env)));
+    }
+    return std::uint64_t{42};
+  }();
+  return seed;
 }
 
 partition::PartitionConfig bench_partition(bool weighted) {
@@ -128,6 +140,8 @@ void print_banner(const std::string& title, const std::string& paper_ref) {
             << "Table II accelerators with proportionally scaled buffers.\n"
             << "Shapes (who wins / rough factors / crossovers) are the\n"
             << "reproduction target, not absolute values. See EXPERIMENTS.md.\n"
+            << "Seed: " << bench_seed()
+            << " (override with FW_BENCH_SEED for a different stream)\n"
             << "==========================================================\n";
 }
 

@@ -31,13 +31,18 @@ partition::PartitionConfig bench_partition(bool weighted = false);
 /// scaled to keep graph:memory ratios), 1 MiB blocks (the paper's ~1 GB).
 baseline::HostConfig bench_host();
 
+/// The seed every bench run (and every RNG a bench constructs) derives
+/// from: FW_BENCH_SEED in the environment, else 42. Printed by
+/// print_banner so any report names the seed that reproduces it.
+std::uint64_t bench_seed();
+
 struct RunConfig {
   graph::DatasetId dataset = graph::DatasetId::TT;
   std::uint64_t num_walks = 0;  ///< 0 = dataset default
   accel::Features features;     ///< FlashWalker optimization toggles
   std::uint64_t host_memory_bytes = 0;  ///< 0 = bench_host() default
   Tick timeline_interval = 0;
-  std::uint64_t seed = 42;
+  std::uint64_t seed = bench_seed();
   /// When set, the FlashWalker run writes a Chrome trace_event JSON here.
   std::string trace_out;
   /// When set, the FlashWalker run writes its nested counter JSON here.

@@ -4,6 +4,9 @@
 // query-cache accesses, and the event queue.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench_common.hpp"
 #include "common/assoc_cache.hpp"
 #include "common/bloom.hpp"
 #include "common/rng.hpp"
@@ -22,7 +25,7 @@ const graph::CsrGraph& bench_graph(bool weighted) {
     graph::RmatParams p;
     p.num_vertices = 1 << 14;
     p.num_edges = 1 << 18;
-    p.seed = 3;
+    p.seed = bench::bench_seed();
     return graph::generate_rmat(p);
   }();
   static const graph::CsrGraph with_weights = [] {
@@ -30,7 +33,7 @@ const graph::CsrGraph& bench_graph(bool weighted) {
     p.num_vertices = 1 << 14;
     p.num_edges = 1 << 18;
     p.weighted = true;
-    p.seed = 3;
+    p.seed = bench::bench_seed();
     return graph::generate_rmat(p);
   }();
   return weighted ? with_weights : unweighted;
@@ -55,7 +58,7 @@ const partition::SubgraphMappingTable& bench_mtab() {
 
 void BM_SampleUnbiased(benchmark::State& state) {
   const auto& g = bench_graph(false);
-  Xoshiro256 rng(1);
+  Xoshiro256 rng(bench::bench_seed() + 1);
   VertexId v = 0;
   for (auto _ : state) {
     const auto s = rw::sample_unbiased(g, v, rng);
@@ -68,7 +71,7 @@ BENCHMARK(BM_SampleUnbiased);
 void BM_SampleBiasedIts(benchmark::State& state) {
   const auto& g = bench_graph(true);
   static const rw::ItsTable its(bench_graph(true));
-  Xoshiro256 rng(1);
+  Xoshiro256 rng(bench::bench_seed() + 1);
   VertexId v = 0;
   for (auto _ : state) {
     const auto s = its.sample(g, v, rng);
@@ -80,7 +83,7 @@ BENCHMARK(BM_SampleBiasedIts);
 
 void BM_MappingFullSearch(benchmark::State& state) {
   const auto& mtab = bench_mtab();
-  Xoshiro256 rng(2);
+  Xoshiro256 rng(bench::bench_seed() + 2);
   const VertexId n = bench_graph(false).num_vertices();
   std::uint64_t steps = 0;
   for (auto _ : state) {
@@ -96,7 +99,7 @@ BENCHMARK(BM_MappingFullSearch);
 void BM_MappingRangeSearch(benchmark::State& state) {
   // The WQ path: channel-level range query + board-level in-range search.
   const auto& mtab = bench_mtab();
-  Xoshiro256 rng(2);
+  Xoshiro256 rng(bench::bench_seed() + 2);
   const VertexId n = bench_graph(false).num_vertices();
   std::uint64_t steps = 0;
   for (auto _ : state) {
@@ -114,7 +117,7 @@ BENCHMARK(BM_MappingRangeSearch);
 void BM_BloomProbe(benchmark::State& state) {
   BloomFilter bf(10'000, 0.01);
   for (std::uint64_t k = 0; k < 10'000; ++k) bf.insert(k * 3);
-  Xoshiro256 rng(4);
+  Xoshiro256 rng(bench::bench_seed() + 4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bf.may_contain(rng.bounded(60'000)));
   }
@@ -123,7 +126,7 @@ BENCHMARK(BM_BloomProbe);
 
 void BM_DenseTableLookup(benchmark::State& state) {
   static const partition::DenseVertexTable dtab(bench_pg());
-  Xoshiro256 rng(5);
+  Xoshiro256 rng(bench::bench_seed() + 5);
   const VertexId n = bench_graph(false).num_vertices();
   for (auto _ : state) {
     benchmark::DoNotOptimize(dtab.lookup(rng.bounded(n)).meta.has_value());
@@ -133,7 +136,7 @@ BENCHMARK(BM_DenseTableLookup);
 
 void BM_QueryCache(benchmark::State& state) {
   AssocCacheModel cache(4096, 16, 4);
-  Xoshiro256 rng(6);
+  Xoshiro256 rng(bench::bench_seed() + 6);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.access(rng.bounded(1 << state.range(0))));
   }
@@ -142,7 +145,7 @@ void BM_QueryCache(benchmark::State& state) {
 BENCHMARK(BM_QueryCache)->Arg(6)->Arg(10)->Arg(16);
 
 void BM_EventQueue(benchmark::State& state) {
-  Xoshiro256 rng(7);
+  Xoshiro256 rng(bench::bench_seed() + 7);
   for (auto _ : state) {
     sim::EventQueue q;
     for (int i = 0; i < 256; ++i) q.push(rng.bounded(100'000), [] {});
@@ -153,7 +156,7 @@ void BM_EventQueue(benchmark::State& state) {
 BENCHMARK(BM_EventQueue);
 
 void BM_PrewalkChoice(benchmark::State& state) {
-  Xoshiro256 rng(8);
+  Xoshiro256 rng(bench::bench_seed() + 8);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         rw::prewalk_block_choice(rw::prewalk_draw(1'213'787, rng), 65536));
@@ -164,4 +167,14 @@ BENCHMARK(BM_PrewalkChoice);
 }  // namespace
 }  // namespace fw
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): report the seed every RNG stream
+// above derives from, so a report is reproducible from its own header.
+int main(int argc, char** argv) {
+  std::cout << "Seed: " << fw::bench::bench_seed()
+            << " (override with FW_BENCH_SEED for a different stream)\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

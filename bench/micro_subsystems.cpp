@@ -3,6 +3,9 @@
 // sampling, skip-gram training, and the parallel host walker.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench_common.hpp"
 #include "baseline/knightking.hpp"
 #include "graph/generators.hpp"
 #include "rw/embeddings.hpp"
@@ -20,7 +23,7 @@ const graph::CsrGraph& micro_graph() {
     graph::RmatParams p;
     p.num_vertices = 1 << 13;
     p.num_edges = 1 << 17;
-    p.seed = 8;
+    p.seed = bench::bench_seed();
     return graph::generate_rmat(p);
   }();
   return g;
@@ -39,7 +42,7 @@ BENCHMARK(BM_BankedDramRowHit);
 
 void BM_BankedDramScattered(benchmark::State& state) {
   ssd::BankedDram dram{ssd::DramConfig{}};
-  Xoshiro256 rng(1);
+  Xoshiro256 rng(bench::bench_seed() + 1);
   Tick t = 0;
   for (auto _ : state) {
     t = dram.access(t, rng.bounded(1u << 30), 64);
@@ -74,7 +77,7 @@ BENCHMARK(BM_FtlWritePath);
 
 void BM_SecondOrderSample(benchmark::State& state) {
   const auto& g = micro_graph();
-  Xoshiro256 rng(2);
+  Xoshiro256 rng(bench::bench_seed() + 2);
   VertexId prev = 0;
   while (g.out_degree(prev) == 0) ++prev;
   VertexId cur = g.neighbors(prev)[0];
@@ -115,6 +118,7 @@ void BM_ParallelWalker(benchmark::State& state) {
   rw::WalkSpec spec;
   spec.num_walks = 20'000;
   spec.length = 6;
+  spec.seed = bench::bench_seed();
   rw::ParallelWalkOptions opts;
   opts.threads = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
@@ -130,6 +134,7 @@ void BM_KnightKingSuperstep(benchmark::State& state) {
   opts.workers = 4;
   opts.spec.num_walks = 20'000;
   opts.spec.length = 6;
+  opts.spec.seed = bench::bench_seed();
   opts.record_visits = false;
   for (auto _ : state) {
     baseline::KnightKingEngine engine(micro_graph(), opts);
@@ -142,4 +147,14 @@ BENCHMARK(BM_KnightKingSuperstep)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace fw
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): report the seed every RNG stream
+// above derives from, so a report is reproducible from its own header.
+int main(int argc, char** argv) {
+  std::cout << "Seed: " << fw::bench::bench_seed()
+            << " (override with FW_BENCH_SEED for a different stream)\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench/sim_hotpath report against the committed baseline.
+
+Usage:
+    python3 bench/regression.py --baseline BENCH_sim.json \
+        --current /tmp/current.json [--max-drop 0.20] [--absolute]
+
+Exit status 0 = within budget, 1 = regression, 2 = bad input.
+
+What is gated, and why
+----------------------
+1. `queue_speedup` (always): bucketed-queue events/sec divided by the
+   frozen legacy-heap events/sec *measured in the same binary on the same
+   machine*. The ratio cancels out host speed, so it is the portable proxy
+   for "did the DES hot path regress". A drop > --max-drop fails.
+
+2. `sim_exec_ns` (when the e2e configs match): the simulated exec time for
+   a fixed (dataset, scale, walks, seed) is bit-deterministic — it must
+   EQUAL the baseline on any machine. A mismatch means either a
+   determinism bug or an intentional timing-model change; for the latter,
+   refresh the baseline in the same PR (see docs/MODELING.md, "The DES
+   kernel").
+
+3. `bucketed_events_per_sec` (only with --absolute): raw throughput is
+   only comparable on the machine that produced the baseline, so this
+   check is opt-in for local tuning runs; CI uses the speedup gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if report.get("schema") != "fw-bench-sim/1":
+        print(f"regression: {path}: unexpected schema {report.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def e2e_config(report):
+    e2e = report.get("e2e", {})
+    return (e2e.get("dataset"), e2e.get("scale"), e2e.get("walks"),
+            report.get("seed"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-drop", type=float, default=0.20,
+                    help="allowed fractional drop in gated rates (default 0.20)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also gate raw bucketed_events_per_sec (same-machine runs only)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+
+    def gate_rate(name, base_v, cur_v):
+        floor = base_v * (1.0 - args.max_drop)
+        verdict = "ok" if cur_v >= floor else "REGRESSION"
+        print(f"{name}: baseline {base_v:.4g}  current {cur_v:.4g}  "
+              f"floor {floor:.4g}  [{verdict}]")
+        if cur_v < floor:
+            failures.append(name)
+
+    gate_rate("queue_speedup", base["queue_speedup"], cur["queue_speedup"])
+
+    if args.absolute:
+        gate_rate("bucketed_events_per_sec", base["bucketed_events_per_sec"],
+                  cur["bucketed_events_per_sec"])
+    else:
+        print(f"bucketed_events_per_sec: baseline {base['bucketed_events_per_sec']}  "
+              f"current {cur['bucketed_events_per_sec']}  [informational]")
+
+    if e2e_config(base) == e2e_config(cur):
+        b_ns, c_ns = base["e2e"]["sim_exec_ns"], cur["e2e"]["sim_exec_ns"]
+        verdict = "ok" if b_ns == c_ns else "MISMATCH"
+        print(f"sim_exec_ns: baseline {b_ns}  current {c_ns}  [{verdict}]")
+        if b_ns != c_ns:
+            failures.append("sim_exec_ns")
+            print("  simulated time diverged for an identical config+seed: either a\n"
+                  "  determinism bug or an intentional model change. If intentional,\n"
+                  "  regenerate the baseline (bench/sim_hotpath --quick --out\n"
+                  "  BENCH_sim.json) and commit it with the change.", file=sys.stderr)
+    else:
+        print(f"sim_exec_ns: configs differ ({e2e_config(base)} vs {e2e_config(cur)}), "
+              "determinism check skipped")
+
+    if failures:
+        print(f"regression: FAILED ({', '.join(failures)})", file=sys.stderr)
+        return 1
+    print("regression: all checks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+// DES hot-path benchmark: event-queue throughput + end-to-end walk rate.
+//
+// Two measurements, both emitted as JSON (BENCH_sim.json) so
+// bench/regression.py can track the trajectory across PRs:
+//
+//  1. Events/sec through the kernel loop (push one / pop one at steady
+//     state, ~4K in-flight events) with delays drawn from the Table III
+//     latency mixture the engine actually schedules — accelerator cycles,
+//     DRAM accesses, channel transfers, roving polls, flash reads/programs,
+//     erases. Run against both the current bucketed EventQueue and a
+//     faithful copy of the pre-optimization binary heap of std::function
+//     closures (`LegacyEventQueue` below), giving a same-binary speedup
+//     number that is meaningful across machines.
+//
+//  2. End-to-end FlashWalker engine throughput (hops/sec wall-clock) on a
+//     dataset/scale of choice, plus the simulated exec_time, which is
+//     deterministic for a fixed seed and doubles as a cross-machine
+//     regression guard.
+//
+// Usage: sim_hotpath [--out FILE] [--events N] [--dataset TT] [--scale
+// test|small|bench] [--walks N] [--seed N] [--quick]
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/engine.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "graph/datasets.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "sim/event_queue.hpp"
+
+namespace fw::bench {
+namespace {
+
+/// The event queue this PR replaced, verbatim: a std::priority_queue of
+/// heap-allocating std::function closures. Kept here (not in src/) purely
+/// as the microbench comparison point.
+class LegacyEventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void push(Tick at, Fn fn) { heap_.push(Event{at, next_seq_++, std::move(fn)}); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  std::pair<Tick, Fn> pop() {
+    const Event& top = heap_.top();
+    std::pair<Tick, Fn> result{top.at, std::move(top.fn)};
+    heap_.pop();
+    return result;
+  }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    mutable Fn fn;
+
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+/// Delay mixture keyed to the latency clusters the engine schedules
+/// (Table II cycle times, Table III DRAM/flash timings). Percentages are
+/// rough shares of event traffic in a bench-scale run.
+Tick next_delay(Xoshiro256& rng) {
+  const std::uint64_t r = rng.bounded(1000);
+  if (r < 550) return 4 + 4 * rng.bounded(4);        // updater/guider cycles
+  if (r < 750) return 55;                            // DRAM access
+  if (r < 880) return 200 + rng.bounded(1200);       // ONFI channel transfer
+  if (r < 960) return 2 * kUs;                       // roving poll interval
+  if (r < 992) return 35 * kUs;                      // flash page read
+  if (r < 999) return 350 * kUs;                     // flash page program
+  return 2 * kMs;                                    // block erase
+}
+
+/// Steady-state kernel loop: pop an event, run its (engine-sized, ~40 B
+/// capture) closure, schedule a successor. Returns events/sec and feeds a
+/// checksum through the handlers so nothing folds away.
+template <typename Queue>
+double measure_events_per_sec(std::uint64_t total_events, std::uint64_t seed,
+                              std::uint64_t* checksum_out) {
+  Queue q;
+  Xoshiro256 rng(seed);
+  std::uint64_t checksum = 0;
+  constexpr std::uint64_t kInFlight = 4096;
+
+  // Engine-shaped payload: a this-pointer-sized handle plus a few scalars
+  // (comfortably past std::function's 16-byte inline buffer, inside
+  // EventFn's 64 bytes).
+  auto make_handler = [&checksum](std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                  std::uint64_t d) {
+    return [&checksum, a, b, c, d] { checksum += a ^ (b + c) ^ d; };
+  };
+
+  Tick now = 0;
+  for (std::uint64_t i = 0; i < kInFlight; ++i) {
+    q.push(next_delay(rng), make_handler(i, i + 1, i + 2, i + 3));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t done = 0; done < total_events; ++done) {
+    auto [at, fn] = q.pop();
+    now = at;
+    fn();
+    q.push(now + next_delay(rng), make_handler(done, now, done + now, done ^ now));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  while (!q.empty()) q.pop();
+  *checksum_out = checksum;
+  return static_cast<double>(total_events) / secs;
+}
+
+struct E2eResult {
+  double wall_s = 0.0;
+  double hops_per_sec = 0.0;
+  double walks_per_sec = 0.0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t walks = 0;
+  Tick sim_exec_ns = 0;
+};
+
+E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t walks,
+                         std::uint64_t seed) {
+  const graph::CsrGraph g = graph::make_dataset(id, scale);
+  const partition::PartitionedGraph pg(g, bench_partition());
+
+  accel::EngineOptions opts;
+  opts.ssd = bench_ssd();
+  opts.accel = accel::bench_accel_config();
+  opts.spec.num_walks = walks ? walks : graph::default_walk_count(id, scale);
+  opts.spec.length = 6;
+  opts.spec.seed = seed;
+  opts.record_visits = false;
+
+  accel::FlashWalkerEngine engine(pg, opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  E2eResult e2e;
+  e2e.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  e2e.total_hops = result.metrics.total_hops;
+  e2e.walks = result.metrics.walks_completed;
+  e2e.hops_per_sec = static_cast<double>(e2e.total_hops) / e2e.wall_s;
+  e2e.walks_per_sec = static_cast<double>(e2e.walks) / e2e.wall_s;
+  e2e.sim_exec_ns = result.exec_time;
+  return e2e;
+}
+
+graph::Scale parse_scale(const std::string& s) {
+  if (s == "test") return graph::Scale::kTest;
+  if (s == "small") return graph::Scale::kSmall;
+  if (s == "bench") return graph::Scale::kBench;
+  std::cerr << "unknown scale '" << s << "' (test|small|bench)\n";
+  std::exit(2);
+}
+
+graph::DatasetId parse_dataset(const std::string& s) {
+  for (const auto& info : graph::all_datasets()) {
+    if (info.abbrev == s) return info.id;
+  }
+  std::cerr << "unknown dataset '" << s << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+}  // namespace fw::bench
+
+int main(int argc, char** argv) {
+  using namespace fw;
+  using namespace fw::bench;
+
+  std::string out_path = "BENCH_sim.json";
+  std::string dataset = "TT";
+  std::string scale = "small";
+  std::uint64_t events = 2'000'000;
+  std::uint64_t walks = 20'000;
+  std::uint64_t seed = bench_seed();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--events") {
+      events = std::stoull(value());
+    } else if (arg == "--dataset") {
+      dataset = value();
+    } else if (arg == "--scale") {
+      scale = value();
+    } else if (arg == "--walks") {
+      walks = std::stoull(value());
+    } else if (arg == "--seed") {
+      seed = std::stoull(value());
+    } else if (arg == "--quick") {
+      events = 400'000;
+      scale = "test";
+      walks = 5'000;
+    } else {
+      std::cerr << "unknown argument " << arg << "\n";
+      std::exit(2);
+    }
+  }
+
+  print_banner("DES hot path — event queue + engine throughput",
+               "kernel microbench (not a paper figure)");
+
+  // Warm-up pass primes the allocator and branch predictors for both
+  // queues; the measured passes follow.
+  std::uint64_t checksum_bucketed = 0;
+  std::uint64_t checksum_legacy = 0;
+  measure_events_per_sec<sim::EventQueue>(events / 10, seed, &checksum_bucketed);
+  measure_events_per_sec<LegacyEventQueue>(events / 10, seed, &checksum_legacy);
+
+  const double bucketed =
+      measure_events_per_sec<sim::EventQueue>(events, seed, &checksum_bucketed);
+  const double legacy =
+      measure_events_per_sec<LegacyEventQueue>(events, seed, &checksum_legacy);
+  if (checksum_bucketed != checksum_legacy) {
+    std::cerr << "FATAL: queue implementations executed different event sets\n";
+    return 1;
+  }
+  const double speedup = bucketed / legacy;
+
+  std::cout << "\nEvent-queue microbench (" << events << " events, seed " << seed
+            << "):\n"
+            << "  bucketed queue : " << static_cast<std::uint64_t>(bucketed)
+            << " events/s\n"
+            << "  legacy heap    : " << static_cast<std::uint64_t>(legacy)
+            << " events/s\n"
+            << "  speedup        : " << speedup << "x\n";
+
+  const auto e2e =
+      measure_engine(parse_dataset(dataset), parse_scale(scale), walks, seed);
+  std::cout << "\nEnd-to-end engine (" << dataset << "/" << scale << ", " << e2e.walks
+            << " walks):\n"
+            << "  wall time      : " << e2e.wall_s << " s\n"
+            << "  hops/s (wall)  : " << static_cast<std::uint64_t>(e2e.hops_per_sec)
+            << "\n"
+            << "  sim exec_time  : " << e2e.sim_exec_ns << " ns (deterministic)\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"schema\": \"fw-bench-sim/1\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"events\": " << events << ",\n"
+      << "  \"bucketed_events_per_sec\": " << static_cast<std::uint64_t>(bucketed)
+      << ",\n"
+      << "  \"legacy_events_per_sec\": " << static_cast<std::uint64_t>(legacy) << ",\n"
+      << "  \"queue_speedup\": " << speedup << ",\n"
+      << "  \"e2e\": {\n"
+      << "    \"dataset\": \"" << dataset << "\",\n"
+      << "    \"scale\": \"" << scale << "\",\n"
+      << "    \"walks\": " << e2e.walks << ",\n"
+      << "    \"total_hops\": " << e2e.total_hops << ",\n"
+      << "    \"wall_s\": " << e2e.wall_s << ",\n"
+      << "    \"hops_per_sec\": " << static_cast<std::uint64_t>(e2e.hops_per_sec)
+      << ",\n"
+      << "    \"sim_exec_ns\": " << e2e.sim_exec_ns << "\n"
+      << "  }\n"
+      << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

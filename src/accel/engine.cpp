@@ -560,7 +560,7 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
 
   // Take the buffered walks now; new arrivals accumulate for the next load.
   std::vector<rw::Walk> walks = std::move(pwb_walks_[sg]);
-  pwb_walks_[sg].clear();
+  pwb_walks_[sg] = walk_pool_.acquire();
   const std::uint64_t fl_count = fl_walks_[sg].size();
   walks.insert(walks.end(), fl_walks_[sg].begin(), fl_walks_[sg].end());
   fl_walks_[sg].clear();
@@ -612,6 +612,7 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
     s.sg = sg;
     s.loading = false;
     for (auto& w : walks) s.queue.push_back(w);
+    walk_pool_.release(std::move(walks));
     kick_chip(c);
   });
 }
@@ -707,7 +708,7 @@ void FlashWalkerEngine::process_chip(ChipState& c) {
 
 void FlashWalkerEngine::poll_channel(ChannelState& ch) {
   if (done_) return;
-  std::vector<rw::Walk> pulled;
+  std::vector<rw::Walk> pulled = walk_pool_.acquire();
   const auto chips_per_channel = opt_.ssd.topo.chips_per_channel;
   for (std::uint32_t k = 0; k < chips_per_channel; ++k) {
     ChipState& c = chips_[ch.index * chips_per_channel + k];
@@ -723,6 +724,8 @@ void FlashWalkerEngine::poll_channel(ChannelState& ch) {
     sim_.schedule_at(done, [this, &ch, walks = std::move(pulled)]() mutable {
       receive_roving(ch, std::move(walks));
     });
+  } else {
+    walk_pool_.release(std::move(pulled));
   }
   maybe_switch_partition();
   sim_.schedule(opt_.accel.roving_poll_interval, [this, &ch] { poll_channel(ch); });
@@ -733,7 +736,7 @@ void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> w
   const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.channel.guiders);
 
   Tick cost = 0;
-  std::vector<rw::Walk> to_board;
+  std::vector<rw::Walk> to_board = walk_pool_.acquire();
   for (auto& w : walks) {
     // Hot-subgraph check (HS) — dense-vertex walks always continue to the
     // board for pre-walking.
@@ -780,7 +783,10 @@ void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> w
     sim_.schedule_at(completion, [this, walks2 = std::move(to_board)]() mutable {
       enqueue_board(std::move(walks2));
     });
+  } else {
+    walk_pool_.release(std::move(to_board));
   }
+  walk_pool_.release(std::move(walks));
   kick_channel(ch);
 }
 
@@ -814,7 +820,7 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
   const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.channel.guiders);
 
   Tick cost = 0;
-  std::vector<rw::Walk> to_board;
+  std::vector<rw::Walk> to_board = walk_pool_.acquire();
   std::uint32_t processed = 0;
   while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
     rw::Walk w = slot->queue.front();
@@ -868,6 +874,8 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
     if (!walks.empty()) {
       metrics_.to_board_walks += walks.size();
       enqueue_board(std::move(walks));
+    } else {
+      walk_pool_.release(std::move(walks));
     }
     kick_channel(ch);
     maybe_switch_partition();
@@ -880,6 +888,7 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
 
 void FlashWalkerEngine::enqueue_board(std::vector<rw::Walk> walks) {
   for (auto& w : walks) board_.guide.push_back(w);
+  walk_pool_.release(std::move(walks));
   kick_board_guider();
 }
 
@@ -898,7 +907,7 @@ void FlashWalkerEngine::process_board_guider() {
   const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.board.guiders);
 
   std::uint64_t cycles = 0;
-  std::vector<std::uint32_t> touched_chips;
+  std::vector<std::uint32_t> touched_chips = chip_list_pool_.acquire();
   std::uint32_t processed = 0;
   // The board drains bigger batches: it has 128 guiders.
   const std::uint32_t batch = opt_.accel.batch_walks * 4;
@@ -915,9 +924,10 @@ void FlashWalkerEngine::process_board_guider() {
                          processed, "walks");
   }
   board_.guiding = true;
-  sim_.schedule_at(completion, [this, touched = std::move(touched_chips)] {
+  sim_.schedule_at(completion, [this, touched = std::move(touched_chips)]() mutable {
     board_.guiding = false;
     for (std::uint32_t g : touched) kick_chip(chips_[g]);
+    chip_list_pool_.release(std::move(touched));
     kick_board_guider();
     kick_board_updater();
     maybe_switch_partition();
@@ -952,7 +962,7 @@ void FlashWalkerEngine::process_board_updater() {
   const std::uint32_t updaters = std::max<std::uint32_t>(1, opt_.accel.board.updaters);
 
   Tick cost = 0;
-  std::vector<rw::Walk> to_guide;
+  std::vector<rw::Walk> to_guide = walk_pool_.acquire();
   std::uint32_t processed = 0;
   while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
     rw::Walk w = slot->queue.front();
@@ -980,7 +990,11 @@ void FlashWalkerEngine::process_board_updater() {
   board_.updating = true;
   sim_.schedule_at(completion, [this, walks = std::move(to_guide)]() mutable {
     board_.updating = false;
-    if (!walks.empty()) enqueue_board(std::move(walks));
+    if (!walks.empty()) {
+      enqueue_board(std::move(walks));
+    } else {
+      walk_pool_.release(std::move(walks));
+    }
     kick_board_updater();
     maybe_switch_partition();
   });

@@ -31,6 +31,7 @@
 #include "accel/metrics.hpp"
 #include "accel/scheduler.hpp"
 #include "common/assoc_cache.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -256,6 +257,11 @@ class FlashWalkerEngine {
   BoardState board_;
 
   static constexpr std::uint64_t kDramLineBytes = 64;
+  /// Free lists for the walk batches (and per-batch chip lists) that ride
+  /// through scheduled events: in-flight buffers return here once drained,
+  /// so steady-state event traffic allocates nothing.
+  VectorPool<rw::Walk> walk_pool_;
+  VectorPool<std::uint32_t> chip_list_pool_;
   std::vector<std::vector<rw::Walk>> pwb_walks_;   // per subgraph (current partition)
   std::vector<std::uint32_t> pwb_wc_bytes_;        // write-combining residue per entry
   std::vector<std::vector<rw::Walk>> fl_walks_;    // per subgraph, resident in flash

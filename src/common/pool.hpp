@@ -1,0 +1,48 @@
+// Free-list pools for hot-path transients.
+//
+// The DES hot path moves batches of walks (and per-batch scratch lists)
+// through short-lived std::vectors: every roving pull, board batch, and
+// subgraph load used to allocate a fresh vector and drop it one event
+// later. VectorPool recycles those buffers — acquire() hands back an empty
+// vector that keeps its previous capacity, release() returns it — so
+// steady-state simulation performs no allocator traffic for batch vectors.
+//
+// Not thread-safe by design: each engine owns its pools, and the DES is
+// single-threaded (see docs/MODELING.md).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fw {
+
+template <typename T>
+class VectorPool {
+ public:
+  /// Bound the free list so a one-off burst does not pin memory forever.
+  explicit VectorPool(std::size_t max_free = 256) : max_free_(max_free) {}
+
+  /// An empty vector, reusing capacity from a released one when available.
+  [[nodiscard]] std::vector<T> acquire() {
+    if (free_.empty()) return {};
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    return v;
+  }
+
+  /// Return a spent vector to the pool (cleared, capacity retained).
+  void release(std::vector<T>&& v) {
+    if (free_.size() >= max_free_ || v.capacity() == 0) return;
+    v.clear();
+    free_.push_back(std::move(v));
+  }
+
+  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+
+ private:
+  std::size_t max_free_;
+  std::vector<std::vector<T>> free_;
+};
+
+}  // namespace fw

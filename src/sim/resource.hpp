@@ -26,6 +26,19 @@ class SerialResource {
     return busy_until_;
   }
 
+  /// Reserve `count` back-to-back slots of `duration`, all issued at `now`.
+  /// Observably identical to `count` successive acquire(now, duration)
+  /// calls (same completion tick, busy time, and request count) — the
+  /// batched form the flash array uses for multi-page plane reads.
+  Tick acquire_n(Tick now, Tick duration, std::uint64_t count) {
+    if (count == 0) return busy_until_ > now ? busy_until_ : now;
+    const Tick start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration * static_cast<Tick>(count);
+    busy_time_ += duration * static_cast<Tick>(count);
+    requests_ += count;
+    return busy_until_;
+  }
+
   [[nodiscard]] Tick busy_until() const { return busy_until_; }
   [[nodiscard]] Tick busy_time() const { return busy_time_; }
   [[nodiscard]] std::uint64_t requests() const { return requests_; }

@@ -25,6 +25,31 @@ Tick FlashArray::read_chip_pages(Tick now, std::uint32_t channel, std::uint32_t 
                                  bool over_channel) {
   const std::uint32_t planes = config_.topo.planes_per_chip();
   Tick done = now;
+  if (!over_channel) {
+    // In-storage fast path (no ONFI transfer): pages stripe round-robin over
+    // the chip's planes, and each plane serializes its own reads. Issue one
+    // batched reservation per plane — bit-identical timing and accounting to
+    // the per-page loop, without a call (and address translation) per page.
+    // `plane_read_counts_` is reused across calls so multi-page loads stay
+    // allocation-free on the hot path.
+    plane_read_counts_.assign(planes, 0);
+    for (std::uint32_t i = 0; i < num_pages; ++i) {
+      ++plane_read_counts_[(start_plane + i) % planes];
+    }
+    FlashAddress addr;
+    addr.channel = channel;
+    addr.chip = chip;
+    for (std::uint32_t p = 0; p < planes; ++p) {
+      if (plane_read_counts_[p] == 0) continue;
+      addr.plane = p;
+      const Tick t =
+          plane(addr).acquire_n(now, config_.timing.read_latency, plane_read_counts_[p]);
+      done = t > done ? t : done;
+    }
+    read_bytes_ += static_cast<std::uint64_t>(num_pages) * config_.topo.page_bytes;
+    page_reads_ += num_pages;
+    return done;
+  }
   for (std::uint32_t i = 0; i < num_pages; ++i) {
     FlashAddress addr;
     addr.channel = channel;

@@ -69,6 +69,9 @@ class FlashArray {
   AddressMap amap_;
   std::vector<sim::SerialResource> planes_;    // one per physical plane
   std::vector<sim::BandwidthLink> channels_;   // one ONFI bus per channel
+  /// Per-plane page tallies for batched in-chip reads; a member (not a
+  /// local) so the hot multi-page path never touches the allocator.
+  std::vector<std::uint64_t> plane_read_counts_;
   std::uint64_t read_bytes_ = 0;
   std::uint64_t programmed_bytes_ = 0;
   std::uint64_t erase_count_ = 0;

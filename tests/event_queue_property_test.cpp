@@ -1,0 +1,258 @@
+// Property-based tests for the bucketed (calendar) event queue and its
+// small-buffer callable, checked against a naive std::multimap model.
+//
+// The model is the specification: pops deliver the globally earliest
+// (tick, insertion-order) event, exactly like the binary heap the calendar
+// queue replaced. Random interleavings drive both structures through the
+// interesting geometry: equal-tick bursts, bucket-boundary ticks, events
+// past the window (overflow heap + promotion), and pushes earlier than the
+// last pop (window rewind).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/event_queue.hpp"
+
+namespace fw::sim {
+namespace {
+
+/// Naive reference queue. std::multimap inserts equal keys at the upper
+/// bound of their range (C++11), so iteration order within a tick is
+/// insertion order — the determinism contract the real queue must match.
+class ModelQueue {
+ public:
+  void push(Tick at, std::uint64_t id) { events_.emplace(at, id); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] Tick next_tick() const { return events_.begin()->first; }
+
+  std::pair<Tick, std::uint64_t> pop() {
+    const auto it = events_.begin();
+    const auto result = *it;
+    events_.erase(it);
+    return result;
+  }
+
+ private:
+  std::multimap<Tick, std::uint64_t> events_;
+};
+
+/// Drive a real queue and the model through the same randomized push/pop
+/// interleaving (pushes at now + delay_gen(rng), simulator-style), then
+/// drain both, asserting tick-and-identity agreement at every step.
+template <typename DelayGen>
+void run_against_model(std::uint32_t width_log2, std::uint32_t buckets_log2,
+                       std::uint64_t seed, int ops, DelayGen delay_gen,
+                       bool expect_overflow = false) {
+  EventQueue q(width_log2, buckets_log2);
+  ModelQueue model;
+  std::vector<std::uint64_t> fired;
+  Xoshiro256 rng(seed);
+  Tick now = 0;
+  std::uint64_t next_id = 0;
+  bool saw_overflow = false;
+
+  auto check_pop = [&] {
+    ASSERT_FALSE(q.empty());
+    ASSERT_EQ(q.next_tick(), model.next_tick());
+    const auto [model_tick, model_id] = model.pop();
+    auto [tick, fn] = q.pop();
+    ASSERT_EQ(tick, model_tick);
+    fn();
+    ASSERT_EQ(fired.back(), model_id);
+    now = tick;
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    saw_overflow |= q.overflow_size() > 0;
+    if (model.empty() || rng.bounded(100) < 55) {
+      const Tick at = now + delay_gen(rng);
+      const std::uint64_t id = next_id++;
+      q.push(at, [&fired, id] { fired.push_back(id); });
+      model.push(at, id);
+      ASSERT_EQ(q.size(), model.size());
+    } else {
+      check_pop();
+    }
+  }
+  while (!model.empty()) check_pop();
+  ASSERT_TRUE(q.empty());
+  ASSERT_EQ(q.size(), 0u);
+  ASSERT_EQ(fired.size(), next_id);
+  if (expect_overflow) {
+    EXPECT_TRUE(saw_overflow);
+  }
+}
+
+TEST(EventQueueProperty, RandomInterleavingsMatchModel) {
+  // Default-ish geometry, engine-like delay mixture (dense near field plus
+  // occasional far events), several seeds.
+  auto mixture = [](Xoshiro256& rng) -> Tick {
+    const std::uint64_t r = rng.bounded(100);
+    if (r < 50) return rng.bounded(16);        // cycle-scale, incl. delay 0
+    if (r < 75) return 55;                     // equal ticks collide often
+    if (r < 90) return 200 + rng.bounded(1200);
+    if (r < 97) return 2000;
+    return 35'000 + rng.bounded(400'000);      // beyond the default window
+  };
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    run_against_model(EventQueue::kDefaultWidthLog2, EventQueue::kDefaultBucketsLog2,
+                      seed, 6000, mixture, /*expect_overflow=*/true);
+  }
+}
+
+TEST(EventQueueProperty, EqualTickBurstsFireInInsertionOrder) {
+  // Heavy tick collisions: only 8 distinct delays, so most buckets hold
+  // multi-event FIFO runs.
+  auto bursty = [](Xoshiro256& rng) -> Tick { return 8 * rng.bounded(8); };
+  for (std::uint64_t seed : {3ull, 99ull}) {
+    run_against_model(EventQueue::kDefaultWidthLog2, EventQueue::kDefaultBucketsLog2,
+                      seed, 4000, bursty);
+  }
+}
+
+TEST(EventQueueProperty, BucketBoundaryTicks) {
+  // Delays sitting exactly on bucket edges (multiples of the 4 ns width),
+  // one off either side, and exactly the window span — tiny 4 ns x 16
+  // bucket geometry so every case is hit constantly.
+  constexpr std::uint32_t kW = 2, kB = 4;
+  constexpr Tick kWidth = Tick{1} << kW;
+  constexpr Tick kWindow = Tick{1} << (kW + kB);
+  auto boundary = [](Xoshiro256& rng) -> Tick {
+    static constexpr Tick kEdges[] = {0,          1,           kWidth - 1, kWidth,
+                                      kWidth + 1, kWindow - 1, kWindow,    kWindow + 1,
+                                      3 * kWindow};
+    return kEdges[rng.bounded(std::size(kEdges))];
+  };
+  for (std::uint64_t seed : {5ull, 42ull, 777ull}) {
+    run_against_model(kW, kB, seed, 5000, boundary, /*expect_overflow=*/true);
+  }
+}
+
+TEST(EventQueueProperty, TinyWindowOverflowPromotion) {
+  // 4 ns x 8 buckets = 32 ns window: nearly every push overflows and must
+  // be promoted back as the window slides.
+  auto far = [](Xoshiro256& rng) -> Tick { return rng.bounded(500); };
+  for (std::uint64_t seed : {11ull, 1337ull}) {
+    run_against_model(2, 3, seed, 4000, far, /*expect_overflow=*/true);
+  }
+}
+
+TEST(EventQueueProperty, NonMonotonePushesRewindWindow) {
+  // Direct queue users may push earlier than the last popped tick; the
+  // window must rewind without losing or reordering anything. Absolute
+  // times, not now-relative, so pushes land arbitrarily far in the past.
+  EventQueue q(2, 4);  // 4 ns x 16 = 64 ns window
+  ModelQueue model;
+  std::vector<std::uint64_t> fired;
+  Xoshiro256 rng(21);
+  std::uint64_t next_id = 0;
+  for (int op = 0; op < 5000; ++op) {
+    if (model.empty() || rng.bounded(100) < 55) {
+      const Tick at = rng.bounded(4000);
+      const std::uint64_t id = next_id++;
+      q.push(at, [&fired, id] { fired.push_back(id); });
+      model.push(at, id);
+    } else {
+      ASSERT_EQ(q.next_tick(), model.next_tick());
+      const auto [model_tick, model_id] = model.pop();
+      auto [tick, fn] = q.pop();
+      ASSERT_EQ(tick, model_tick);
+      fn();
+      ASSERT_EQ(fired.back(), model_id);
+    }
+  }
+  while (!model.empty()) {
+    const auto [model_tick, model_id] = model.pop();
+    auto [tick, fn] = q.pop();
+    ASSERT_EQ(tick, model_tick);
+    fn();
+    ASSERT_EQ(fired.back(), model_id);
+  }
+  ASSERT_TRUE(q.empty());
+}
+
+// --- EventFn ---------------------------------------------------------------
+
+TEST(EventFn, SmallTrivialCapturesStayInline) {
+  int sink = 0;
+  auto small = [&sink] { sink = 7; };
+  static_assert(EventFn::stores_inline<decltype(small)>());
+  EventFn fn(small);
+  fn();
+  EXPECT_EQ(sink, 7);
+}
+
+TEST(EventFn, OversizedCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 12> payload{};  // 96 B > 64 B inline budget
+  payload[11] = 5;
+  int sink = 0;
+  auto big = [payload, &sink] { sink = static_cast<int>(payload[11]); };
+  static_assert(!EventFn::stores_inline<decltype(big)>());
+  EventFn fn(std::move(big));
+  fn();
+  EXPECT_EQ(sink, 5);
+}
+
+TEST(EventFn, AcceptsMoveOnlyCallables) {
+  // std::function rejects this capture; EventFn must not.
+  auto owned = std::make_unique<int>(99);
+  int sink = 0;
+  EventFn fn([owned = std::move(owned), &sink] { sink = *owned; });
+  fn();
+  EXPECT_EQ(sink, 99);
+}
+
+TEST(EventFn, MoveTransfersOwnershipExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  EventFn a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 1);
+
+  c = EventFn([counter] { *counter += 10; });  // assignment destroys old state
+  EXPECT_EQ(counter.use_count(), 2);
+  c();
+  EXPECT_EQ(*counter, 11);
+}
+
+TEST(EventFn, DestructionReleasesCapturedState) {
+  auto tracked = std::make_shared<int>(1);
+  {
+    EventFn fn([tracked] {});
+    EXPECT_EQ(tracked.use_count(), 2);
+  }
+  EXPECT_EQ(tracked.use_count(), 1);
+}
+
+TEST(EventQueueProperty, QueueCarriesHeapAndMoveOnlyPayloads) {
+  // The queue's internal Event moves must preserve every payload species:
+  // trivially-copyable inline, non-trivial inline (move-only), and heap.
+  EventQueue q(2, 3);  // tiny window forces overflow traffic too
+  std::vector<int> fired;
+  std::array<std::uint64_t, 12> big{};
+  big[0] = 2;
+  q.push(30, [&fired] { fired.push_back(1); });
+  q.push(10, [&fired, big] { fired.push_back(static_cast<int>(big[0])); });
+  q.push(500, [&fired, owned = std::make_unique<int>(3)] { fired.push_back(*owned); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
+}
+
+}  // namespace
+}  // namespace fw::sim

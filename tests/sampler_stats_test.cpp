@@ -1,0 +1,197 @@
+// Statistical (chi-square goodness-of-fit) tests for the sampling kernels:
+// uniform neighbor choice, ITS biased sampling, and node2vec second-order
+// rejection sampling including its pathological-p/q uniform fallback.
+//
+// Critical values come from the Wilson–Hilferty cube approximation at
+// z = 3.09 (p ≈ 0.999), so a correct sampler fails a given test with
+// probability ~1e-3 — and since every test runs a fixed seed, outcomes are
+// deterministic: these either always pass or flag a real distribution bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/builder.hpp"
+#include "rw/sampler.hpp"
+
+namespace fw::rw {
+namespace {
+
+/// Wilson–Hilferty chi-square critical value at p ≈ 0.999 (z = 3.09).
+double chi2_crit(double df) {
+  const double z = 3.09;
+  const double a = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  return df * a * a * a;
+}
+
+graph::CsrGraph star_graph(std::size_t leaves, bool weighted) {
+  // Vertex 0 points at vertices 1..leaves; weight = leaf index when kept.
+  graph::GraphBuilder b(leaves + 1);
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    b.add_edge(0, i, static_cast<float>(i));
+  }
+  graph::BuildOptions opts;
+  opts.keep_weights = weighted;
+  return std::move(b).build(opts);
+}
+
+TEST(SamplerStats, UnbiasedIsUniform) {
+  const auto g = star_graph(16, false);
+  Xoshiro256 rng(101);
+  constexpr int kDraws = 160'000;
+  std::vector<std::uint64_t> counts(17, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sample_unbiased(g, 0, rng).next];
+  EXPECT_EQ(counts[0], 0u);
+  std::vector<double> expected(17, 0.0);
+  for (int i = 1; i <= 16; ++i) expected[i] = 1.0 / 16;
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(15));
+}
+
+TEST(SamplerStats, BoundedDrawIsUniformForNonPowerOfTwoRange) {
+  // The Lemire rejection step is what de-biases non-power-of-two bounds;
+  // exercise it directly since every sampler builds on it.
+  Xoshiro256 rng(202);
+  constexpr std::uint64_t kBound = 6;
+  constexpr int kDraws = 120'000;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBound)];
+  const std::vector<double> expected(kBound, 1.0 / kBound);
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(kBound - 1));
+}
+
+TEST(SamplerStats, ItsMatchesEdgeWeights) {
+  // Leaf i carries weight i, so P(i) = i / (1 + 2 + ... + 12).
+  constexpr std::size_t kLeaves = 12;
+  const auto g = star_graph(kLeaves, true);
+  const ItsTable its(g);
+  Xoshiro256 rng(303);
+  constexpr int kDraws = 200'000;
+  std::vector<std::uint64_t> counts(kLeaves + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[its.sample(g, 0, rng).next];
+  const double total = kLeaves * (kLeaves + 1) / 2.0;
+  std::vector<double> expected(kLeaves + 1, 0.0);
+  for (std::size_t i = 1; i <= kLeaves; ++i) {
+    expected[i] = static_cast<double>(i) / total;
+  }
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(kLeaves - 1));
+}
+
+TEST(SamplerStats, ItsSliceMatchesConditionalWeights) {
+  // Restricting ITS to edges [4, 8) of the star (leaves 5..8) must produce
+  // the weight distribution *conditioned* on that slice.
+  const auto g = star_graph(12, true);
+  const ItsTable its(g);
+  Xoshiro256 rng(404);
+  constexpr int kDraws = 120'000;
+  std::vector<std::uint64_t> counts(13, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[its.sample_slice(g, /*vertex_first_edge=*/0, /*begin=*/4, /*end=*/8, rng)
+                 .next];
+  }
+  const double total = 5 + 6 + 7 + 8;
+  std::vector<double> expected(13, 0.0);
+  for (int i = 5; i <= 8; ++i) expected[i] = i / total;
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(3));
+}
+
+/// node2vec fixture: prev = 0 with N(0) = {1, 2}; cur = 1 with
+/// N(1) = {0, 2, 3}. From (0 -> 1), candidate 0 is the return hop (weight
+/// 1/p), candidate 2 closes a triangle (weight 1), candidate 3 is an
+/// outward hop (weight 1/q).
+graph::CsrGraph node2vec_graph() {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 1);
+  b.add_edge(3, 1);
+  return std::move(b).build();
+}
+
+TEST(SamplerStats, SecondOrderMatchesNode2vecWeights) {
+  const auto g = node2vec_graph();
+  const SecondOrderSpecView so{/*p=*/2.0, /*q=*/4.0};
+  Xoshiro256 rng(505);
+  constexpr int kDraws = 150'000;
+  std::map<VertexId, std::uint64_t> hits;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto s = sample_second_order(g, /*prev=*/0, /*cur=*/1, g.offsets()[1],
+                                       g.offsets()[2], so, rng);
+    ASSERT_NE(s.next, kInvalidVertex);
+    ++hits[s.next];
+  }
+  // Un-normalized weights: return 1/p = 0.5, triangle 1, outward 1/q = 0.25.
+  // The 16-attempt rejection budget leaves a ~(1 - 0.583)^16 ≈ 1e-6 uniform
+  // contamination — far below chi-square sensitivity at this sample size.
+  const double total = 0.5 + 1.0 + 0.25;
+  const std::vector<std::uint64_t> counts = {hits[0], hits[2], hits[3]};
+  const std::vector<double> expected = {0.5 / total, 1.0 / total, 0.25 / total};
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(2));
+}
+
+TEST(SamplerStats, SecondOrderExhaustedBudgetFallsBackToUniform) {
+  // max_attempts = 0 skips rejection sampling entirely: the fallback draw
+  // must be uniform over the slice regardless of p/q.
+  const auto g = node2vec_graph();
+  const SecondOrderSpecView so{/*p=*/2.0, /*q=*/4.0};
+  Xoshiro256 rng(606);
+  constexpr int kDraws = 90'000;
+  std::map<VertexId, std::uint64_t> hits;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto s = sample_second_order(g, 0, 1, g.offsets()[1], g.offsets()[2], so, rng,
+                                       /*max_attempts=*/0);
+    ++hits[s.next];
+  }
+  const std::vector<std::uint64_t> counts = {hits[0], hits[2], hits[3]};
+  const std::vector<double> expected(3, 1.0 / 3);
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(2));
+}
+
+TEST(SamplerStats, SecondOrderPathologicalPQStillMakesProgress) {
+  // p = q = 1e9 drives every candidate's acceptance weight to ~1e-9 while
+  // w_max stays 1 (the triangle weight), so when cur has no triangle or
+  // return candidates, all 16 attempts reject and the uniform fallback is
+  // effectively the whole distribution. Walks must neither stall nor skew.
+  graph::GraphBuilder b(5);
+  b.add_edge(0, 1);  // prev 0's only neighbor is cur; N(0) ∩ N(1) = ∅
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(1, 4);
+  const auto g = std::move(b).build();
+  const SecondOrderSpecView so{/*p=*/1e9, /*q=*/1e9};
+  Xoshiro256 rng(707);
+  constexpr int kDraws = 90'000;
+  std::map<VertexId, std::uint64_t> hits;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto s =
+        sample_second_order(g, 0, 1, g.offsets()[1], g.offsets()[2], so, rng);
+    ASSERT_NE(s.next, kInvalidVertex);
+    ++hits[s.next];
+  }
+  const std::vector<std::uint64_t> counts = {hits[2], hits[3], hits[4]};
+  const std::vector<double> expected(3, 1.0 / 3);
+  EXPECT_LT(chi_square(counts, expected), chi2_crit(2));
+}
+
+TEST(SamplerStats, UniformDoubleMomentsMatch) {
+  // Sanity on the [0,1) transform every ITS/rejection draw uses: mean and
+  // variance within 4 sigma of 1/2 and 1/12.
+  Xoshiro256 rng(808);
+  RunningStats stats;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) stats.add(rng.uniform());
+  const double sigma_mean = std::sqrt(1.0 / 12 / kDraws);
+  EXPECT_NEAR(stats.mean(), 0.5, 4 * sigma_mean);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12, 0.01);
+  EXPECT_GE(stats.min(), 0.0);
+  EXPECT_LT(stats.max(), 1.0);
+}
+
+}  // namespace
+}  // namespace fw::rw
