@@ -22,6 +22,13 @@
 //                                  (open in Perfetto / chrome://tracing)
 //     --metrics-out PATH           hierarchical counter JSON for every
 //                                  engine that ran (artifact comparison)
+//     --rber X                     NAND raw bit error rate of a fresh block
+//                                  (0 disables the fault model; default 0)
+//     --retention X                simulated retention age multiplier
+//     --fault-seed N               seed for all fault draws (default 1);
+//                                  runs are bit-identical for a fixed seed
+//     --inject=K=V[,K=V...]        probabilistic fault injection; keys:
+//                                  prog_fail, erase_fail, uncorrectable
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -64,6 +71,12 @@ struct CliOptions {
   std::string json_path;
   std::string trace_path;
   std::string metrics_path;
+  double rber = 0.0;
+  double retention = 0.0;
+  std::uint64_t fault_seed = 1;
+  double inject_prog_fail = 0.0;
+  double inject_erase_fail = 0.0;
+  double inject_uncorrectable = 0.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -72,7 +85,9 @@ struct CliOptions {
                "       [--length N] [--biased] [--node2vec P Q]\n"
                "       [--engines fw,gw,dm,tr,gs] [--no-wq] [--no-hs] [--no-ss]\n"
                "       [--memory BYTES] [--scale test|small|bench] [--seed N]\n"
-               "       [--json PATH] [--trace-out PATH] [--metrics-out PATH]\n";
+               "       [--json PATH] [--trace-out PATH] [--metrics-out PATH]\n"
+               "       [--rber X] [--retention X] [--fault-seed N]\n"
+               "       [--inject=prog_fail=P,erase_fail=P,uncorrectable=P]\n";
   std::exit(2);
 }
 
@@ -134,6 +149,31 @@ CliOptions parse(int argc, char** argv) {
       o.trace_path = need(i);
     } else if (arg == "--metrics-out") {
       o.metrics_path = need(i);
+    } else if (arg == "--rber") {
+      o.rber = std::strtod(need(i), nullptr);
+    } else if (arg == "--retention") {
+      o.retention = std::strtod(need(i), nullptr);
+    } else if (arg == "--fault-seed") {
+      o.fault_seed = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--inject" || arg.rfind("--inject=", 0) == 0) {
+      const std::string list = arg == "--inject" ? need(i) : arg.substr(9);
+      std::stringstream ss(list);
+      std::string kv;
+      while (std::getline(ss, kv, ',')) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) usage(argv[0]);
+        const std::string key = kv.substr(0, eq);
+        const double val = std::strtod(kv.c_str() + eq + 1, nullptr);
+        if (key == "prog_fail") {
+          o.inject_prog_fail = val;
+        } else if (key == "erase_fail") {
+          o.inject_erase_fail = val;
+        } else if (key == "uncorrectable") {
+          o.inject_uncorrectable = val;
+        } else {
+          usage(argv[0]);
+        }
+      }
     } else {
       usage(argv[0]);
     }
@@ -178,7 +218,17 @@ int main(int argc, char** argv) {
             << (spec.biased ? ", biased (ITS)" : "")
             << (spec.second_order.enabled ? ", node2vec" : "") << "\n\n";
 
-  const ssd::SsdConfig ssd_cfg{};
+  ssd::SsdConfig ssd_cfg{};
+  ssd_cfg.reliability.rber.base = cli.rber;
+  ssd_cfg.reliability.rber.retention_age = cli.retention;
+  ssd_cfg.reliability.fault_seed = cli.fault_seed;
+  ssd_cfg.reliability.inject.program_fail = cli.inject_prog_fail;
+  ssd_cfg.reliability.inject.erase_fail = cli.inject_erase_fail;
+  ssd_cfg.reliability.inject.uncorrectable = cli.inject_uncorrectable;
+  if (ssd_cfg.reliability.enabled()) {
+    std::cout << "reliability: rber " << cli.rber << ", retention " << cli.retention
+              << ", fault seed " << cli.fault_seed << "\n";
+  }
   partition::PartitionConfig pc;
   pc.block_capacity_bytes = 16 * KiB;
   pc.subgraphs_per_partition = 2048;

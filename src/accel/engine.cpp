@@ -21,6 +21,7 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
     : pg_(&pg), opt_(std::move(options)), rng_(opt_.spec.seed) {
   flash_ = std::make_unique<ssd::FlashArray>(opt_.ssd);
   layout_ = std::make_unique<ssd::GraphLayout>(pg, opt_.ssd);
+  flash_->attach_observability(&registry_);
   ftl_ = std::make_unique<ssd::Ftl>(*flash_, layout_->reserved_blocks_per_plane());
   ftl_->attach_observability(&registry_, opt_.trace);
   // Walk flushes cycle through a bounded LPN window sized well under the
@@ -114,6 +115,10 @@ void FlashWalkerEngine::init_walks() {
     w.src = v;
     w.cur = v;
     w.hops_left = static_cast<std::uint16_t>(spec.length);
+    // Per-walk stream, same derivation as the host reference walker: the
+    // walk's path is a pure function of (seed, id), independent of how the
+    // DES interleaves updates — fault-induced reordering cannot change it.
+    w.rng_state = spec.seed ^ (0x9E3779B97F4A7C15ull * (w.id + 1));
     ++metrics_.walks_started;
     if (opt_.record_paths) {
       paths_.emplace_back();
@@ -251,8 +256,18 @@ void FlashWalkerEngine::schedule_heartbeats() {
 
 FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk(
     rw::Walk& w, const partition::Subgraph& sg) {
+  Xoshiro256 wrng(w.rng_state);
+  w.parked = false;  // the walk made progress; it may park again next hop
+  const HopOutcome out = update_walk_step(w, sg, wrng);
+  // One state derivation per hop, however many draws the hop consumed.
+  w.rng_state = wrng.next();
+  return out;
+}
+
+FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
+    rw::Walk& w, const partition::Subgraph& sg, Xoshiro256& rng) {
   HopOutcome out;
-  if (opt_.spec.stop_prob > 0.0 && rng_.chance(opt_.spec.stop_prob)) {
+  if (opt_.spec.stop_prob > 0.0 && rng.chance(opt_.spec.stop_prob)) {
     out.completed = true;
     return out;
   }
@@ -265,17 +280,17 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk(
   if (so.enabled && w.prev != kInvalidVertex && slice_end > slice_begin) {
     // Second-order extension: rejection sampling with the carried prev.
     s = rw::sample_second_order(g, w.prev, w.cur, slice_begin, slice_end,
-                                {so.p, so.q}, rng_);
+                                {so.p, so.q}, rng);
   } else if (sg.dense) {
     if (its_) {
-      s = its_->sample_slice(g, g.offsets()[sg.low_vid], sg.edge_begin, sg.edge_end, rng_);
+      s = its_->sample_slice(g, g.offsets()[sg.low_vid], sg.edge_begin, sg.edge_end, rng);
     } else {
-      s = rw::sample_unbiased_slice(g, sg.edge_begin, sg.edge_end, rng_);
+      s = rw::sample_unbiased_slice(g, sg.edge_begin, sg.edge_end, rng);
     }
   } else if (its_) {
-    s = its_->sample(g, w.cur, rng_);
+    s = its_->sample(g, w.cur, rng);
   } else {
-    s = rw::sample_unbiased(g, w.cur, rng_);
+    s = rw::sample_unbiased(g, w.cur, rng);
   }
   out.extra_cycles = s.search_steps;
 
@@ -387,8 +402,11 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       if (dres.bloom_false_positive) ++metrics_.bloom_false_positives;
     }
     if (dres.meta) {
-      // Pre-walking: choose the destination graph block before the hop.
+      // Pre-walking: choose the destination graph block before the hop. The
+      // draw comes from the walk's own stream (it picks part of the walk's
+      // path), so the choice survives any event-ordering perturbation.
       ++cycles;
+      Xoshiro256 wrng(w.rng_state);
       const auto& meta = *dres.meta;
       std::uint32_t block;
       if (its_) {
@@ -397,7 +415,7 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
         const EdgeId first_edge = g.offsets()[w.cur];
         const EdgeId last_edge = g.offsets()[w.cur + 1];
         const double total = its_->cumulative_weight(last_edge - 1);
-        const double rnd = rng_.uniform() * total;
+        const double rnd = wrng.uniform() * total;
         // Binary search over block boundaries.
         std::uint32_t lo = 0, hi = meta.num_blocks;
         while (lo + 1 < hi) {
@@ -413,12 +431,13 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
         }
         block = lo;
       } else {
-        const std::uint64_t rnd = rw::prewalk_draw(meta.out_degree, rng_);
+        const std::uint64_t rnd = rw::prewalk_draw(meta.out_degree, wrng);
         block = rw::prewalk_block_choice(rnd, pg_->edges_per_block());
       }
       block = std::min(block, meta.num_blocks - 1);
       target = meta.first_sgid + block;
       w.prewalked_sg = target;
+      w.rng_state = wrng.next();
       ++metrics_.dense_prewalks;
     }
   }
@@ -572,15 +591,46 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
                         std::max<std::uint32_t>(1, opt_.accel.board.guiders);
   const Tick t_cmd = board_.guider_unit.acquire(now, sched_ns);
   // Load command travels over the channel bus (extended ONFI command).
-  Tick done = flash_->channel_transfer(t_cmd, c.channel, 16);
+  const Tick cmd_done = flash_->channel_transfer(t_cmd, c.channel, 16);
+  // Walks (from DRAM/flash) and the clean slice of the subgraph both gate
+  // slot activation; pages stuck in the retry ladder (and board-rebuilt
+  // uncorrectable pages) only gate the parked walks, so the plane slot goes
+  // back to work while recovery proceeds in the background.
+  Tick fetch_done = cmd_done;
+  Tick sg_clean = cmd_done;
+  Tick sg_full = cmd_done;
+  std::uint32_t faulty_pages = 0;
+  std::uint32_t sg_pages = 0;
 
   if (!refresh) {
     const auto& place = layout_->placement(sg);
     // The in-storage fast path: pages stream from the chip's own planes
     // into the subgraph buffer — no ONFI transfer.
-    done = std::max(done, flash_->read_chip_pages(t_cmd, c.channel, c.chip,
-                                                  place.start_plane, place.num_pages,
-                                                  /*over_channel=*/false));
+    const ssd::ChipReadResult rd = flash_->read_chip_pages_checked(
+        t_cmd, c.channel, c.chip, place.start_plane, place.num_pages,
+        /*over_channel=*/false, /*fault_base=*/place.first_ppn);
+    sg_pages = place.num_pages;
+    faulty_pages = rd.retried_pages + rd.uncorrectable_pages;
+    sg_clean = std::max(sg_clean, rd.clean_done);
+    sg_full = std::max(sg_full, rd.done);
+    if (rd.uncorrectable_pages > 0) {
+      // Lost pages are rebuilt through the board-level path (RAID-style
+      // reconstruction): each crosses the channel and pays the recovery
+      // latency, but the load always completes — a deterministic fault
+      // oracle would otherwise fail the same pages on every re-load.
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(rd.uncorrectable_pages) * opt_.ssd.topo.page_bytes;
+      const Tick rebuilt =
+          flash_->channel_transfer(rd.done, c.channel, bytes) +
+          static_cast<Tick>(rd.uncorrectable_pages) * opt_.ssd.reliability.recovery_latency;
+      sg_full = std::max(sg_full, rebuilt);
+      metrics_.recovered_pages += rd.uncorrectable_pages;
+      ++metrics_.degraded_loads;
+      if (opt_.trace != nullptr) {
+        opt_.trace->complete(c.trace_track, "recover", rd.done, rebuilt,
+                             rd.uncorrectable_pages, "pages");
+      }
+    }
     ++metrics_.subgraph_loads;
     metrics_.subgraph_load_pages += place.num_pages;
   }
@@ -591,23 +641,72 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
   if (pwb_bytes > 0) {
     const Tick t_dram = dram_->access(
         t_cmd, static_cast<std::uint64_t>(sg) * opt_.accel.pwb_entry_bytes, pwb_bytes);
-    done = std::max(done, flash_->channel_transfer(t_dram, c.channel, pwb_bytes));
+    fetch_done = std::max(fetch_done, flash_->channel_transfer(t_dram, c.channel, pwb_bytes));
   }
   if (fl_count > 0) {
     const std::uint64_t fl_bytes = fl_count * wbytes();
     const auto pages = static_cast<std::uint32_t>(
         (fl_bytes + opt_.ssd.topo.page_bytes - 1) / opt_.ssd.topo.page_bytes);
-    done = std::max(done, flash_->read_chip_pages(t_cmd, c.channel, c.chip, 0, pages,
+    fetch_done = std::max(fetch_done,
+                          flash_->read_chip_pages(t_cmd, c.channel, c.chip, 0, pages,
                                                   /*over_channel=*/true));
     metrics_.walk_reload_pages += pages;
   }
 
+  const Tick t_install = std::max(fetch_done, sg_clean);
+  const Tick t_full = std::max(fetch_done, sg_full);
+
   if (opt_.trace != nullptr) {
-    opt_.trace->complete(c.trace_track, refresh ? "walk_fetch" : "sg_load", t_cmd, done,
+    opt_.trace->complete(c.trace_track, refresh ? "walk_fetch" : "sg_load", t_cmd, t_full,
                          sg, "subgraph");
   }
 
-  sim_.schedule_at(done, [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
+  // Park a proportional share of the batch behind the retrying/lost pages;
+  // the rest start at `t_install`. A walk parks at most once per hop
+  // (`parked` is cleared by its next update), so faults delay walks but can
+  // never starve them.
+  if (faulty_pages > 0 && sg_pages > 0 && !walks.empty()) {
+    const std::uint64_t npark =
+        std::min<std::uint64_t>(walks.size(),
+                                (walks.size() * faulty_pages + sg_pages - 1) / sg_pages);
+    std::vector<rw::Walk> parked = walk_pool_.acquire();
+    std::vector<rw::Walk> ready = walk_pool_.acquire();
+    for (auto& w : walks) {
+      if (parked.size() < npark && !w.parked) {
+        w.parked = true;
+        parked.push_back(w);
+      } else {
+        ready.push_back(w);
+      }
+    }
+    walks.swap(ready);
+    walk_pool_.release(std::move(ready));
+    if (!parked.empty()) {
+      metrics_.parked_walks += parked.size();
+      const Tick t_parked = t_full + opt_.ssd.reliability.retry_backoff;
+      if (opt_.trace != nullptr) {
+        opt_.trace->complete(c.trace_track, "parked", t_install, t_parked,
+                             parked.size(), "walks");
+      }
+      sim_.schedule_at(t_parked,
+                       [this, &c, slot_idx, sg, ws = std::move(parked)]() mutable {
+        LoadedSg& s = c.slots[slot_idx];
+        if (!s.loading && s.sg == sg) {
+          for (auto& w : ws) s.queue.push_back(w);
+          walk_pool_.release(std::move(ws));
+          kick_chip(c);
+        } else {
+          // The slot moved on while these walks waited out the retries;
+          // re-route them through the board instead of blocking the chip.
+          enqueue_board(std::move(ws));
+        }
+      });
+    } else {
+      walk_pool_.release(std::move(parked));
+    }
+  }
+
+  sim_.schedule_at(t_install, [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
     LoadedSg& s = c.slots[slot_idx];
     s.sg = sg;
     s.loading = false;
@@ -1066,6 +1165,13 @@ void FlashWalkerEngine::publish_counters() {
   set("board.updates", board_.updates);
   set("board.guider.busy_ns", board_.guider_unit.busy_time());
   set("board.updater.busy_ns", board_.updater_unit.busy_time());
+  if (flash_->reliability_enabled()) {
+    // Gated so ideal-NAND runs emit exactly the pre-reliability metrics JSON
+    // (the `reliability.*` family is live-updated by the flash array).
+    set("engine.parked_walks", metrics_.parked_walks);
+    set("engine.recovered_pages", metrics_.recovered_pages);
+    set("engine.degraded_loads", metrics_.degraded_loads);
+  }
 }
 
 EngineResult FlashWalkerEngine::run() {
@@ -1112,6 +1218,7 @@ EngineResult FlashWalkerEngine::run() {
     ftl_->idle_gc(sim_.now(), opt_.idle_gc_episodes);
   }
   result.ftl = ftl_->stats();
+  result.reliability = flash_->reliability_stats();
   result.counters = registry_.snapshot();
   result.chip_utilization.reserve(chips_.size());
   for (const ChipState& c : chips_) {

@@ -78,6 +78,8 @@ struct EngineResult {
   Tick exec_time = 0;
   EngineMetrics metrics;
   ssd::FtlStats ftl;
+  /// NAND fault-model totals (all zero when `ssd.reliability` is disabled).
+  ssd::ReliabilityStats reliability;
 
   /// Snapshot of the engine's counter registry (sorted by name): the
   /// hierarchical `chip.*` / `channel.*` / `board.*` / `ftl.*` / `engine.*`
@@ -196,7 +198,12 @@ class FlashWalkerEngine {
   void schedule_heartbeats();
 
   // --- walk updating -----------------------------------------------------
+  /// Advance `w` one hop. Sampling draws come from the walk's own RNG
+  /// stream (`w.rng_state`), so the resulting path is independent of the
+  /// order in which the DES interleaves walks.
   HopOutcome update_walk(rw::Walk& w, const partition::Subgraph& sg);
+  HopOutcome update_walk_step(rw::Walk& w, const partition::Subgraph& sg,
+                              Xoshiro256& rng);
 
   // --- chip level ----------------------------------------------------------
   void kick_chip(ChipState& c);

@@ -53,6 +53,11 @@ struct EngineMetrics {
 
   std::uint64_t partition_switches = 0;
   std::uint64_t scheduler_compare_ops = 0;
+
+  // Reliability handling (all zero unless the NAND fault model is enabled).
+  std::uint64_t parked_walks = 0;     ///< walks parked behind retrying loads
+  std::uint64_t recovered_pages = 0;  ///< uncorrectable pages rebuilt at board
+  std::uint64_t degraded_loads = 0;   ///< subgraph loads with >= 1 lost page
 };
 
 }  // namespace fw::accel

@@ -100,6 +100,16 @@ void write_json(std::ostream& os, const std::string& label, const EngineResult& 
   w.field("max_chip_utilization", r.max_chip_utilization());
   w.field("ftl_gc_erases", r.ftl.gc_erases);
   w.field("ftl_write_amplification", r.ftl.write_amplification());
+  w.field("ftl_bad_blocks", r.ftl.bad_blocks);
+  w.field("reliability_retried_reads", r.reliability.retried_reads);
+  w.field("reliability_retries", r.reliability.retries);
+  w.field("reliability_corrected_bits", r.reliability.corrected_bits);
+  w.field("reliability_uncorrectable", r.reliability.uncorrectable);
+  w.field("reliability_program_failures", r.reliability.program_failures);
+  w.field("reliability_erase_failures", r.reliability.erase_failures);
+  w.field("parked_walks", r.metrics.parked_walks);
+  w.field("recovered_pages", r.metrics.recovered_pages);
+  w.field("degraded_loads", r.metrics.degraded_loads);
   if (!r.counters.empty()) {
     w.raw_field("counters");
     obs::write_counters_json(w.stream(), r.counters);

@@ -31,6 +31,15 @@ struct Walk {
   std::uint32_t range_tag = kNoRangeTag;
   /// For a dense walk: the subgraph (graph block) pre-walking selected.
   SubgraphId prewalked_sg = kInvalidSubgraph;
+  /// Per-walk RNG stream (simulation-side, like `id`): sampling draws come
+  /// from the walk's own stream, so its path depends only on (seed, id, hop)
+  /// — never on how timing interleaves walks. This is what keeps walk output
+  /// invariant under fault-injected (retry/recovery) schedules.
+  std::uint64_t rng_state = 0;
+  /// Set while the walk sits parked behind a retrying subgraph load; cleared
+  /// on its next update. A walk parks at most once per hop, so retries delay
+  /// but can never livelock it.
+  bool parked = false;
 
   [[nodiscard]] bool finished() const { return hops_left == 0; }
 };

@@ -5,6 +5,7 @@
 
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "ssd/reliability/config.hpp"
 
 namespace fw::ssd {
 
@@ -75,6 +76,9 @@ struct SsdConfig {
   FlashTimings timing;
   DramConfig dram;
   PcieConfig pcie;
+  /// NAND fault model; disabled by default (`reliability.enabled() == false`),
+  /// in which case every flash op takes the exact ideal-NAND code path.
+  reliability::ReliabilityConfig reliability;
 
   /// Aggregate ONFI channel-bus bandwidth (paper: 10.4 GB/s for 32 ch).
   [[nodiscard]] std::uint64_t aggregate_channel_mb_per_s() const {

@@ -11,7 +11,9 @@
 namespace fw::ssd {
 
 Ftl::Ftl(FlashArray& flash, std::uint32_t reserved_blocks_per_plane)
-    : flash_(flash), reserved_(reserved_blocks_per_plane) {
+    : flash_(flash),
+      reserved_(reserved_blocks_per_plane),
+      bbm_(flash.config().topo.total_planes()) {
   const auto& topo = flash.config().topo;
   if (reserved_ >= topo.blocks_per_plane) {
     throw std::invalid_argument("Ftl: graph reservation leaves no writable blocks");
@@ -39,8 +41,14 @@ void Ftl::attach_observability(obs::CounterRegistry* registry,
     c_gc_moves_ = &registry->counter("ftl.gc.page_moves");
     c_gc_erases_ = &registry->counter("ftl.gc.erases");
     c_gc_idle_ = &registry->counter("ftl.gc.idle_episodes");
+    // Registered only alongside the fault model so ideal-NAND runs keep
+    // their exact pre-reliability metrics JSON.
+    c_bad_blocks_ = flash_.reliability_enabled()
+                        ? &registry->counter("ftl.bad_blocks")
+                        : nullptr;
   } else {
     c_host_writes_ = c_host_reads_ = c_gc_moves_ = c_gc_erases_ = c_gc_idle_ = nullptr;
+    c_bad_blocks_ = nullptr;
   }
 }
 
@@ -66,12 +74,20 @@ std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
   if (active->written >= topo.pages_per_block) {
     // Each successful GC pass erases one block; it may rotate into the
     // spare instead of landing on the free list, so keep collecting while
-    // progress is being made (bounded by the plane's block count).
+    // progress is being made (bounded by the plane's block count). A pass
+    // that only retires a bad block is progress too — the next iteration
+    // picks a different victim.
     for (std::uint32_t attempt = 0;
          ps.free_blocks.empty() && attempt < usable_blocks_; ++attempt) {
       const std::uint64_t erases_before = stats_.gc_erases;
       ready = collect_garbage(ready, plane_index);
       if (stats_.gc_erases == erases_before) break;
+    }
+    // Retired blocks never enter the free list at retirement time, but a
+    // block queued here before going bad must not be re-opened.
+    while (!ps.free_blocks.empty() &&
+           bbm_.is_bad(plane_index, ps.free_blocks.front())) {
+      ps.free_blocks.pop_front();
     }
     if (ps.free_blocks.empty()) {
       throw std::runtime_error("Ftl: plane out of space even after GC");
@@ -90,7 +106,8 @@ std::pair<std::uint64_t, Tick> Ftl::allocate(Tick now) {
   return {flash_.address_map().to_ppn(addr), ready};
 }
 
-std::uint32_t Ftl::find_victim(const PlaneState& ps, bool idle) const {
+std::uint32_t Ftl::find_victim(std::uint32_t plane_index, bool idle) const {
+  const PlaneState& ps = planes_[plane_index];
   const auto& topo = flash_.config().topo;
   const std::uint32_t spare_room =
       ps.spare_block == kNone
@@ -101,6 +118,7 @@ std::uint32_t Ftl::find_victim(const PlaneState& ps, bool idle) const {
   std::uint32_t victim_erases = std::numeric_limits<std::uint32_t>::max();
   for (std::uint32_t b = 0; b < ps.blocks.size(); ++b) {
     if (b == ps.spare_block) continue;
+    if (bbm_.is_bad(plane_index, b)) continue;  // retired: never erase again
     const BlockState& bs = ps.blocks[b];
     // The open (active) block is off-limits while pages can still land in
     // it; once full it is sealed de facto and collectible under space
@@ -142,6 +160,7 @@ Tick Ftl::gc_block(Tick now, std::uint32_t plane_index, std::uint32_t victim) {
 
   Tick done = now;
   std::uint64_t moves = 0;
+  std::uint32_t lost_pages = 0;
   // Copy-back relocation: read + program inside the plane, no channel
   // transfer. Valid pages land in the plane's spare block, so they never
   // leave the plane the timing model says they stay in.
@@ -156,8 +175,30 @@ Tick Ftl::gc_block(Tick now, std::uint32_t plane_index, std::uint32_t victim) {
     FlashAddress new_addr = victim_addr;
     new_addr.block = reserved_ + ps.spare_block;
     new_addr.page = sb.written;
-    done = flash_.read_page(done, victim_addr, /*over_channel=*/false);
-    done = flash_.program_page(done, new_addr, /*over_channel=*/false);
+    const PageReadResult rr = flash_.read_page_checked(done, victim_addr,
+                                                       /*over_channel=*/false);
+    if (rr.uncorrectable) {
+      // The relocated copy is rebuilt through the board-level recovery path
+      // before programming; the victim block itself is retired after its
+      // erase (an uncorrectable during GC is a grown-bad-block trigger).
+      ++lost_pages;
+      ++stats_.gc_uncorrectable;
+      done = rr.ready + flash_.config().reliability.recovery_latency;
+    } else {
+      done = rr.ready;
+    }
+    const OpResult pr = flash_.program_page_checked(done, new_addr,
+                                                    /*over_channel=*/false);
+    done = pr.done;
+    if (pr.failed) {
+      // The spare went bad mid-relocation: retire it and abort this
+      // collection. Pages not yet moved keep their victim mappings, so no
+      // data is orphaned; the plane continues with degraded spare capacity.
+      retire_block(plane_index, ps.spare_block, reliability::RetireReason::kProgramFail);
+      ps.spare_block = kNone;
+      gc_active_ = false;
+      return done;
+    }
     const std::uint64_t new_ppn = flash_.address_map().to_ppn(new_addr);
     p2l_.erase(it);
     p2l_[new_ppn] = lpn;
@@ -170,24 +211,51 @@ Tick Ftl::gc_block(Tick now, std::uint32_t plane_index, std::uint32_t victim) {
   }
 
   victim_addr.page = 0;
-  done = flash_.erase_block(done, victim_addr);
+  const OpResult er = flash_.erase_block_checked(done, victim_addr);
+  done = er.done;
   vb.written = 0;
   vb.valid = 0;
   ++vb.erases;
   ++stats_.gc_erases;
 
-  // Spare rotation. The freshly erased victim is the most attractive spare
-  // (it is empty and just gained an erase, so handing it the cold relocation
-  // role levels wear); what happens to the old spare depends on how full it
-  // is:
-  //   - full: it becomes a regular block (a future GC victim), victim is the
-  //     new spare — note no block reaches the free list this round;
-  //   - empty: swap roles and push the old spare to the free list;
-  //   - partially filled: keep it as the spare so it can absorb more
-  //     relocations, and free the victim.
-  if (ps.spare_block == kNone) {
+  if (er.failed || lost_pages > 0) {
+    // Erase failure, or uncorrectable pages discovered while relocating:
+    // the block is retired instead of re-entering circulation. The FTL's
+    // replacement capacity comes out of the free/spare pool — remapping is
+    // implicit in never allocating the block again.
+    retire_block(plane_index, victim,
+                 er.failed ? reliability::RetireReason::kEraseFail
+                           : reliability::RetireReason::kUncorrectable);
+    // The retired victim cannot take over the spare role, but a full spare
+    // must still rotate out or the plane deadlocks: no relocation room means
+    // no victim with valid pages ever qualifies again. Promote the old spare
+    // to a regular block and pull a replacement from the free list (degraded
+    // `kNone` spare if the plane has none to give).
+    if (ps.spare_block != kNone &&
+        ps.blocks[ps.spare_block].written == topo.pages_per_block) {
+      while (!ps.free_blocks.empty() &&
+             bbm_.is_bad(plane_index, ps.free_blocks.front())) {
+        ps.free_blocks.pop_front();
+      }
+      if (ps.free_blocks.empty()) {
+        ps.spare_block = kNone;
+      } else {
+        ps.spare_block = ps.free_blocks.front();
+        ps.free_blocks.pop_front();
+      }
+    }
+  } else if (ps.spare_block == kNone) {
     ps.free_blocks.push_back(victim);
   } else {
+    // Spare rotation. The freshly erased victim is the most attractive
+    // spare (it is empty and just gained an erase, so handing it the cold
+    // relocation role levels wear); what happens to the old spare depends
+    // on how full it is:
+    //   - full: it becomes a regular block (a future GC victim), victim is
+    //     the new spare — note no block reaches the free list this round;
+    //   - empty: swap roles and push the old spare to the free list;
+    //   - partially filled: keep it as the spare so it can absorb more
+    //     relocations, and free the victim.
     const BlockState& sb = ps.blocks[ps.spare_block];
     if (sb.written == topo.pages_per_block) {
       ps.spare_block = victim;
@@ -213,8 +281,18 @@ Tick Ftl::gc_block(Tick now, std::uint32_t plane_index, std::uint32_t victim) {
   return done;
 }
 
+void Ftl::retire_block(std::uint32_t plane_index, std::uint32_t rel_block,
+                       reliability::RetireReason reason) {
+  if (!bbm_.retire(plane_index, rel_block, reason)) return;
+  // Seal the block so the allocator treats it as full; `find_victim` and
+  // the free-list filters consult the manager directly. Pages it still
+  // holds stay mapped and readable — they are just never relocated.
+  planes_[plane_index].blocks[rel_block].written = flash_.config().topo.pages_per_block;
+  if (c_bad_blocks_ != nullptr) c_bad_blocks_->add();
+}
+
 Tick Ftl::collect_garbage(Tick now, std::uint32_t plane_index) {
-  const std::uint32_t victim = find_victim(planes_[plane_index], /*idle=*/false);
+  const std::uint32_t victim = find_victim(plane_index, /*idle=*/false);
   if (victim == kNone) return now;
   return gc_block(now, plane_index, victim);
 }
@@ -230,7 +308,7 @@ Tick Ftl::idle_gc(Tick now, std::uint32_t max_episodes) {
     PlaneState& ps = planes_[plane];
     Tick plane_done = now;
     while (episodes < max_episodes) {
-      std::uint32_t victim = find_victim(ps, /*idle=*/true);
+      std::uint32_t victim = find_victim(plane, /*idle=*/true);
       if (victim == kNone) {
         // Closed blocks are clean; seal-and-compact the open (active) block
         // if it is fragmented enough, the way background GC closes open
@@ -270,6 +348,7 @@ FtlStats Ftl::stats() const {
   }
   stats_.min_block_erases = planes_.empty() ? 0 : min_erases;
   stats_.max_block_erases = max_erases;
+  stats_.bad_blocks = bbm_.retired_count();
   return stats_;
 }
 
@@ -299,13 +378,33 @@ Tick Ftl::write_page(Tick now, std::uint64_t lpn, bool over_channel) {
     p2l_.erase(old->second);
   }
 
-  auto [ppn, ready] = allocate(now);
-  l2p_[lpn] = ppn;
-  p2l_[ppn] = lpn;
   ++stats_.host_page_writes;
   if (c_host_writes_ != nullptr) c_host_writes_->add();
-  const FlashAddress addr = flash_.address_map().from_ppn(ppn);
-  return flash_.program_page(ready, addr, over_channel);
+
+  // A program failure retires the target block and re-allocates elsewhere.
+  // Failure draws are address-keyed and the cursor moves every attempt, so
+  // consecutive attempts are independent; the bound only guards against
+  // pathological injection rates.
+  constexpr std::uint32_t kMaxProgramAttempts = 8;
+  Tick t = now;
+  for (std::uint32_t attempt = 0; attempt < kMaxProgramAttempts; ++attempt) {
+    auto [ppn, ready] = allocate(t);
+    const FlashAddress addr = flash_.address_map().from_ppn(ppn);
+    const OpResult pr = flash_.program_page_checked(ready, addr, over_channel);
+    t = pr.done;
+    if (!pr.failed) {
+      l2p_[lpn] = ppn;
+      p2l_[ppn] = lpn;
+      return t;
+    }
+    // Unwind the allocation (the page is wasted, not mapped) and retire the
+    // block; the next attempt allocates from a different plane.
+    const std::uint32_t plane_index = flash_.address_map().plane_index(addr);
+    const std::uint32_t rel_block = addr.block - reserved_;
+    --planes_[plane_index].blocks[rel_block].valid;
+    retire_block(plane_index, rel_block, reliability::RetireReason::kProgramFail);
+  }
+  throw std::runtime_error("Ftl: page program failed on every replacement block");
 }
 
 Tick Ftl::read_page(Tick now, std::uint64_t lpn, bool over_channel) {
@@ -314,7 +413,11 @@ Tick Ftl::read_page(Tick now, std::uint64_t lpn, bool over_channel) {
   ++stats_.host_page_reads;
   if (c_host_reads_ != nullptr) c_host_reads_->add();
   const FlashAddress addr = flash_.address_map().from_ppn(it->second);
-  return flash_.read_page(now, addr, over_channel);
+  const PageReadResult rr = flash_.read_page_checked(now, addr, over_channel);
+  // Uncorrectable host reads are rebuilt at the board (RAID-style) — the
+  // caller always gets its data, later.
+  return rr.uncorrectable ? rr.ready + flash_.config().reliability.recovery_latency
+                          : rr.ready;
 }
 
 }  // namespace fw::ssd

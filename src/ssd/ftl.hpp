@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ssd/flash_array.hpp"
+#include "ssd/reliability/bad_block.hpp"
 
 namespace fw::obs {
 class Counter;
@@ -37,6 +38,8 @@ struct FtlStats {
   std::uint64_t gc_idle_episodes = 0;
   std::uint32_t min_block_erases = 0;
   std::uint32_t max_block_erases = 0;
+  std::uint64_t bad_blocks = 0;        ///< grown bad blocks retired so far
+  std::uint64_t gc_uncorrectable = 0;  ///< pages lost during GC relocation
 
   [[nodiscard]] double write_amplification() const {
     return host_page_writes == 0
@@ -81,6 +84,10 @@ class Ftl {
   [[nodiscard]] FtlStats stats() const;
   [[nodiscard]] std::uint32_t reserved_blocks_per_plane() const { return reserved_; }
   [[nodiscard]] std::uint32_t usable_blocks_per_plane() const { return usable_blocks_; }
+  /// Grown bad-block bookkeeping (block indices are FTL-relative).
+  [[nodiscard]] const reliability::BadBlockManager& bad_block_manager() const {
+    return bbm_;
+  }
   /// Pages the host can keep live at once (spare blocks excluded).
   [[nodiscard]] std::uint64_t host_capacity_pages() const;
 
@@ -111,13 +118,19 @@ class Ftl {
   /// at which the plane is ready (GC may delay it).
   std::pair<std::uint64_t, Tick> allocate(Tick now);
 
-  /// Greedy victim in `plane`: a non-active, non-spare block whose valid
-  /// pages fit in the spare; fewest valid first, fewest erases as the wear
-  /// tie-break. Space-pressure mode (`idle == false`) considers only full
-  /// blocks with at least one invalid page; idle mode also compacts
-  /// partially written blocks once half their pages are invalid. kNone if
-  /// no block qualifies.
-  [[nodiscard]] std::uint32_t find_victim(const PlaneState& ps, bool idle) const;
+  /// Retire (plane, rel_block) as a grown bad block: record it, seal it so
+  /// the allocator and GC never touch it again. Pages it still holds stay
+  /// readable but are never relocated.
+  void retire_block(std::uint32_t plane_index, std::uint32_t rel_block,
+                    reliability::RetireReason reason);
+
+  /// Greedy victim in the plane: a non-active, non-spare, non-retired block
+  /// whose valid pages fit in the spare; fewest valid first, fewest erases
+  /// as the wear tie-break. Space-pressure mode (`idle == false`) considers
+  /// only full blocks with at least one invalid page; idle mode also
+  /// compacts partially written blocks once half their pages are invalid.
+  /// kNone if no block qualifies.
+  [[nodiscard]] std::uint32_t find_victim(std::uint32_t plane_index, bool idle) const;
 
   /// Collect one block: copy-back its valid pages into the plane's spare,
   /// erase it, rotate the spare. Returns the completion tick.
@@ -136,6 +149,7 @@ class Ftl {
   std::unordered_map<std::uint64_t, std::uint64_t> p2l_;
   std::uint32_t cursor_plane_ = 0;  ///< global plane round-robin cursor
   bool gc_active_ = false;          ///< recursion guard: GC must never re-enter
+  reliability::BadBlockManager bbm_;
   mutable FtlStats stats_;
 
   obs::TraceRecorder* trace_ = nullptr;
@@ -144,6 +158,7 @@ class Ftl {
   obs::Counter* c_gc_moves_ = nullptr;
   obs::Counter* c_gc_erases_ = nullptr;
   obs::Counter* c_gc_idle_ = nullptr;
+  obs::Counter* c_bad_blocks_ = nullptr;
 };
 
 }  // namespace fw::ssd

@@ -1,0 +1,12 @@
+#include "ssd/reliability/bad_block.hpp"
+
+namespace fw::ssd::reliability {
+
+bool BadBlockManager::retire(std::uint32_t plane, std::uint32_t block,
+                             RetireReason reason) {
+  if (!per_plane_[plane].insert(block).second) return false;
+  retired_.push_back({plane, block, reason});
+  return true;
+}
+
+}  // namespace fw::ssd::reliability

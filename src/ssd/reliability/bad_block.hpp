@@ -1,0 +1,46 @@
+// Grown bad-block bookkeeping.
+//
+// Blocks are retired when a program or erase operation fails, or when GC
+// hits an uncorrectable page while relocating — the classic grown-bad-block
+// triggers. The manager only records retirement; the FTL owns the remap
+// (replacement capacity comes out of its free/spare pool, so a retired
+// block simply never re-enters circulation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace fw::ssd::reliability {
+
+enum class RetireReason : std::uint8_t {
+  kProgramFail = 0,
+  kEraseFail = 1,
+  kUncorrectable = 2,
+};
+
+struct RetiredBlock {
+  std::uint32_t plane = 0;
+  std::uint32_t block = 0;  ///< FTL-relative block index within the plane
+  RetireReason reason = RetireReason::kProgramFail;
+};
+
+class BadBlockManager {
+ public:
+  explicit BadBlockManager(std::uint32_t num_planes) : per_plane_(num_planes) {}
+
+  /// Retire (plane, block); idempotent. Returns true when newly retired.
+  bool retire(std::uint32_t plane, std::uint32_t block, RetireReason reason);
+
+  [[nodiscard]] bool is_bad(std::uint32_t plane, std::uint32_t block) const {
+    return per_plane_[plane].contains(block);
+  }
+  [[nodiscard]] std::uint64_t retired_count() const { return retired_.size(); }
+  [[nodiscard]] const std::vector<RetiredBlock>& retired() const { return retired_; }
+
+ private:
+  std::vector<std::unordered_set<std::uint32_t>> per_plane_;
+  std::vector<RetiredBlock> retired_;  ///< retirement log, in order
+};
+
+}  // namespace fw::ssd::reliability

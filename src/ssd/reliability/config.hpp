@@ -1,0 +1,77 @@
+// NAND reliability model configuration.
+//
+// All defaults describe a mid-life TLC-class device scaled to the paper's
+// Table-III flash timings; `base_rber == 0` (the default) disables the whole
+// subsystem, and every flash call then takes the exact pre-reliability code
+// path — bit-identical timing, zero overhead. See docs/MODELING.md
+// "Reliability model" for the curve shapes and the retry/bad-block policies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace fw::ssd::reliability {
+
+/// Raw bit error rate as a function of block wear and retention age:
+///   rber(pe) = base * (1 + pe_coeff * (pe / pe_nominal)^pe_exponent)
+///                   * (1 + retention_coeff * retention_age)
+/// The power-law wear term and the linear retention term follow the shape
+/// measured in large-scale NAND studies (errors grow superlinearly with P/E
+/// cycling, roughly linearly with retention time at fixed wear).
+struct RberParams {
+  double base = 0.0;                 ///< RBER of a fresh block; 0 disables
+  double pe_coeff = 4.0;             ///< wear multiplier at rated endurance
+  double pe_exponent = 2.0;          ///< superlinear wear growth
+  std::uint32_t pe_nominal = 3000;   ///< rated P/E cycles
+  double retention_coeff = 0.5;      ///< per-unit-age multiplier
+  double retention_age = 0.0;        ///< simulated retention age (arbitrary units)
+};
+
+/// BCH-style block code: each codeword independently corrects up to
+/// `correctable_bits`; a page fails when its worst codeword exceeds that.
+struct EccParams {
+  std::uint32_t codeword_bytes = 1024;   ///< payload per codeword
+  std::uint32_t correctable_bits = 40;   ///< t of BCH(t) per codeword
+  Tick decode_latency = 1 * kUs;         ///< decoder pass over one page
+  Tick per_bit_latency = 10 * kNs;       ///< extra ns per corrected bit
+};
+
+/// Read-retry ladder: each step re-reads the page with shifted sense
+/// thresholds (a full tR through the plane), recovering a fraction of the
+/// raw errors; after `max_retries` failed steps the page is uncorrectable.
+struct RetryParams {
+  std::uint32_t max_retries = 5;   ///< threshold-shift steps after the first read
+  double rber_scale = 0.5;         ///< effective-RBER multiplier per step
+};
+
+/// Probabilistic fault injection, independent of the RBER curve. Draws are
+/// keyed on the physical address (and op generation), so a fixed fault seed
+/// reproduces the exact same fault set on every run.
+struct InjectParams {
+  double program_fail = 0.0;    ///< per program operation
+  double erase_fail = 0.0;      ///< per erase operation
+  double uncorrectable = 0.0;   ///< forced ladder exhaustion per page read
+};
+
+struct ReliabilityConfig {
+  RberParams rber;
+  EccParams ecc;
+  RetryParams retry;
+  InjectParams inject;
+  std::uint64_t fault_seed = 1;
+  /// Board-level reconstruction cost charged per uncorrectable page that the
+  /// engine recovers through the channel path (RAID-style rebuild).
+  Tick recovery_latency = 40 * kUs;
+  /// Backoff before a parked walk batch is re-dispatched after its subgraph
+  /// load cleared the retry ladder.
+  Tick retry_backoff = 4 * kUs;
+
+  [[nodiscard]] bool enabled() const {
+    return rber.base > 0.0 || inject.program_fail > 0.0 ||
+           inject.erase_fail > 0.0 || inject.uncorrectable > 0.0;
+  }
+};
+
+}  // namespace fw::ssd::reliability

@@ -1,0 +1,16 @@
+#include "ssd/reliability/ecc_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fw::ssd::reliability {
+
+EccModel::EccModel(const EccParams& ecc, std::uint32_t page_bytes) : ecc_(ecc) {
+  if (ecc_.codeword_bytes == 0) {
+    throw std::invalid_argument("EccModel: codeword_bytes must be nonzero");
+  }
+  codewords_ = std::max(1u, page_bytes / ecc_.codeword_bytes);
+  codeword_bits_ = ecc_.codeword_bytes * 8;
+}
+
+}  // namespace fw::ssd::reliability

@@ -1,0 +1,35 @@
+// BCH-style ECC model: per-codeword correction budget + decode latency.
+#pragma once
+
+#include <cstdint>
+
+#include "ssd/reliability/config.hpp"
+
+namespace fw::ssd::reliability {
+
+class EccModel {
+ public:
+  EccModel(const EccParams& ecc, std::uint32_t page_bytes);
+
+  [[nodiscard]] std::uint32_t codewords_per_page() const { return codewords_; }
+  [[nodiscard]] std::uint32_t codeword_bits() const { return codeword_bits_; }
+  [[nodiscard]] std::uint32_t correctable_bits() const { return ecc_.correctable_bits; }
+
+  /// Can one codeword with `bit_errors` raw errors be corrected?
+  [[nodiscard]] bool correctable(std::uint32_t bit_errors) const {
+    return bit_errors <= ecc_.correctable_bits;
+  }
+
+  /// Latency of one decoder pass over a page that corrected `corrected_bits`
+  /// in total (error location dominates, so the cost grows with the count).
+  [[nodiscard]] Tick decode_latency(std::uint32_t corrected_bits) const {
+    return ecc_.decode_latency + static_cast<Tick>(corrected_bits) * ecc_.per_bit_latency;
+  }
+
+ private:
+  EccParams ecc_;
+  std::uint32_t codewords_;
+  std::uint32_t codeword_bits_;
+};
+
+}  // namespace fw::ssd::reliability

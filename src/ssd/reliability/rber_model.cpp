@@ -1,0 +1,23 @@
+#include "ssd/reliability/rber_model.hpp"
+
+#include <cmath>
+
+namespace fw::ssd::reliability {
+
+double RberModel::raw(std::uint32_t pe) const {
+  const double wear = rber_.pe_nominal == 0
+                          ? 0.0
+                          : std::pow(static_cast<double>(pe) /
+                                         static_cast<double>(rber_.pe_nominal),
+                                     rber_.pe_exponent);
+  return rber_.base * (1.0 + rber_.pe_coeff * wear) *
+         (1.0 + rber_.retention_coeff * rber_.retention_age);
+}
+
+double RberModel::effective(std::uint32_t pe, std::uint32_t step) const {
+  double r = raw(pe);
+  for (std::uint32_t s = 0; s < step; ++s) r *= retry_.rber_scale;
+  return r;
+}
+
+}  // namespace fw::ssd::reliability

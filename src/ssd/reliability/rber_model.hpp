@@ -1,0 +1,28 @@
+// Raw bit error rate curve: wear (P/E cycles) x retention age x retry step.
+#pragma once
+
+#include <cstdint>
+
+#include "ssd/reliability/config.hpp"
+
+namespace fw::ssd::reliability {
+
+class RberModel {
+ public:
+  RberModel(const RberParams& rber, const RetryParams& retry)
+      : rber_(rber), retry_(retry) {}
+
+  /// RBER of a page in a block with `pe` program/erase cycles, before any
+  /// read-retry threshold shift.
+  [[nodiscard]] double raw(std::uint32_t pe) const;
+
+  /// Effective RBER at retry step `step` (0 = initial read): each threshold
+  /// shift scales the raw rate by `retry.rber_scale`.
+  [[nodiscard]] double effective(std::uint32_t pe, std::uint32_t step) const;
+
+ private:
+  RberParams rber_;
+  RetryParams retry_;
+};
+
+}  // namespace fw::ssd::reliability

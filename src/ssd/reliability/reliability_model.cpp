@@ -1,0 +1,116 @@
+#include "ssd/reliability/reliability_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fw::ssd::reliability {
+namespace {
+
+// Salts keep the read / program / erase / injection draw families disjoint.
+constexpr std::uint64_t kSaltRead = 0x52454144u;       // "READ"
+constexpr std::uint64_t kSaltProgram = 0x50524f47u;    // "PROG"
+constexpr std::uint64_t kSaltErase = 0x45525345u;      // "ERSE"
+constexpr std::uint64_t kSaltInjectUnc = 0x494e4a55u;  // "INJU"
+
+}  // namespace
+
+ReliabilityModel::ReliabilityModel(const ReliabilityConfig& config,
+                                   std::uint32_t page_bytes)
+    : config_(config),
+      rber_(config.rber, config.retry),
+      ecc_(config.ecc, page_bytes) {}
+
+std::uint64_t ReliabilityModel::key(std::initializer_list<std::uint64_t> parts) const {
+  SplitMix64 sm(config_.fault_seed);
+  std::uint64_t k = sm.next();
+  for (const std::uint64_t p : parts) {
+    SplitMix64 step(k ^ p);
+    k = step.next();
+  }
+  return k;
+}
+
+double ReliabilityModel::uniform(std::uint64_t k) {
+  SplitMix64 sm(k);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t ReliabilityModel::poisson(double lambda, std::uint64_t k) {
+  if (lambda <= 0.0) return 0;
+  SplitMix64 sm(k);
+  auto u01 = [&sm] { return static_cast<double>(sm.next() >> 11) * 0x1.0p-53; };
+  if (lambda < 32.0) {
+    // Knuth multiplication method — exact, fine for small means.
+    const double limit = std::exp(-lambda);
+    double prod = 1.0;
+    std::uint32_t n = 0;
+    do {
+      ++n;
+      prod *= u01();
+    } while (prod > limit);
+    return n - 1;
+  }
+  // Large means: normal approximation via an Irwin–Hall N(0,1) surrogate.
+  double z = -6.0;
+  for (int i = 0; i < 12; ++i) z += u01();
+  const double v = lambda + z * std::sqrt(lambda) + 0.5;
+  return v <= 0.0 ? 0 : static_cast<std::uint32_t>(v);
+}
+
+PageReadFault ReliabilityModel::read_fault(std::uint32_t plane, std::uint32_t block,
+                                           std::uint32_t page, std::uint32_t pe) const {
+  PageReadFault out;
+  const std::uint32_t codewords = ecc_.codewords_per_page();
+  const std::uint32_t ladder = config_.retry.max_retries;
+
+  // Forced injection: the page exhausts the whole ladder and stays broken.
+  if (config_.inject.uncorrectable > 0.0 &&
+      uniform(key({kSaltInjectUnc, plane, block, page})) <
+          config_.inject.uncorrectable) {
+    out.retries = ladder;
+    out.uncorrectable = true;
+    out.ecc_latency = static_cast<Tick>(ladder + 1) * ecc_.decode_latency(0);
+    return out;
+  }
+
+  for (std::uint32_t attempt = 0; attempt <= ladder; ++attempt) {
+    const double lambda =
+        rber_.effective(pe, attempt) * static_cast<double>(ecc_.codeword_bits());
+    std::uint32_t worst = 0;
+    std::uint32_t total = 0;
+    for (std::uint32_t cw = 0; cw < codewords; ++cw) {
+      const std::uint32_t errors =
+          poisson(lambda, key({kSaltRead, plane, block, page, pe, attempt, cw}));
+      worst = std::max(worst, errors);
+      total += errors;
+    }
+    if (ecc_.correctable(worst)) {
+      out.retries = attempt;
+      out.corrected_bits = total;
+      out.ecc_latency += ecc_.decode_latency(total);
+      return out;
+    }
+    // Failed decode pass: detection cost only, then shift thresholds.
+    out.ecc_latency += ecc_.decode_latency(0);
+  }
+  out.retries = ladder;
+  out.uncorrectable = true;
+  return out;
+}
+
+bool ReliabilityModel::program_fails(std::uint32_t plane, std::uint32_t block,
+                                     std::uint32_t page, std::uint32_t gen) const {
+  if (config_.inject.program_fail <= 0.0) return false;
+  return uniform(key({kSaltProgram, plane, block, page, gen})) <
+         config_.inject.program_fail;
+}
+
+bool ReliabilityModel::erase_fails(std::uint32_t plane, std::uint32_t block,
+                                   std::uint32_t gen) const {
+  if (config_.inject.erase_fail <= 0.0) return false;
+  return uniform(key({kSaltErase, plane, block, gen})) < config_.inject.erase_fail;
+}
+
+}  // namespace fw::ssd::reliability

@@ -1,0 +1,60 @@
+// Deterministic per-operation fault oracle: RBER draw -> ECC verdict ->
+// read-retry ladder, plus program/erase failure injection.
+//
+// Every draw is a pure function of (fault seed, physical address, block P/E
+// count, attempt index) — no mutable RNG stream — so outcomes are identical
+// across runs regardless of event ordering, and a page re-read at the same
+// wear level sees the same cell errors it saw the first time. That is what
+// keeps fault-injected runs bit-reproducible (the determinism tests rely on
+// it) while still letting wear evolve the fault population between erases.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "ssd/reliability/config.hpp"
+#include "ssd/reliability/ecc_model.hpp"
+#include "ssd/reliability/rber_model.hpp"
+
+namespace fw::ssd::reliability {
+
+/// Outcome of one logical page read after the full ECC/retry pipeline.
+struct PageReadFault {
+  std::uint32_t retries = 0;         ///< extra full-tR re-reads performed
+  std::uint32_t corrected_bits = 0;  ///< errors fixed on the successful pass
+  bool uncorrectable = false;        ///< ladder exhausted; data lost
+  Tick ecc_latency = 0;              ///< total decode time across attempts
+};
+
+class ReliabilityModel {
+ public:
+  ReliabilityModel(const ReliabilityConfig& config, std::uint32_t page_bytes);
+
+  /// Fault outcome of reading (plane, block, page) at wear level `pe`.
+  [[nodiscard]] PageReadFault read_fault(std::uint32_t plane, std::uint32_t block,
+                                         std::uint32_t page, std::uint32_t pe) const;
+
+  /// Program/erase failure draws (`gen` distinguishes successive operations
+  /// on the same address so a once-failed address is not doomed forever).
+  [[nodiscard]] bool program_fails(std::uint32_t plane, std::uint32_t block,
+                                   std::uint32_t page, std::uint32_t gen) const;
+  [[nodiscard]] bool erase_fails(std::uint32_t plane, std::uint32_t block,
+                                 std::uint32_t gen) const;
+
+  [[nodiscard]] const ReliabilityConfig& config() const { return config_; }
+  [[nodiscard]] const EccModel& ecc() const { return ecc_; }
+
+ private:
+  /// Stateless hash chain over the key tuple (SplitMix64 per element).
+  [[nodiscard]] std::uint64_t key(std::initializer_list<std::uint64_t> parts) const;
+  /// Deterministic Poisson(lambda) variate derived from `k`.
+  [[nodiscard]] static std::uint32_t poisson(double lambda, std::uint64_t k);
+  /// Deterministic uniform [0,1) derived from `k`.
+  [[nodiscard]] static double uniform(std::uint64_t k);
+
+  ReliabilityConfig config_;
+  RberModel rber_;
+  EccModel ecc_;
+};
+
+}  // namespace fw::ssd::reliability

@@ -1,0 +1,341 @@
+// Fault-injection suite for the NAND reliability subsystem: the RBER/ECC/
+// retry oracle, the flash-array latency contract (each retry is a full tR),
+// grown-bad-block retirement through the FTL, and the engine-level guarantee
+// that faults perturb timing but never walk output.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/engine.hpp"
+#include "graph/datasets.hpp"
+#include "ssd/address.hpp"
+#include "ssd/config.hpp"
+#include "ssd/flash_array.hpp"
+#include "ssd/ftl.hpp"
+#include "ssd/reliability/bad_block.hpp"
+#include "ssd/reliability/reliability_model.hpp"
+
+namespace fw::ssd {
+namespace {
+
+using reliability::PageReadFault;
+using reliability::ReliabilityModel;
+using reliability::RetireReason;
+
+/// Moderate mid-life RBER: lambda ~41 errors per 1 KiB codeword against a
+/// 40-bit budget, so roughly half of all pages need at least one retry and
+/// the ladder (halving the rate each step) clears the rest.
+SsdConfig retrying_config() {
+  SsdConfig cfg = test_ssd_config();
+  cfg.reliability.rber.base = 5e-3;
+  cfg.reliability.fault_seed = 7;
+  return cfg;
+}
+
+TEST(ReliabilityModel_, UnderBudgetErrorsNeverRetry) {
+  // lambda ~8 errors per codeword against a 40-bit budget: every page must
+  // clear ECC on the first read, with a single decode pass charged.
+  SsdConfig cfg = test_ssd_config();
+  cfg.reliability.rber.base = 1e-3;
+  const ReliabilityModel model(cfg.reliability, cfg.topo.page_bytes);
+  std::uint64_t corrected = 0;
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    for (std::uint32_t page = 0; page < 16; ++page) {
+      const PageReadFault f = model.read_fault(p, /*block=*/3, page, /*pe=*/0);
+      EXPECT_EQ(f.retries, 0u);
+      EXPECT_FALSE(f.uncorrectable);
+      EXPECT_EQ(f.ecc_latency, model.ecc().decode_latency(f.corrected_bits));
+      corrected += f.corrected_bits;
+    }
+  }
+  EXPECT_GT(corrected, 0u);  // the errors are there, ECC just absorbs them
+}
+
+TEST(ReliabilityModel_, RberGrowsWithWearAndShrinksDownTheLadder) {
+  SsdConfig cfg = retrying_config();
+  const reliability::RberModel rber(cfg.reliability.rber, cfg.reliability.retry);
+  EXPECT_LT(rber.raw(0), rber.raw(1500));
+  EXPECT_LT(rber.raw(1500), rber.raw(3000));
+  EXPECT_GT(rber.effective(3000, 0), rber.effective(3000, 1));
+  EXPECT_GT(rber.effective(3000, 1), rber.effective(3000, 3));
+}
+
+TEST(ReliabilityModel_, DrawsAreSeedDeterministic) {
+  const SsdConfig cfg = retrying_config();
+  const ReliabilityModel a(cfg.reliability, cfg.topo.page_bytes);
+  const ReliabilityModel b(cfg.reliability, cfg.topo.page_bytes);
+  SsdConfig other = cfg;
+  other.reliability.fault_seed = 8;
+  const ReliabilityModel c(other.reliability, other.topo.page_bytes);
+
+  std::uint64_t retries_a = 0;
+  std::uint64_t retries_c = 0;
+  bool seed_changed_something = false;
+  for (std::uint32_t page = 0; page < 128; ++page) {
+    const PageReadFault fa = a.read_fault(0, 0, page, 0);
+    const PageReadFault fb = b.read_fault(0, 0, page, 0);
+    EXPECT_EQ(fa.retries, fb.retries);
+    EXPECT_EQ(fa.corrected_bits, fb.corrected_bits);
+    EXPECT_EQ(fa.ecc_latency, fb.ecc_latency);
+    const PageReadFault fc = c.read_fault(0, 0, page, 0);
+    retries_a += fa.retries;
+    retries_c += fc.retries;
+    seed_changed_something |= fa.retries != fc.retries ||
+                              fa.corrected_bits != fc.corrected_bits;
+  }
+  EXPECT_GT(retries_a, 0u);  // the ladder is actually exercised
+  EXPECT_GT(retries_c, 0u);
+  EXPECT_TRUE(seed_changed_something);
+}
+
+TEST(FlashReliability, RetryChargesFullTrPerLadderStep) {
+  // The array must charge exactly (1 + retries) plane occupations of tR plus
+  // the model's decode latency — cross-checked against an independently
+  // constructed oracle for a spread of addresses on idle planes.
+  const SsdConfig cfg = retrying_config();
+  FlashArray flash(cfg);
+  const ReliabilityModel model(cfg.reliability, cfg.topo.page_bytes);
+  const AddressMap& amap = flash.address_map();
+
+  std::uint64_t retried = 0;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    FlashAddress addr;
+    addr.channel = i % cfg.topo.channels;
+    addr.chip = (i / cfg.topo.channels) % cfg.topo.chips_per_channel;
+    addr.plane = i / (cfg.topo.channels * cfg.topo.chips_per_channel);
+    addr.block = i % cfg.topo.blocks_per_plane;
+    addr.page = i % cfg.topo.pages_per_block;
+    const PageReadFault f =
+        model.read_fault(amap.plane_index(addr), addr.block, addr.page, /*pe=*/0);
+    const PageReadResult rr = flash.read_page_checked(0, addr, /*over_channel=*/false);
+    EXPECT_EQ(rr.retries, f.retries);
+    EXPECT_EQ(rr.corrected_bits, f.corrected_bits);
+    EXPECT_EQ(rr.ready,
+              static_cast<Tick>(1 + f.retries) * cfg.timing.read_latency + f.ecc_latency);
+    retried += f.retries;
+  }
+  EXPECT_GT(retried, 0u);
+  EXPECT_EQ(flash.reliability_stats().retries, retried);
+}
+
+TEST(FlashReliability, ForcedUncorrectableExhaustsTheWholeLadder) {
+  // inject.uncorrectable = 1 forces every read to walk all max_retries
+  // threshold shifts and still fail: latency is hand-computable.
+  SsdConfig cfg = test_ssd_config();
+  cfg.reliability.inject.uncorrectable = 1.0;
+  FlashArray flash(cfg);
+  ASSERT_TRUE(flash.reliability_enabled());
+
+  const std::uint32_t ladder = cfg.reliability.retry.max_retries;
+  const Tick decode = cfg.reliability.ecc.decode_latency;
+  FlashAddress addr;  // plane 0, block 0, page 0
+  const PageReadResult rr = flash.read_page_checked(0, addr, /*over_channel=*/false);
+  EXPECT_TRUE(rr.uncorrectable);
+  EXPECT_EQ(rr.retries, ladder);
+  EXPECT_EQ(rr.ready, static_cast<Tick>(1 + ladder) * cfg.timing.read_latency +
+                          static_cast<Tick>(1 + ladder) * decode);
+  EXPECT_EQ(flash.reliability_stats().uncorrectable, 1u);
+}
+
+TEST(FlashReliability, DisabledModelKeepsIdealTiming) {
+  const SsdConfig cfg = test_ssd_config();  // reliability off by default
+  FlashArray flash(cfg);
+  ASSERT_FALSE(flash.reliability_enabled());
+  FlashAddress addr;
+  const PageReadResult rr = flash.read_page_checked(0, addr, /*over_channel=*/false);
+  EXPECT_EQ(rr.ready, cfg.timing.read_latency);
+  EXPECT_EQ(rr.retries, 0u);
+  EXPECT_EQ(flash.block_pe(0, 0), 0u);
+  EXPECT_EQ(flash.reliability_stats().retried_reads, 0u);
+}
+
+TEST(BadBlocks, ManagerIsIdempotentAndKeepsOrder) {
+  reliability::BadBlockManager bbm(4);
+  EXPECT_TRUE(bbm.retire(1, 7, RetireReason::kProgramFail));
+  EXPECT_FALSE(bbm.retire(1, 7, RetireReason::kEraseFail));  // already retired
+  EXPECT_TRUE(bbm.retire(3, 0, RetireReason::kUncorrectable));
+  EXPECT_TRUE(bbm.is_bad(1, 7));
+  EXPECT_FALSE(bbm.is_bad(1, 6));
+  EXPECT_FALSE(bbm.is_bad(0, 7));
+  ASSERT_EQ(bbm.retired_count(), 2u);
+  EXPECT_EQ(bbm.retired()[0].plane, 1u);
+  EXPECT_EQ(bbm.retired()[0].block, 7u);
+  EXPECT_EQ(bbm.retired()[0].reason, RetireReason::kProgramFail);
+  EXPECT_EQ(bbm.retired()[1].reason, RetireReason::kUncorrectable);
+}
+
+SsdConfig tiny_config(std::uint32_t blocks, std::uint32_t pages = 4) {
+  SsdConfig cfg = test_ssd_config();
+  cfg.topo.channels = 1;
+  cfg.topo.chips_per_channel = 1;
+  cfg.topo.dies_per_chip = 1;
+  cfg.topo.planes_per_die = 2;
+  cfg.topo.blocks_per_plane = blocks;
+  cfg.topo.pages_per_block = pages;
+  return cfg;
+}
+
+TEST(BadBlocks, ProgramFailureRetiresBlockAndRemapsTheWrite) {
+  SsdConfig cfg = tiny_config(/*blocks=*/16);
+  cfg.reliability.inject.program_fail = 0.2;
+  cfg.reliability.fault_seed = 11;
+  FlashArray flash(cfg);
+  Ftl ftl(flash, /*reserved_blocks_per_plane=*/1);
+
+  constexpr std::uint64_t kLpns = 40;
+  for (std::uint64_t lpn = 0; lpn < kLpns; ++lpn) ftl.write_page(0, lpn);
+
+  EXPECT_GT(flash.reliability_stats().program_failures, 0u);
+  EXPECT_GT(ftl.stats().bad_blocks, 0u);
+  EXPECT_EQ(ftl.stats().bad_blocks, ftl.bad_block_manager().retired_count());
+  // Every write landed somewhere despite the failures, and reads work.
+  for (std::uint64_t lpn = 0; lpn < kLpns; ++lpn) {
+    ASSERT_TRUE(ftl.is_mapped(lpn));
+    EXPECT_GT(ftl.read_page(0, lpn), 0u);
+  }
+  // Retired blocks are sealed: their retirement is permanent and recorded
+  // with the program-failure reason.
+  for (const auto& rb : ftl.bad_block_manager().retired()) {
+    EXPECT_EQ(rb.reason, RetireReason::kProgramFail);
+    EXPECT_TRUE(ftl.bad_block_manager().is_bad(rb.plane, rb.block));
+  }
+}
+
+TEST(BadBlocks, GcRetiresVictimsWithUncorrectablePagesAndDataSurvives) {
+  // Fill blocks half cold / half hot (sequential allocation interleaves the
+  // write order into the blocks), invalidate the hot half, then compact with
+  // idle GC: every victim has live cold pages the copy-back must relocate.
+  // With a high uncorrectable-read rate some relocations fail, the copy is
+  // rebuilt via the recovery path, and the victim is retired instead of
+  // rejoining the free pool. All data must stay mapped and readable.
+  SsdConfig cfg = tiny_config(/*blocks=*/8);
+  cfg.reliability.inject.uncorrectable = 0.2;
+  cfg.reliability.fault_seed = 5;
+  FlashArray flash(cfg);
+  Ftl ftl(flash, /*reserved_blocks_per_plane=*/1);
+
+  // Allocation round-robins across the two planes per write, so cold and
+  // hot writes go in pairs to land one of each on every plane.
+  constexpr std::uint64_t kColdLpns = 16;
+  constexpr std::uint64_t kHotLpns = 16;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ftl.write_page(0, 1000 + 2 * i);
+    ftl.write_page(0, 1001 + 2 * i);
+    ftl.write_page(0, i);
+    ftl.write_page(0, i + 8);
+  }
+  Tick now = 0;
+  for (std::uint64_t i = 0; i < kHotLpns; ++i) now = ftl.write_page(now, i);
+  ftl.idle_gc(now, /*max_episodes=*/32);
+
+  const FtlStats stats = ftl.stats();
+  ASSERT_GT(stats.gc_erases, 0u);
+  ASSERT_GT(stats.gc_page_moves, 0u);
+  EXPECT_GT(stats.gc_uncorrectable, 0u);
+  EXPECT_GT(stats.bad_blocks, 0u);
+  for (const auto& rb : ftl.bad_block_manager().retired()) {
+    EXPECT_EQ(rb.reason, RetireReason::kUncorrectable);
+  }
+  // No page was lost: everything written is still mapped and readable, and
+  // nothing live sits in a retired block waiting to disappear.
+  const AddressMap amap(cfg.topo);
+  for (std::uint64_t i = 0; i < kColdLpns; ++i) {
+    ASSERT_TRUE(ftl.is_mapped(1000 + i));
+    EXPECT_GT(ftl.read_page(0, 1000 + i), 0u);
+    const auto addr = amap.from_ppn(ftl.physical_of(1000 + i));
+    EXPECT_FALSE(ftl.bad_block_manager().is_bad(
+        amap.plane_index(addr), addr.block - ftl.reserved_blocks_per_plane()));
+  }
+  for (std::uint64_t i = 0; i < kHotLpns; ++i) ASSERT_TRUE(ftl.is_mapped(i));
+  // The pool shrank but the FTL still takes new writes.
+  for (std::uint64_t lpn = 100; lpn < 104; ++lpn) ftl.write_page(0, lpn);
+}
+
+}  // namespace
+}  // namespace fw::ssd
+
+namespace fw::accel {
+namespace {
+
+EngineOptions fault_opts(double rber, std::uint64_t fault_seed,
+                         double uncorrectable = 0.0) {
+  EngineOptions o;
+  o.ssd = ssd::test_ssd_config();
+  o.ssd.reliability.rber.base = rber;
+  o.ssd.reliability.inject.uncorrectable = uncorrectable;
+  o.ssd.reliability.fault_seed = fault_seed;
+  o.spec.num_walks = 1200;
+  o.spec.length = 6;
+  o.spec.seed = 99;
+  return o;
+}
+
+class EngineFaults : public ::testing::Test {
+ protected:
+  EngineFaults()
+      : g_(graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest)),
+        pg_(g_, [] {
+          partition::PartitionConfig pc;
+          pc.block_capacity_bytes = 4096;
+          pc.subgraphs_per_partition = 1u << 20;
+          pc.subgraphs_per_range = 8;
+          return pc;
+        }()) {}
+  graph::CsrGraph g_;
+  partition::PartitionedGraph pg_;
+};
+
+TEST_F(EngineFaults, ElevatedRberPreservesWalkOutput) {
+  // Faults may only ever change *when* things happen, never *what* the
+  // walks do: per-walk RNG streams make trajectories independent of
+  // fault-induced reordering.
+  FlashWalkerEngine clean(pg_, fault_opts(/*rber=*/0.0, /*fault_seed=*/7));
+  FlashWalkerEngine faulty(pg_, fault_opts(/*rber=*/5e-3, /*fault_seed=*/7,
+                                           /*uncorrectable=*/0.02));
+  const auto rc = clean.run();
+  const auto rf = faulty.run();
+
+  EXPECT_EQ(rc.visit_counts, rf.visit_counts);
+  EXPECT_EQ(rc.metrics.total_hops, rf.metrics.total_hops);
+  EXPECT_EQ(rc.metrics.walks_completed, rf.metrics.walks_completed);
+  EXPECT_EQ(rc.metrics.dead_ends, rf.metrics.dead_ends);
+
+  // ... but the faulty run pays for its retries and recoveries.
+  EXPECT_GT(rf.exec_time, rc.exec_time);
+  EXPECT_GT(rf.reliability.retried_reads, 0u);
+  EXPECT_GT(rf.reliability.retries, 0u);
+  EXPECT_GT(rf.reliability.corrected_bits, 0u);
+  EXPECT_GT(rf.reliability.uncorrectable, 0u);
+  EXPECT_GT(rf.metrics.recovered_pages, 0u);
+  EXPECT_GT(rf.metrics.parked_walks, 0u);
+  // The clean run has an idle fault model end to end.
+  EXPECT_EQ(rc.reliability.retried_reads, 0u);
+  EXPECT_EQ(rc.metrics.parked_walks, 0u);
+}
+
+TEST_F(EngineFaults, FaultRunsAreBitReproducible) {
+  FlashWalkerEngine e1(pg_, fault_opts(5e-3, 7, 0.02));
+  FlashWalkerEngine e2(pg_, fault_opts(5e-3, 7, 0.02));
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+  EXPECT_EQ(r1.exec_time, r2.exec_time);
+  EXPECT_EQ(r1.visit_counts, r2.visit_counts);
+  EXPECT_EQ(r1.flash_read_bytes, r2.flash_read_bytes);
+  EXPECT_EQ(r1.reliability.retries, r2.reliability.retries);
+  EXPECT_EQ(r1.reliability.corrected_bits, r2.reliability.corrected_bits);
+  EXPECT_EQ(r1.reliability.uncorrectable, r2.reliability.uncorrectable);
+  EXPECT_EQ(r1.metrics.parked_walks, r2.metrics.parked_walks);
+}
+
+TEST_F(EngineFaults, FaultSeedShiftsTimingNotTrajectories) {
+  FlashWalkerEngine e1(pg_, fault_opts(5e-3, 7));
+  FlashWalkerEngine e2(pg_, fault_opts(5e-3, 8));
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+  EXPECT_EQ(r1.visit_counts, r2.visit_counts);
+  EXPECT_EQ(r1.metrics.total_hops, r2.metrics.total_hops);
+  EXPECT_NE(r1.reliability.corrected_bits, r2.reliability.corrected_bits);
+}
+
+}  // namespace
+}  // namespace fw::accel
