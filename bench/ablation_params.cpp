@@ -22,7 +22,9 @@ accel::EngineResult run_cfg(const accel::AccelConfig& acfg) {
       graph::default_walk_count(graph::DatasetId::FS, graph::Scale::kBench) / 2;
   opts.spec.length = 6;
   opts.record_visits = false;
-  accel::FlashWalkerEngine engine(bench::bench_partitioned(graph::DatasetId::FS), opts);
+  auto engine = accel::SimulationBuilder(bench::bench_partitioned(graph::DatasetId::FS))
+                    .options(opts)
+                    .build();
   return engine.run();
 }
 

@@ -56,7 +56,7 @@ int main() {
     opts.spec.num_walks = walks;
     opts.spec.length = 6;
     opts.record_visits = false;
-    accel::FlashWalkerEngine engine(pg, opts);
+    auto engine = accel::SimulationBuilder(pg).options(opts).build();
     const auto r = engine.run();
 
     // Locality proxy at subgraph granularity: average vertices per subgraph.

@@ -28,7 +28,7 @@ int main() {
           graph::default_walk_count(graph::DatasetId::FS, graph::Scale::kBench);
       opts.spec.length = 6;
       opts.record_visits = false;
-      accel::FlashWalkerEngine engine(pg, opts);
+      auto engine = accel::SimulationBuilder(pg).options(opts).build();
       const auto r = engine.run();
       if (base_time == 0) base_time = r.exec_time;
 

@@ -89,7 +89,8 @@ accel::EngineResult run_flashwalker(const RunConfig& cfg) {
   opts.timeline_interval = cfg.timeline_interval;
   obs::TraceRecorder trace;
   if (!cfg.trace_out.empty()) opts.trace = &trace;
-  accel::FlashWalkerEngine engine(bench_partitioned(cfg.dataset), opts);
+  auto engine =
+      accel::SimulationBuilder(bench_partitioned(cfg.dataset)).options(opts).build();
   auto result = engine.run();
   if (!cfg.trace_out.empty()) {
     std::ofstream out(cfg.trace_out);

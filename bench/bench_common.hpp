@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "baseline/drunkardmob.hpp"
 #include "baseline/graphwalker.hpp"

@@ -26,7 +26,8 @@ accel::EngineResult run_with(graph::DatasetId id, accel::Features f) {
   opts.spec.num_walks = graph::default_walk_count(id, graph::Scale::kBench);
   opts.spec.length = 6;
   opts.record_visits = false;
-  accel::FlashWalkerEngine engine(fw::bench::bench_partitioned(id), opts);
+  auto engine =
+      accel::SimulationBuilder(fw::bench::bench_partitioned(id)).options(opts).build();
   return engine.run();
 }
 

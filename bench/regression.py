@@ -24,11 +24,22 @@ What is gated, and why
 3. `bucketed_events_per_sec` (only with --absolute): raw throughput is
    only comparable on the machine that produced the baseline, so this
    check is opt-in for local tuning runs; CI uses the speedup gate.
+
+4. `service_mix` (when both reports carry the section): every mix's
+   simulated makespan_ns is deterministic and must EQUAL the baseline
+   (same refresh rule as sim_exec_ns), and uniform equal-priority mixes
+   must hold the weighted-fair scheduler's <= 2x fairness bound.
+
+Reports must declare `"schema": "fw-bench-sim/2"`; unknown or missing
+versions are rejected (exit 2) instead of silently parsed.
 """
 
 import argparse
 import json
 import sys
+
+SCHEMA = "fw-bench-sim/2"
+FAIRNESS_BOUND = 2.0
 
 
 def load(path):
@@ -38,9 +49,9 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"regression: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    if report.get("schema") != "fw-bench-sim/1":
-        print(f"regression: {path}: unexpected schema {report.get('schema')!r}",
-              file=sys.stderr)
+    if report.get("schema") != SCHEMA:
+        print(f"regression: {path}: unexpected schema {report.get('schema')!r} "
+              f"(this tool understands {SCHEMA!r})", file=sys.stderr)
         sys.exit(2)
     return report
 
@@ -49,6 +60,45 @@ def e2e_config(report):
     e2e = report.get("e2e", {})
     return (e2e.get("dataset"), e2e.get("scale"), e2e.get("walks"),
             report.get("seed"))
+
+
+def mix_config(report):
+    sm = report.get("service_mix", {})
+    return (sm.get("dataset"), sm.get("scale"), sm.get("seed"))
+
+
+def check_service_mix(base, cur, failures):
+    """Gate the walk-service section: deterministic makespans + fairness."""
+    if "service_mix" not in base or "service_mix" not in cur:
+        missing = "baseline" if "service_mix" not in base else "current"
+        print(f"service_mix: no section in {missing} report, checks skipped")
+        return
+    cur_mixes = {m["name"]: m for m in cur["service_mix"].get("mixes", [])}
+    configs_match = mix_config(base) == mix_config(cur)
+    if not configs_match:
+        print(f"service_mix: configs differ ({mix_config(base)} vs "
+              f"{mix_config(cur)}), makespan determinism check skipped")
+    for bm in base["service_mix"].get("mixes", []):
+        name = bm["name"]
+        cm = cur_mixes.get(name)
+        if cm is None:
+            print(f"service_mix[{name}]: missing from current report [MISSING]")
+            failures.append(f"service_mix.{name}")
+            continue
+        if configs_match:
+            b_ns, c_ns = bm["makespan_ns"], cm["makespan_ns"]
+            verdict = "ok" if b_ns == c_ns else "MISMATCH"
+            print(f"service_mix[{name}].makespan_ns: baseline {b_ns}  "
+                  f"current {c_ns}  [{verdict}]")
+            if b_ns != c_ns:
+                failures.append(f"service_mix.{name}.makespan_ns")
+        if cm.get("uniform"):
+            ratio = cm["fairness_ratio"]
+            verdict = "ok" if ratio <= FAIRNESS_BOUND else "UNFAIR"
+            print(f"service_mix[{name}].fairness_ratio: {ratio:.3g} "
+                  f"(bound {FAIRNESS_BOUND}) [{verdict}]")
+            if ratio > FAIRNESS_BOUND:
+                failures.append(f"service_mix.{name}.fairness_ratio")
 
 
 def main():
@@ -91,10 +141,13 @@ def main():
             print("  simulated time diverged for an identical config+seed: either a\n"
                   "  determinism bug or an intentional model change. If intentional,\n"
                   "  regenerate the baseline (bench/sim_hotpath --quick --out\n"
+                  "  BENCH_sim.json, then bench/service_mix --merge-into\n"
                   "  BENCH_sim.json) and commit it with the change.", file=sys.stderr)
     else:
         print(f"sim_exec_ns: configs differ ({e2e_config(base)} vs {e2e_config(cur)}), "
               "determinism check skipped")
+
+    check_service_mix(base, cur, failures)
 
     if failures:
         print(f"regression: FAILED ({', '.join(failures)})", file=sys.stderr)

@@ -1,0 +1,220 @@
+// Multi-job service benchmark: aggregate throughput and fairness for
+// 1/4/16-job mixes through the WalkService over one shared accelerator
+// hierarchy.
+//
+// Every number reported here is simulated (makespan, per-job latency,
+// steps per simulated second, fairness ratio), so the section is
+// bit-deterministic for a fixed seed and doubles as a cross-machine
+// regression guard: bench/regression.py asserts makespan equality and the
+// fairness bound (max/min weight-normalized per-job throughput <= 2 for
+// uniform equal-priority mixes).
+//
+// Results land in the "service_mix" section of BENCH_sim.json: --merge-into
+// splices the section into an existing fw-bench-sim/2 report (replacing a
+// prior section), --out writes a standalone report.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/builder.hpp"
+#include "accel/service/jobs_spec.hpp"
+#include "accel/service/walk_service.hpp"
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+#include "partition/partitioned_graph.hpp"
+
+namespace fw::bench {
+namespace {
+
+struct Mix {
+  std::string name;
+  std::string jobs;   ///< --jobs grammar (dogfoods the CLI parser)
+  bool uniform;       ///< equal-priority homogeneous jobs: fairness gated <= 2x
+};
+
+/// 1/4/16-job mixes plus the acceptance-criteria mixed workload
+/// (2x DeepWalk + node2vec + PPR), all 2000 walks total.
+const std::vector<Mix>& mixes() {
+  static const std::vector<Mix> m = {
+      {"solo", "deepwalk:walks=2000", true},
+      {"uniform4", "4*deepwalk:walks=500", true},
+      {"uniform16", "16*deepwalk:walks=125", true},
+      {"mixed4",
+       "2*deepwalk:walks=500;node2vec:walks=250,p=0.5,q=2;ppr:walks=250,source=3",
+       false},
+  };
+  return m;
+}
+
+struct MixResult {
+  Mix mix;
+  std::size_t jobs = 0;
+  Tick makespan = 0;
+  double aggregate_steps_per_sec = 0.0;
+  double fairness_ratio = 1.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+MixResult run_mix(const partition::PartitionedGraph& pg, const Mix& mix,
+                  std::uint64_t seed) {
+  accel::service::JobSpecDefaults defaults;
+  defaults.base_seed = seed;
+
+  accel::SimulationConfig cfg;
+  cfg.ssd = bench_ssd();
+  cfg.accel = accel::bench_accel_config();
+  cfg.record_visits = false;
+
+  accel::service::WalkService service(pg, cfg);
+  for (auto& job : accel::service::parse_jobs(mix.jobs, defaults)) {
+    service.submit(std::move(job));
+  }
+  const auto res = service.run();
+
+  MixResult r;
+  r.mix = mix;
+  r.jobs = res.jobs().size();
+  r.makespan = res.makespan;
+  r.aggregate_steps_per_sec = res.aggregate_steps_per_sec;
+  r.fairness_ratio = res.fairness_ratio;
+  r.p50 = res.latency_p50_ns;
+  r.p95 = res.latency_p95_ns;
+  r.p99 = res.latency_p99_ns;
+  return r;
+}
+
+std::string section_json(const std::vector<MixResult>& results,
+                         const std::string& dataset, const std::string& scale,
+                         std::uint64_t seed) {
+  std::ostringstream os;
+  os << "{\n"
+     << "    \"dataset\": \"" << dataset << "\",\n"
+     << "    \"scale\": \"" << scale << "\",\n"
+     << "    \"seed\": " << seed << ",\n"
+     << "    \"mixes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MixResult& r = results[i];
+    os << "      {\"name\": \"" << r.mix.name << "\", \"jobs\": " << r.jobs
+       << ", \"uniform\": " << (r.mix.uniform ? "true" : "false")
+       << ", \"makespan_ns\": " << r.makespan
+       << ", \"aggregate_steps_per_sec\": " << r.aggregate_steps_per_sec
+       << ", \"fairness_ratio\": " << r.fairness_ratio
+       << ", \"latency_p50_ns\": " << r.p50 << ", \"latency_p95_ns\": " << r.p95
+       << ", \"latency_p99_ns\": " << r.p99 << "}"
+       << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "    ]\n"
+     << "  }";
+  return os.str();
+}
+
+/// Splice `section` into an existing fw-bench-sim/2 report as the trailing
+/// "service_mix" key, replacing any earlier section (which, by this
+/// writer's construction, is always the last key in the object).
+int merge_into(const std::string& path, const std::string& section) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "service_mix: cannot read " << path << " (run sim_hotpath first)\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  std::size_t cut = text.find(",\n  \"service_mix\":");
+  if (cut == std::string::npos) {
+    cut = text.rfind('}');
+    if (cut == std::string::npos) {
+      std::cerr << "service_mix: " << path << " is not a JSON report\n";
+      return 1;
+    }
+    // Trim trailing whitespace before the closing brace.
+    while (cut > 0 && (text[cut - 1] == '\n' || text[cut - 1] == ' ')) --cut;
+  }
+  text.resize(cut);
+  text += ",\n  \"service_mix\": " + section + "\n}\n";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "service_mix: cannot write " << path << "\n";
+    return 1;
+  }
+  out << text;
+  std::cout << "merged service_mix section into " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fw::bench
+
+int main(int argc, char** argv) {
+  using namespace fw;
+  using namespace fw::bench;
+
+  std::string out_path;
+  std::string merge_path;
+  std::string dataset = "TT";
+  std::string scale = "test";
+  std::uint64_t seed = bench_seed();
+  OptionSet opts;
+  opts.opt("--out", &out_path, "FILE", "write a standalone service_mix report");
+  opts.opt("--merge-into", &merge_path, "FILE",
+           "splice the service_mix section into an\n"
+           "existing fw-bench-sim/2 report (BENCH_sim.json)");
+  opts.opt("--dataset", &dataset, "TT|FS|CW|R2B|R8B", "dataset (default TT)");
+  opts.opt("--scale", &scale, "test|small|bench", "dataset scale (default test)");
+  opts.opt("--seed", &seed, "N", "base job seed");
+  opts.parse_or_exit(argc, argv,
+                     "WalkService throughput/fairness across 1/4/16-job mixes");
+
+  print_banner("Walk service — aggregate throughput and fairness across job mixes",
+               "multi-tenant extension (not a paper figure)");
+
+  graph::DatasetId id = graph::DatasetId::TT;
+  for (const auto& info : graph::all_datasets()) {
+    if (info.abbrev == dataset) id = info.id;
+  }
+  const graph::Scale sc = scale == "test"    ? graph::Scale::kTest
+                          : scale == "small" ? graph::Scale::kSmall
+                                             : graph::Scale::kBench;
+  const graph::CsrGraph g = graph::make_dataset(id, sc);
+  const partition::PartitionedGraph pg(g, bench_partition());
+
+  std::vector<MixResult> results;
+  TextTable table({"mix", "jobs", "makespan", "agg steps/s", "fairness", "p95 latency"});
+  for (const Mix& mix : mixes()) {
+    const MixResult r = run_mix(pg, mix, seed);
+    table.add_row({r.mix.name, std::to_string(r.jobs), TextTable::time_ns(r.makespan),
+                   TextTable::num(r.aggregate_steps_per_sec, 0),
+                   TextTable::num(r.fairness_ratio, 2) + "x",
+                   TextTable::time_ns(static_cast<Tick>(r.p95))});
+    results.push_back(r);
+  }
+  table.print(std::cout);
+
+  bool fairness_ok = true;
+  for (const MixResult& r : results) {
+    if (r.mix.uniform && r.fairness_ratio > 2.0) {
+      std::cerr << "FAIL: mix '" << r.mix.name << "' fairness "
+                << r.fairness_ratio << "x exceeds the 2x bound\n";
+      fairness_ok = false;
+    }
+  }
+  if (!fairness_ok) return 1;
+
+  const std::string section = section_json(results, dataset, scale, seed);
+  if (!merge_path.empty()) {
+    if (const int rc = merge_into(merge_path, section); rc != 0) return rc;
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << "{\n  \"schema\": \"fw-bench-sim/2\",\n  \"service_mix\": " << section
+        << "\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "accel/config.hpp"
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "bench_common.hpp"
+#include "common/options.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "graph/datasets.hpp"
@@ -148,7 +150,7 @@ E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t 
   opts.spec.seed = seed;
   opts.record_visits = false;
 
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = engine.run();
   const auto t1 = std::chrono::steady_clock::now();
@@ -192,36 +194,20 @@ int main(int argc, char** argv) {
   std::uint64_t events = 2'000'000;
   std::uint64_t walks = 20'000;
   std::uint64_t seed = bench_seed();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--out") {
-      out_path = value();
-    } else if (arg == "--events") {
-      events = std::stoull(value());
-    } else if (arg == "--dataset") {
-      dataset = value();
-    } else if (arg == "--scale") {
-      scale = value();
-    } else if (arg == "--walks") {
-      walks = std::stoull(value());
-    } else if (arg == "--seed") {
-      seed = std::stoull(value());
-    } else if (arg == "--quick") {
-      events = 400'000;
-      scale = "test";
-      walks = 5'000;
-    } else {
-      std::cerr << "unknown argument " << arg << "\n";
-      std::exit(2);
-    }
-  }
+  OptionSet opts;
+  opts.opt("--out", &out_path, "FILE", "report path (default BENCH_sim.json)");
+  opts.opt("--events", &events, "N", "microbench event count");
+  opts.opt("--dataset", &dataset, "TT|FS|CW|R2B|R8B", "e2e dataset (default TT)");
+  opts.opt("--scale", &scale, "test|small|bench", "e2e dataset scale");
+  opts.opt("--walks", &walks, "N", "e2e walk count");
+  opts.opt("--seed", &seed, "N", "RNG seed");
+  opts.flag("--quick", "CI preset: 400k events, test scale, 5k walks", [&] {
+    events = 400'000;
+    scale = "test";
+    walks = 5'000;
+  });
+  opts.parse_or_exit(argc, argv,
+                     "DES hot-path benchmark: event-queue + engine throughput");
 
   print_banner("DES hot path — event queue + engine throughput",
                "kernel microbench (not a paper figure)");
@@ -262,7 +248,7 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
-      << "  \"schema\": \"fw-bench-sim/1\",\n"
+      << "  \"schema\": \"fw-bench-sim/2\",\n"
       << "  \"seed\": " << seed << ",\n"
       << "  \"events\": " << events << ",\n"
       << "  \"bucketed_events_per_sec\": " << static_cast<std::uint64_t>(bucketed)

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
   Tick total = 0;
   for (std::uint32_t rep = 0; rep < params.walks_per_vertex; ++rep) {
     opts.spec.seed = params.seed + rep;
-    accel::FlashWalkerEngine engine(pg, opts);
+    auto engine = accel::SimulationBuilder(pg).options(opts).build();
     total += engine.run().exec_time;
   }
   std::cout << "simulated in-storage walk generation: " << TextTable::time_ns(total)

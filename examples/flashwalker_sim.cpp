@@ -2,34 +2,14 @@
 //
 // Runs a random-walk workload through FlashWalker, GraphWalker, and/or the
 // DrunkardMob iteration baseline on a chosen dataset (or an edge-list file)
-// and prints a comparison report with energy estimates.
+// and prints a comparison report with energy estimates. With --jobs, runs a
+// multi-job mix through the WalkService (FlashWalker only): N concurrent
+// walk jobs multiplexed over one shared accelerator hierarchy with
+// weighted-fair scheduling and per-job outputs.
 //
-// Usage:
-//   flashwalker_sim [options]
-//     --dataset TT|FS|CW|R2B|R8B   scaled Table-IV dataset (default FS)
-//     --graph PATH                 load an edge-list file instead
-//     --walks N                    number of walks (default: dataset default)
-//     --length N                   walk length (default 6)
-//     --biased                     edge-weight-biased walks (ITS)
-//     --node2vec P Q               second-order walks with p/q
-//     --engines fw,gw,dm,tr        which engines to run (default fw,gw)
-//     --no-wq / --no-hs / --no-ss  disable an optimization
-//     --memory BYTES               GraphWalker cache (default 6 MiB)
-//     --scale test|small|bench     dataset scale (default bench)
-//     --seed N
-//     --json PATH                  full FlashWalker run report as JSON
-//     --trace-out PATH             Chrome trace_event JSON of the FW run
-//                                  (open in Perfetto / chrome://tracing)
-//     --metrics-out PATH           hierarchical counter JSON for every
-//                                  engine that ran (artifact comparison)
-//     --rber X                     NAND raw bit error rate of a fresh block
-//                                  (0 disables the fault model; default 0)
-//     --retention X                simulated retention age multiplier
-//     --fault-seed N               seed for all fault draws (default 1);
-//                                  runs are bit-identical for a fixed seed
-//     --inject=K=V[,K=V...]        probabilistic fault injection; keys:
-//                                  prog_fail, erase_fail, uncorrectable
-#include <cstring>
+// Run with --help for the full option table (generated from the shared
+// fw::OptionSet registration below).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -38,19 +18,24 @@
 #include <utility>
 #include <vector>
 
+#include "accel/builder.hpp"
 #include "accel/energy_model.hpp"
-#include "accel/report.hpp"
 #include "accel/engine.hpp"
+#include "accel/report.hpp"
+#include "accel/service/jobs_spec.hpp"
+#include "accel/service/walk_service.hpp"
 #include "baseline/drunkardmob.hpp"
-#include "baseline/graphwalker.hpp"
 #include "baseline/graphssd.hpp"
+#include "baseline/graphwalker.hpp"
 #include "baseline/thunder.hpp"
+#include "common/options.hpp"
 #include "common/table.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "ssd/reliability/options.hpp"
 
 using namespace fw;
 
@@ -71,114 +56,146 @@ struct CliOptions {
   std::string json_path;
   std::string trace_path;
   std::string metrics_path;
-  double rber = 0.0;
-  double retention = 0.0;
-  std::uint64_t fault_seed = 1;
-  double inject_prog_fail = 0.0;
-  double inject_erase_fail = 0.0;
-  double inject_uncorrectable = 0.0;
+  std::string jobs_spec;
+  ssd::SsdConfig ssd{};
 };
-
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--dataset TT|FS|CW|R2B|R8B] [--graph PATH] [--walks N]\n"
-               "       [--length N] [--biased] [--node2vec P Q]\n"
-               "       [--engines fw,gw,dm,tr,gs] [--no-wq] [--no-hs] [--no-ss]\n"
-               "       [--memory BYTES] [--scale test|small|bench] [--seed N]\n"
-               "       [--json PATH] [--trace-out PATH] [--metrics-out PATH]\n"
-               "       [--rber X] [--retention X] [--fault-seed N]\n"
-               "       [--inject=prog_fail=P,erase_fail=P,uncorrectable=P]\n";
-  std::exit(2);
-}
 
 CliOptions parse(int argc, char** argv) {
   CliOptions o;
-  auto need = [&](int& i) -> const char* {
-    if (++i >= argc) usage(argv[0]);
-    return argv[i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--dataset") {
-      const std::string name = need(i);
-      bool found = false;
-      for (const auto& info : graph::all_datasets()) {
-        if (info.abbrev == name) {
-          o.dataset = info.id;
-          found = true;
-        }
-      }
-      if (!found) usage(argv[0]);
-    } else if (arg == "--graph") {
-      o.graph_path = need(i);
-    } else if (arg == "--walks") {
-      o.walks = std::strtoull(need(i), nullptr, 10);
-    } else if (arg == "--length") {
-      o.length = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
-    } else if (arg == "--biased") {
-      o.biased = true;
-    } else if (arg == "--node2vec") {
-      const double p = std::strtod(need(i), nullptr);
-      const double q = std::strtod(need(i), nullptr);
-      o.node2vec = {p, q};
-    } else if (arg == "--engines") {
-      const std::string list = need(i);
-      o.run_fw = list.find("fw") != std::string::npos;
-      o.run_gw = list.find("gw") != std::string::npos;
-      o.run_dm = list.find("dm") != std::string::npos;
-      o.run_tr = list.find("tr") != std::string::npos;
-      o.run_gs = list.find("gs") != std::string::npos;
-    } else if (arg == "--no-wq") {
-      o.features.walk_query = false;
-    } else if (arg == "--no-hs") {
-      o.features.hot_subgraphs = false;
-    } else if (arg == "--no-ss") {
-      o.features.subgraph_scheduling = false;
-    } else if (arg == "--memory") {
-      o.memory = std::strtoull(need(i), nullptr, 10);
-    } else if (arg == "--scale") {
-      const std::string s = need(i);
-      o.scale = s == "test"    ? graph::Scale::kTest
-                : s == "small" ? graph::Scale::kSmall
-                               : graph::Scale::kBench;
-    } else if (arg == "--seed") {
-      o.seed = std::strtoull(need(i), nullptr, 10);
-    } else if (arg == "--json") {
-      o.json_path = need(i);
-    } else if (arg == "--trace-out") {
-      o.trace_path = need(i);
-    } else if (arg == "--metrics-out") {
-      o.metrics_path = need(i);
-    } else if (arg == "--rber") {
-      o.rber = std::strtod(need(i), nullptr);
-    } else if (arg == "--retention") {
-      o.retention = std::strtod(need(i), nullptr);
-    } else if (arg == "--fault-seed") {
-      o.fault_seed = std::strtoull(need(i), nullptr, 10);
-    } else if (arg == "--inject" || arg.rfind("--inject=", 0) == 0) {
-      const std::string list = arg == "--inject" ? need(i) : arg.substr(9);
-      std::stringstream ss(list);
-      std::string kv;
-      while (std::getline(ss, kv, ',')) {
-        const auto eq = kv.find('=');
-        if (eq == std::string::npos) usage(argv[0]);
-        const std::string key = kv.substr(0, eq);
-        const double val = std::strtod(kv.c_str() + eq + 1, nullptr);
-        if (key == "prog_fail") {
-          o.inject_prog_fail = val;
-        } else if (key == "erase_fail") {
-          o.inject_erase_fail = val;
-        } else if (key == "uncorrectable") {
-          o.inject_uncorrectable = val;
-        } else {
-          usage(argv[0]);
-        }
-      }
+  OptionSet opts;
+  opts.opt("--dataset", "TT|FS|CW|R2B|R8B", "scaled Table-IV dataset (default FS)",
+           [&o](const std::string& name) {
+             for (const auto& info : graph::all_datasets()) {
+               if (info.abbrev == name) {
+                 o.dataset = info.id;
+                 return;
+               }
+             }
+             throw std::invalid_argument("--dataset: unknown dataset '" + name + "'");
+           });
+  opts.opt("--graph", &o.graph_path, "PATH", "load an edge-list file instead");
+  opts.opt("--walks", &o.walks, "N", "number of walks (default: dataset default)");
+  opts.opt("--length", &o.length, "N", "walk length (default 6)");
+  opts.flag("--biased", &o.biased, "edge-weight-biased walks (ITS)");
+  opts.opt("--node2vec", "P,Q", "second-order walks with p/q",
+           [&o](const std::string& v) {
+             const auto comma = v.find(',');
+             if (comma == std::string::npos) {
+               throw std::invalid_argument("--node2vec: expected P,Q, got '" + v + "'");
+             }
+             o.node2vec = {OptionSet::to_f64("--node2vec", v.substr(0, comma)),
+                           OptionSet::to_f64("--node2vec", v.substr(comma + 1))};
+           });
+  opts.opt("--engines", "fw,gw,dm,tr,gs", "which engines to run (default fw,gw)",
+           [&o](const std::string& list) {
+             o.run_fw = list.find("fw") != std::string::npos;
+             o.run_gw = list.find("gw") != std::string::npos;
+             o.run_dm = list.find("dm") != std::string::npos;
+             o.run_tr = list.find("tr") != std::string::npos;
+             o.run_gs = list.find("gs") != std::string::npos;
+           });
+  opts.flag("--no-wq", "disable walk-query merging",
+            [&o] { o.features.walk_query = false; });
+  opts.flag("--no-hs", "disable hot-subgraph pinning",
+            [&o] { o.features.hot_subgraphs = false; });
+  opts.flag("--no-ss", "disable subgraph scheduling",
+            [&o] { o.features.subgraph_scheduling = false; });
+  opts.opt("--memory", &o.memory, "BYTES", "GraphWalker cache (default 6 MiB)");
+  opts.opt("--scale", "test|small|bench", "dataset scale (default bench)",
+           [&o](const std::string& s) {
+             if (s == "test") {
+               o.scale = graph::Scale::kTest;
+             } else if (s == "small") {
+               o.scale = graph::Scale::kSmall;
+             } else if (s == "bench") {
+               o.scale = graph::Scale::kBench;
+             } else {
+               throw std::invalid_argument("--scale: unknown scale '" + s + "'");
+             }
+           });
+  opts.opt("--seed", &o.seed, "N", "RNG seed (default 42)");
+  opts.opt("--json", &o.json_path, "PATH", "full FlashWalker run report as JSON");
+  opts.opt("--trace-out", &o.trace_path, "PATH",
+           "Chrome trace_event JSON of the FW run\n"
+           "(open in Perfetto / chrome://tracing)");
+  opts.opt("--metrics-out", &o.metrics_path, "PATH",
+           "hierarchical counter JSON for every\n"
+           "engine that ran (artifact comparison)");
+  ssd::add_reliability_options(opts, &o.ssd.reliability);
+  opts.opt("--jobs", &o.jobs_spec, "SPEC",
+           "multi-job mix through the WalkService\n(FlashWalker only)\n" +
+               accel::service::jobs_help());
+  opts.parse_or_exit(argc, argv, "FlashWalker vs. baseline random-walk simulation");
+  return o;
+}
+
+/// Multi-job service run: parse the mix, submit, print the per-job table
+/// and service-level summary, honor --json/--trace-out/--metrics-out.
+int run_service(const CliOptions& cli, const partition::PartitionedGraph& pg,
+                accel::SimulationConfig cfg) {
+  accel::service::JobSpecDefaults defaults;
+  defaults.base_seed = cli.seed;
+  defaults.length = cli.length;
+  if (cli.walks > 0) defaults.walks = cli.walks;
+
+  obs::TraceRecorder trace;
+  if (!cli.trace_path.empty()) cfg.trace = &trace;
+  accel::service::WalkService service(pg, std::move(cfg));
+  for (auto& job : accel::service::parse_jobs(cli.jobs_spec, defaults)) {
+    service.submit(std::move(job));
+  }
+  const auto res = service.run();
+
+  TextTable table(
+      {"job", "qos", "weight", "walks", "steps", "exec", "latency", "steps/s"});
+  for (const auto& jr : res.jobs()) {
+    table.add_row({jr.stats.name, std::string(accel::service::qos_name(jr.stats.qos)),
+                   std::to_string(jr.stats.weight), std::to_string(jr.stats.walks),
+                   std::to_string(jr.stats.steps),
+                   TextTable::time_ns(jr.stats.exec_ns()),
+                   TextTable::time_ns(jr.stats.latency_ns()),
+                   TextTable::num(jr.stats.steps_per_sec(), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nservice: makespan " << TextTable::time_ns(res.makespan)
+            << ", aggregate " << TextTable::num(res.aggregate_steps_per_sec, 0)
+            << " steps/s, fairness " << TextTable::num(res.fairness_ratio, 2) << "x\n"
+            << "latency: p50 "
+            << TextTable::time_ns(static_cast<Tick>(res.latency_p50_ns))
+            << ", p95 " << TextTable::time_ns(static_cast<Tick>(res.latency_p95_ns))
+            << ", p99 " << TextTable::time_ns(static_cast<Tick>(res.latency_p99_ns))
+            << "\n";
+
+  if (!cli.trace_path.empty()) {
+    std::ofstream out(cli.trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli.trace_path << "\n";
     } else {
-      usage(argv[0]);
+      trace.write_json(out);
+      out << "\n";
+      std::cout << "wrote Chrome trace (" << trace.num_events() << " events) to "
+                << cli.trace_path << "\n";
     }
   }
-  return o;
+  if (!cli.json_path.empty()) {
+    std::ofstream json(cli.json_path);
+    accel::write_json(json, "flashwalker-service", res.engine);
+    json << "\n";
+    std::cout << "wrote JSON report to " << cli.json_path << "\n";
+  }
+  if (!cli.metrics_path.empty()) {
+    std::ofstream out(cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli.metrics_path << "\n";
+      return 1;
+    }
+    out << "{\"schema_version\":" << accel::kReportSchemaVersion
+        << ",\"engines\":{\"flashwalker\":";
+    accel::write_counters_json(out, res.engine);
+    out << "}}\n";
+    std::cout << "wrote metrics JSON to " << cli.metrics_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -214,20 +231,12 @@ int main(int argc, char** argv) {
     spec.second_order.p = cli.node2vec->first;
     spec.second_order.q = cli.node2vec->second;
   }
-  std::cout << "workload: " << spec.num_walks << " walks x " << spec.length << " hops"
-            << (spec.biased ? ", biased (ITS)" : "")
-            << (spec.second_order.enabled ? ", node2vec" : "") << "\n\n";
 
-  ssd::SsdConfig ssd_cfg{};
-  ssd_cfg.reliability.rber.base = cli.rber;
-  ssd_cfg.reliability.rber.retention_age = cli.retention;
-  ssd_cfg.reliability.fault_seed = cli.fault_seed;
-  ssd_cfg.reliability.inject.program_fail = cli.inject_prog_fail;
-  ssd_cfg.reliability.inject.erase_fail = cli.inject_erase_fail;
-  ssd_cfg.reliability.inject.uncorrectable = cli.inject_uncorrectable;
+  const ssd::SsdConfig& ssd_cfg = cli.ssd;
   if (ssd_cfg.reliability.enabled()) {
-    std::cout << "reliability: rber " << cli.rber << ", retention " << cli.retention
-              << ", fault seed " << cli.fault_seed << "\n";
+    std::cout << "reliability: rber " << ssd_cfg.reliability.rber.base
+              << ", retention " << ssd_cfg.reliability.rber.retention_age
+              << ", fault seed " << ssd_cfg.reliability.fault_seed << "\n";
   }
   partition::PartitionConfig pc;
   pc.block_capacity_bytes = 16 * KiB;
@@ -235,24 +244,38 @@ int main(int argc, char** argv) {
   pc.subgraphs_per_range = 64;
   pc.weighted = spec.biased;
 
+  if (!cli.jobs_spec.empty()) {
+    const partition::PartitionedGraph pg(g, pc);
+    accel::SimulationConfig cfg;
+    cfg.ssd = ssd_cfg;
+    cfg.accel = accel::bench_accel_config();
+    cfg.accel.features = cli.features;
+    cfg.record_visits = false;
+    return run_service(cli, pg, std::move(cfg));
+  }
+
+  std::cout << "workload: " << spec.num_walks << " walks x " << spec.length << " hops"
+            << (spec.biased ? ", biased (ITS)" : "")
+            << (spec.second_order.enabled ? ", node2vec" : "") << "\n\n";
+
   TextTable table({"engine", "time", "hops", "flash read", "flash write",
                    "read BW MB/s", "energy mJ"});
   Tick fw_time = 0;
-  // Per-engine counter payloads for --metrics-out: {"flashwalker": {...}, ...}.
+  // Per-engine counter payloads for --metrics-out:
+  // {"schema_version":2,"engines":{"flashwalker":{...},...}}.
   std::vector<std::pair<std::string, std::string>> metric_parts;
 
   if (cli.run_fw) {
     const partition::PartitionedGraph pg(g, pc);
-    accel::EngineOptions opts;
-    opts.ssd = ssd_cfg;
-    opts.accel = accel::bench_accel_config();
-    opts.accel.features = cli.features;
-    opts.spec = spec;
-    opts.record_visits = false;
+    accel::SimulationConfig cfg;
+    cfg.ssd = ssd_cfg;
+    cfg.accel = accel::bench_accel_config();
+    cfg.accel.features = cli.features;
+    cfg.spec = spec;
+    cfg.record_visits = false;
     obs::TraceRecorder trace;
-    if (!cli.trace_path.empty()) opts.trace = &trace;
-    accel::FlashWalkerEngine engine(pg, opts);
-    const auto r = engine.run();
+    if (!cli.trace_path.empty()) cfg.trace = &trace;
+    const auto r = accel::SimulationBuilder(pg).config(cfg).run();
     fw_time = r.exec_time;
     if (!cli.trace_path.empty()) {
       std::ofstream out(cli.trace_path);
@@ -276,7 +299,7 @@ int main(int argc, char** argv) {
       json << "\n";
       std::cout << "wrote JSON report to " << cli.json_path << "\n";
     }
-    const auto e = accel::estimate_flashwalker(r, opts.accel, ssd_cfg);
+    const auto e = accel::estimate_flashwalker(r, cfg.accel, ssd_cfg);
     table.add_row({"FlashWalker", TextTable::time_ns(r.exec_time),
                    std::to_string(r.metrics.total_hops),
                    TextTable::bytes(r.flash_read_bytes),
@@ -346,12 +369,12 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << cli.metrics_path << "\n";
       return 1;
     }
-    out << '{';
+    out << "{\"schema_version\":" << accel::kReportSchemaVersion << ",\"engines\":{";
     for (std::size_t i = 0; i < metric_parts.size(); ++i) {
       if (i > 0) out << ',';
       out << '"' << metric_parts[i].first << "\":" << metric_parts[i].second;
     }
-    out << "}\n";
+    out << "}}\n";
     std::cout << "wrote metrics JSON to " << cli.metrics_path << "\n";
   }
   table.print(std::cout);

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
   opts.spec.seed = params.seed;
   opts.record_visits = false;
   opts.record_endpoints = true;
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   std::cout << "\nsimulated in-storage PPR walk phase: " << TextTable::time_ns(r.exec_time)
             << " (" << r.metrics.total_hops << " hops, "

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "baseline/graphwalker.hpp"
 #include "common/table.hpp"
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
   fw_opts.ssd = ssd::SsdConfig{};  // Table I/III SSD
   fw_opts.accel = accel::bench_accel_config();
   fw_opts.spec = spec;
-  accel::FlashWalkerEngine engine(pg, fw_opts);
+  auto engine = accel::SimulationBuilder(pg).options(fw_opts).build();
   const auto fw_result = engine.run();
 
   // 5. GraphWalker on the same simulated SSD via PCIe.

@@ -1,0 +1,25 @@
+#include "accel/builder.hpp"
+
+namespace fw::accel {
+
+Simulation SimulationBuilder::build() {
+  Simulation sim;
+  if (graph_ != nullptr) {
+    partition::PartitionConfig pc = cfg_.partition;
+    // Biased jobs need edge weights in the graph blocks; derive the flag so
+    // callers cannot assemble a partitioning that contradicts the workload.
+    bool any_biased = cfg_.spec.biased;
+    for (const auto& job : cfg_.jobs) any_biased |= job.spec.biased;
+    pc.weighted = pc.weighted || any_biased;
+    sim.owned_pg_ = std::make_unique<partition::PartitionedGraph>(*graph_, pc);
+    sim.pg_ = sim.owned_pg_.get();
+  } else {
+    sim.pg_ = pg_;
+  }
+  sim.engine_ = std::make_unique<FlashWalkerEngine>(
+      *sim.pg_, static_cast<const EngineOptions&>(cfg_),
+      FlashWalkerEngine::BuildAccess{});
+  return sim;
+}
+
+}  // namespace fw::accel

@@ -1,0 +1,153 @@
+// SimulationBuilder: the one assembly point for a FlashWalker simulation.
+//
+// Every entry point (examples, benches, tests, the walk service) used to
+// hand-wire the same constructor chain — partition the graph, fill
+// EngineOptions, construct the engine. The builder owns that chain behind a
+// fluent API over a single SimulationConfig, so adding a subsystem (the
+// reliability model in PR 3, the job service in this PR) changes one struct
+// instead of every call site:
+//
+//   auto result = SimulationBuilder(pg).options(opts).run();       // one-shot
+//   auto sim = SimulationBuilder(graph).partition(pc).spec(s).build();
+//   sim.run();                   // engine accessors stay valid on `sim`
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "accel/engine.hpp"
+#include "accel/service/job.hpp"
+#include "graph/csr.hpp"
+#include "partition/graph_block.hpp"
+#include "partition/partitioned_graph.hpp"
+
+namespace fw::accel {
+
+/// Everything a simulation needs, in one struct: the engine options (DES,
+/// flash array, FTL, reliability, DRAM, workload/jobs) plus the graph
+/// partitioning used when building from a raw CSR graph.
+struct SimulationConfig : EngineOptions {
+  partition::PartitionConfig partition;
+};
+
+/// An assembled simulation: the engine plus (when built from a raw graph)
+/// the partitioned graph it runs over. Movable; construct via
+/// SimulationBuilder::build.
+class Simulation {
+ public:
+  Simulation(Simulation&&) = default;
+  Simulation& operator=(Simulation&&) = default;
+
+  /// Execute the configured workload to completion.
+  EngineResult run() { return engine_->run(); }
+
+  [[nodiscard]] FlashWalkerEngine& engine() { return *engine_; }
+  [[nodiscard]] const FlashWalkerEngine& engine() const { return *engine_; }
+  [[nodiscard]] const partition::PartitionedGraph& partitioned_graph() const {
+    return *pg_;
+  }
+
+ private:
+  friend class SimulationBuilder;
+  Simulation() = default;
+
+  std::unique_ptr<partition::PartitionedGraph> owned_pg_;
+  const partition::PartitionedGraph* pg_ = nullptr;
+  std::unique_ptr<FlashWalkerEngine> engine_;
+};
+
+class SimulationBuilder {
+ public:
+  /// Build over an existing partitioned graph (not copied; must outlive the
+  /// Simulation).
+  explicit SimulationBuilder(const partition::PartitionedGraph& pg) : pg_(&pg) {}
+  /// Build from a raw graph; `partition(...)` configures the graph-block
+  /// partitioning and the Simulation owns the result.
+  explicit SimulationBuilder(const graph::CsrGraph& graph) : graph_(&graph) {}
+
+  /// Replace the full config (partitioning included).
+  SimulationBuilder& config(SimulationConfig cfg) {
+    cfg_ = std::move(cfg);
+    return *this;
+  }
+  /// Replace the engine options, keeping the partitioning config.
+  SimulationBuilder& options(EngineOptions opts) {
+    static_cast<EngineOptions&>(cfg_) = std::move(opts);
+    return *this;
+  }
+  SimulationBuilder& partition(partition::PartitionConfig pc) {
+    cfg_.partition = pc;
+    return *this;
+  }
+  SimulationBuilder& accel(AccelConfig a) {
+    cfg_.accel = a;
+    return *this;
+  }
+  SimulationBuilder& features(Features f) {
+    cfg_.accel.features = f;
+    return *this;
+  }
+  SimulationBuilder& ssd(ssd::SsdConfig s) {
+    cfg_.ssd = s;
+    return *this;
+  }
+  SimulationBuilder& reliability(ssd::reliability::ReliabilityConfig r) {
+    cfg_.ssd.reliability = r;
+    return *this;
+  }
+  SimulationBuilder& spec(rw::WalkSpec s) {
+    cfg_.spec = s;
+    return *this;
+  }
+  SimulationBuilder& jobs(std::vector<service::WalkJob> jobs) {
+    cfg_.jobs = std::move(jobs);
+    return *this;
+  }
+  SimulationBuilder& add_job(service::WalkJob job) {
+    cfg_.jobs.push_back(std::move(job));
+    return *this;
+  }
+  SimulationBuilder& policy(service::ServicePolicy p) {
+    cfg_.policy = p;
+    return *this;
+  }
+  SimulationBuilder& record_visits(bool on) {
+    cfg_.record_visits = on;
+    return *this;
+  }
+  SimulationBuilder& record_paths(bool on) {
+    cfg_.record_paths = on;
+    return *this;
+  }
+  SimulationBuilder& record_endpoints(bool on) {
+    cfg_.record_endpoints = on;
+    return *this;
+  }
+  SimulationBuilder& timeline_interval(Tick interval) {
+    cfg_.timeline_interval = interval;
+    return *this;
+  }
+  SimulationBuilder& trace(obs::TraceRecorder* recorder) {
+    cfg_.trace = recorder;
+    return *this;
+  }
+  SimulationBuilder& idle_gc_episodes(std::uint32_t episodes) {
+    cfg_.idle_gc_episodes = episodes;
+    return *this;
+  }
+
+  /// Assemble the simulation (partitions the graph if built from a raw CSR
+  /// graph). Validation errors (biased walk on an unweighted graph,
+  /// admission policy violations, ...) throw std::invalid_argument.
+  [[nodiscard]] Simulation build();
+
+  /// Convenience: build and run in one step.
+  EngineResult run() { return build().run(); }
+
+ private:
+  const partition::PartitionedGraph* pg_ = nullptr;
+  const graph::CsrGraph* graph_ = nullptr;
+  SimulationConfig cfg_;
+};
+
+}  // namespace fw::accel

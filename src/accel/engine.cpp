@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
+
+#include "common/stats.hpp"
 
 namespace fw::accel {
 namespace {
@@ -18,7 +22,52 @@ std::uint32_t match_cycles(std::size_t n) {
 
 FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
                                      EngineOptions options)
-    : pg_(&pg), opt_(std::move(options)), rng_(opt_.spec.seed) {
+    : FlashWalkerEngine(pg, std::move(options), BuildAccess{}) {}
+
+FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
+                                     EngineOptions options, BuildAccess /*access*/)
+    : pg_(&pg), opt_(std::move(options)) {
+  // Build the job table: the explicit job list, or `spec` as implicit job 0.
+  explicit_jobs_ = !opt_.jobs.empty();
+  track_job_outputs_ = explicit_jobs_;
+  std::vector<service::WalkJob> job_defs;
+  if (explicit_jobs_) {
+    job_defs = opt_.jobs;
+  } else {
+    service::WalkJob j;
+    j.name = "default";
+    j.spec = opt_.spec;
+    job_defs.push_back(std::move(j));
+  }
+  if (opt_.policy.max_jobs > 0 && job_defs.size() > opt_.policy.max_jobs) {
+    throw std::invalid_argument("FlashWalkerEngine: job count exceeds policy.max_jobs");
+  }
+  if (job_defs.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint16_t>::max())) {
+    throw std::invalid_argument("FlashWalkerEngine: too many jobs");
+  }
+  bool any_biased = false;
+  bool any_second_order = false;
+  jobs_.reserve(job_defs.size());
+  for (auto& def : job_defs) {
+    JobRt jc;
+    jc.job = std::move(def);
+    if (jc.job.weight == 0) jc.job.weight = service::qos_weight(jc.job.qos);
+    jc.expected = service::expected_walks(jc.job.spec, pg.graph().num_vertices());
+    jc.walk_base = static_cast<std::uint32_t>(total_expected_);
+    total_expected_ += jc.expected;
+    any_biased |= jc.job.spec.biased;
+    any_second_order |= jc.job.spec.second_order.enabled;
+    jobs_.push_back(std::move(jc));
+  }
+  if (total_expected_ > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("FlashWalkerEngine: total walk count overflows walk ids");
+  }
+  if (opt_.policy.max_total_walks > 0 && total_expected_ > opt_.policy.max_total_walks) {
+    throw std::invalid_argument(
+        "FlashWalkerEngine: total walk count exceeds policy.max_total_walks");
+  }
+
   flash_ = std::make_unique<ssd::FlashArray>(opt_.ssd);
   layout_ = std::make_unique<ssd::GraphLayout>(pg, opt_.ssd);
   flash_->attach_observability(&registry_);
@@ -37,7 +86,15 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
   scheduler_ = std::make_unique<SubgraphScheduler>(pg, *layout_, opt_.accel,
                                                    topo.total_chips(),
                                                    topo.chips_per_channel);
-  if (opt_.spec.biased) {
+  if (jobs_.size() > 1) {
+    // Multi-job runs turn on the weighted-fair pick policy; single-job runs
+    // keep the exact paper pick sequence.
+    std::vector<std::uint32_t> weights;
+    weights.reserve(jobs_.size());
+    for (const JobRt& jc : jobs_) weights.push_back(jc.job.weight);
+    scheduler_->configure_jobs(std::move(weights));
+  }
+  if (any_biased) {
     if (!pg.graph().weighted()) {
       throw std::invalid_argument("biased walk requires a weighted graph");
     }
@@ -49,9 +106,9 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
         opt_.accel.query_cache_bytes, 2 * pg.id_bytes() + 8));
   }
 
-  // Second-order walks carry prev, costing one extra vertex ID per walk.
-  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) +
-                (opt_.spec.second_order.enabled ? pg.id_bytes() : 0);
+  // Second-order walks carry prev, costing one extra vertex ID per walk
+  // (charged uniformly when any co-scheduled job needs it).
+  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) + (any_second_order ? pg.id_bytes() : 0);
 
   const std::uint64_t block_cap = pg.config().block_capacity_bytes;
   const auto chip_slots = std::max<std::uint64_t>(
@@ -73,6 +130,9 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
   pending_.resize(pg.num_partitions());
   if (opt_.record_visits) visits_.assign(pg.graph().num_vertices(), 0);
   if (opt_.record_endpoints) endpoints_.assign(pg.graph().num_vertices(), 0);
+  // Walk ids are global (job walk_base + local index), so the path table can
+  // be sized up front even though jobs are admitted at different times.
+  if (opt_.record_paths) paths_.resize(total_expected_);
   if (opt_.timeline_interval > 0) {
     timeline_ = std::make_unique<sim::TimelineRecorder>(opt_.timeline_interval);
   }
@@ -103,27 +163,70 @@ bool FlashWalkerEngine::walk_in_sg(const rw::Walk& w, const partition::Subgraph&
 }
 
 // ---------------------------------------------------------------------------
-// Setup
+// Setup / job lifecycle
 // ---------------------------------------------------------------------------
 
-void FlashWalkerEngine::init_walks() {
-  const auto& spec = opt_.spec;
+service::JobStats FlashWalkerEngine::job_stats(const JobRt& jc) const {
+  service::JobStats s;
+  s.id = static_cast<service::JobId>(&jc - jobs_.data());
+  s.name = jc.job.name;
+  s.qos = jc.job.qos;
+  s.weight = jc.job.weight;
+  s.walks = jc.completed;
+  s.steps = jc.hops;
+  s.parked_walks = jc.parked;
+  s.arrival = jc.job.arrival;
+  s.admitted = jc.admit_tick;
+  s.completed = jc.done_tick;
+  return s;
+}
+
+void FlashWalkerEngine::arrive_job(std::uint16_t j) {
+  if (opt_.policy.max_concurrent_jobs > 0 &&
+      running_jobs_ >= opt_.policy.max_concurrent_jobs) {
+    admit_queue_.push_back(j);  // FIFO: admitted as running jobs finish
+    return;
+  }
+  admit_job(j);
+}
+
+void FlashWalkerEngine::admit_job(std::uint16_t j) {
+  JobRt& jc = jobs_[j];
+  jc.admitted = true;
+  jc.admit_tick = sim_.now();
+  ++admitted_jobs_;
+  ++running_jobs_;
+  if (!hot_loaded_) {
+    load_hot_subgraphs();  // global hot sets, loaded once per run
+    hot_loaded_ = true;
+  }
+  if (track_job_outputs_) {
+    if (opt_.record_visits) jc.visits.assign(pg_->graph().num_vertices(), 0);
+    if (opt_.record_endpoints) jc.endpoints.assign(pg_->graph().num_vertices(), 0);
+  }
+
+  const auto& spec = jc.job.spec;
   const VertexId n = pg_->graph().num_vertices();
+  // Start-vertex draws come from a job-local generator and the per-walk
+  // streams are keyed off (job seed, local walk id), so a job's walk output
+  // is bit-identical whether it runs alone or co-scheduled.
+  Xoshiro256 job_rng(spec.seed);
+  std::uint32_t local = 0;
   auto start_walk = [&](VertexId v) {
     rw::Walk w;
-    w.id = static_cast<std::uint32_t>(metrics_.walks_started);
+    w.id = jc.walk_base + local;
+    w.job = j;
     w.src = v;
     w.cur = v;
     w.hops_left = static_cast<std::uint16_t>(spec.length);
     // Per-walk stream, same derivation as the host reference walker: the
     // walk's path is a pure function of (seed, id), independent of how the
-    // DES interleaves updates — fault-induced reordering cannot change it.
-    w.rng_state = spec.seed ^ (0x9E3779B97F4A7C15ull * (w.id + 1));
+    // DES interleaves updates — fault-induced reordering and co-scheduled
+    // jobs cannot change it.
+    w.rng_state = spec.seed ^ (0x9E3779B97F4A7C15ull * (local + 1));
+    ++local;
     ++metrics_.walks_started;
-    if (opt_.record_paths) {
-      paths_.emplace_back();
-      paths_.back().push_back(v);
-    }
+    if (opt_.record_paths) paths_[w.id].push_back(v);
     const SubgraphId sg = pg_->subgraph_of(v);
     pending_[pg_->partition_of(sg)].push_back(w);
   };
@@ -133,11 +236,56 @@ void FlashWalkerEngine::init_walks() {
       for (VertexId v = 0; v < n; ++v) start_walk(v);
       break;
     case rw::StartMode::kUniformRandom:
-      for (std::uint64_t i = 0; i < spec.num_walks; ++i) start_walk(rng_.bounded(n));
+      for (std::uint64_t i = 0; i < spec.num_walks; ++i) start_walk(job_rng.bounded(n));
       break;
     case rw::StartMode::kSingleSource:
       for (std::uint64_t i = 0; i < spec.num_walks; ++i) start_walk(spec.source);
       break;
+  }
+  jc.started = local;
+  if (jc.expected == 0) {
+    finish_job(jc);
+    return;
+  }
+  inject_admitted_walks();
+}
+
+void FlashWalkerEngine::finish_job(JobRt& jc) {
+  jc.done_tick = sim_.now();
+  --running_jobs_;
+  if (jc.job.on_complete) jc.job.on_complete(job_stats(jc));
+  // The freed slot admits queued jobs (FIFO) before anything else runs.
+  while (!admit_queue_.empty() &&
+         (opt_.policy.max_concurrent_jobs == 0 ||
+          running_jobs_ < opt_.policy.max_concurrent_jobs)) {
+    const std::uint16_t next = admit_queue_.front();
+    admit_queue_.pop_front();
+    admit_job(next);
+  }
+}
+
+void FlashWalkerEngine::inject_admitted_walks() {
+  if (!partition_started_) {
+    // First admission: start with the first partition that has walks.
+    for (PartitionId p = 0; p < pg_->num_partitions(); ++p) {
+      if (!pending_[p].empty()) {
+        partition_started_ = true;
+        begin_partition(p, /*charge_io=*/false);
+        return;
+      }
+    }
+    return;
+  }
+  // A partition is (or was) active: walks that landed in it enter the board
+  // directly; the rest wait in pending_ for their partition's turn.
+  auto& cur = pending_[current_partition_];
+  if (!cur.empty()) {
+    auto walks = std::move(cur);
+    cur.clear();
+    active_walks_ += walks.size();
+    enqueue_board(std::move(walks));
+  } else {
+    maybe_switch_partition();
   }
 }
 
@@ -267,14 +415,17 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk(
 FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
     rw::Walk& w, const partition::Subgraph& sg, Xoshiro256& rng) {
   HopOutcome out;
-  if (opt_.spec.stop_prob > 0.0 && rng.chance(opt_.spec.stop_prob)) {
+  // Walk-model parameters come from the walk's owning job, so co-scheduled
+  // jobs each run their own model over the shared hierarchy.
+  const rw::WalkSpec& spec = spec_of(w);
+  if (spec.stop_prob > 0.0 && rng.chance(spec.stop_prob)) {
     out.completed = true;
     return out;
   }
 
   rw::SampleResult s;
   const auto& g = pg_->graph();
-  const auto& so = opt_.spec.second_order;
+  const auto& so = spec.second_order;
   const EdgeId slice_begin = sg.dense ? sg.edge_begin : g.offsets()[w.cur];
   const EdgeId slice_end = sg.dense ? sg.edge_end : g.offsets()[w.cur + 1];
   if (so.enabled && w.prev != kInvalidVertex && slice_end > slice_begin) {
@@ -282,12 +433,12 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
     s = rw::sample_second_order(g, w.prev, w.cur, slice_begin, slice_end,
                                 {so.p, so.q}, rng);
   } else if (sg.dense) {
-    if (its_) {
+    if (spec.biased) {
       s = its_->sample_slice(g, g.offsets()[sg.low_vid], sg.edge_begin, sg.edge_end, rng);
     } else {
       s = rw::sample_unbiased_slice(g, sg.edge_begin, sg.edge_end, rng);
     }
-  } else if (its_) {
+  } else if (spec.biased) {
     s = its_->sample(g, w.cur, rng);
   } else {
     s = rw::sample_unbiased(g, w.cur, rng);
@@ -295,7 +446,7 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
   out.extra_cycles = s.search_steps;
 
   if (s.next == kInvalidVertex) {
-    if (opt_.spec.dead_end == rw::WalkSpec::DeadEnd::kRestart) {
+    if (spec.dead_end == rw::WalkSpec::DeadEnd::kRestart) {
       // Restart-at-source consumes the hop but revisits nothing (matches
       // rw::run_walks); the walk then routes onward from its source.
       w.cur = w.src;
@@ -316,7 +467,9 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
   w.range_tag = rw::kNoRangeTag;
   --w.hops_left;
   ++metrics_.total_hops;
+  ++jobs_[w.job].hops;
   if (!visits_.empty()) ++visits_[s.next];
+  if (!jobs_[w.job].visits.empty()) ++jobs_[w.job].visits[s.next];
   if (opt_.record_paths) paths_[w.id].push_back(s.next);
   out.completed = w.finished();
   return out;
@@ -349,13 +502,17 @@ void FlashWalkerEngine::complete_walk(const rw::Walk& w, std::uint64_t& complete
     flush_walk_pages(completed_bytes, metrics_.completed_flush_pages);
     completed_bytes = 0;
   }
+  JobRt& jc = jobs_[w.job];
+  if (!jc.endpoints.empty()) ++jc.endpoints[w.cur];
+  ++jc.completed;
+  if (jc.completed == jc.expected) finish_job(jc);
   check_done();
 }
 
 void FlashWalkerEngine::insert_pwb(SubgraphId sg, rw::Walk w,
                                    std::vector<std::uint32_t>& touched_chips) {
   pwb_walks_[sg].push_back(w);
-  scheduler_->on_walk_insert(sg);
+  scheduler_->on_walk_insert(sg, w.job);
   ++metrics_.pwb_inserts;
   // Appends are write-combined through a board SRAM line buffer: DRAM sees
   // one (row-buffer-hostile, which the banked model charges for) 64 B line
@@ -409,7 +566,7 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       Xoshiro256 wrng(w.rng_state);
       const auto& meta = *dres.meta;
       std::uint32_t block;
-      if (its_) {
+      if (spec_of(w).biased) {
         // Biased pre-walk: block chosen proportionally to its weight mass.
         const auto& g = pg_->graph();
         const EdgeId first_edge = g.offsets()[w.cur];
@@ -583,7 +740,11 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
   const std::uint64_t fl_count = fl_walks_[sg].size();
   walks.insert(walks.end(), fl_walks_[sg].begin(), fl_walks_[sg].end());
   fl_walks_[sg].clear();
-  scheduler_->on_subgraph_loaded(sg);
+  // A full load grants the subgraph's plane-read pages to the jobs whose
+  // walks it serves (the weighted-fair deficit currency); a refresh fetches
+  // walks only and grants nothing.
+  scheduler_->on_subgraph_loaded(sg,
+                                 refresh ? 0 : layout_->placement(sg).num_pages);
 
   const Tick now = sim_.now();
   // Scheduling decision cost runs on the board guider pool.
@@ -683,6 +844,7 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
     walk_pool_.release(std::move(ready));
     if (!parked.empty()) {
       metrics_.parked_walks += parked.size();
+      for (const auto& w : parked) ++jobs_[w.job].parked;
       const Tick t_parked = t_full + opt_.ssd.reliability.retry_backoff;
       if (opt_.trace != nullptr) {
         opt_.trace->complete(c.trace_track, "parked", t_install, t_parked,
@@ -1104,7 +1266,7 @@ void FlashWalkerEngine::process_board_updater() {
 // ---------------------------------------------------------------------------
 
 void FlashWalkerEngine::check_done() {
-  if (!done_ && metrics_.walks_completed == metrics_.walks_started) {
+  if (!done_ && metrics_.walks_completed == total_expected_) {
     done_ = true;
     done_tick_ = sim_.now();
   }
@@ -1125,6 +1287,11 @@ void FlashWalkerEngine::maybe_switch_partition() {
       begin_partition(p, /*charge_io=*/true);
       return;
     }
+  }
+  if (admitted_jobs_ < jobs_.size()) {
+    // The device idles until a future arrival (or a queued admission) brings
+    // new walks; the pending arrival events keep the simulation alive.
+    return;
   }
   if (metrics_.walks_completed != metrics_.walks_started) {
     throw std::logic_error("FlashWalkerEngine: walks lost (conservation violated)");
@@ -1172,29 +1339,43 @@ void FlashWalkerEngine::publish_counters() {
     set("engine.recovered_pages", metrics_.recovered_pages);
     set("engine.degraded_loads", metrics_.degraded_loads);
   }
+  if (explicit_jobs_) {
+    // Per-job and service-level families exist only for explicit multi-job
+    // runs, so single-workload runs keep their pre-service counter sets.
+    std::vector<double> latencies;
+    latencies.reserve(jobs_.size());
+    for (const JobRt& jc : jobs_) {
+      const std::string prefix = "job." + std::to_string(&jc - jobs_.data());
+      set(prefix + ".exec_ns", jc.done_tick - jc.admit_tick);
+      set(prefix + ".steps", jc.hops);
+      set(prefix + ".parked_walks", jc.parked);
+      set(prefix + ".walks", jc.completed);
+      set(prefix + ".latency_ns", jc.done_tick - jc.job.arrival);
+      latencies.push_back(static_cast<double>(jc.done_tick - jc.job.arrival));
+    }
+    set("service.jobs", jobs_.size());
+    set("service.latency_p50_ns", static_cast<std::uint64_t>(percentile(latencies, 50)));
+    set("service.latency_p95_ns", static_cast<std::uint64_t>(percentile(latencies, 95)));
+    set("service.latency_p99_ns", static_cast<std::uint64_t>(percentile(latencies, 99)));
+  }
 }
 
 EngineResult FlashWalkerEngine::run() {
-  init_walks();
   check_done();  // zero-walk workloads finish immediately
 
   if (!done_) {
-    load_hot_subgraphs();  // global hot sets, loaded once per run
-    // Start with the first partition that has walks.
-    PartitionId first = 0;
-    for (PartitionId p = 0; p < pg_->num_partitions(); ++p) {
-      if (!pending_[p].empty()) {
-        first = p;
-        break;
-      }
+    // Jobs enter the simulation at their arrival ticks; the implicit
+    // single-workload job arrives at tick 0, reproducing the pre-service
+    // event sequence exactly.
+    for (std::uint16_t j = 0; j < jobs_.size(); ++j) {
+      sim_.schedule_at(jobs_[j].job.arrival, [this, j] { arrive_job(j); });
     }
-    begin_partition(first, /*charge_io=*/false);
     schedule_heartbeats();
   }
 
   sim_.run();
 
-  if (metrics_.walks_completed != metrics_.walks_started) {
+  if (metrics_.walks_completed != total_expected_) {
     throw std::logic_error("FlashWalkerEngine: run ended with unfinished walks");
   }
 
@@ -1227,6 +1408,23 @@ EngineResult FlashWalkerEngine::run() {
   if (timeline_) result.timeline = timeline_->points();
   result.visit_counts = std::move(visits_);
   result.endpoint_counts = std::move(endpoints_);
+  result.jobs.reserve(jobs_.size());
+  for (JobRt& jc : jobs_) {
+    service::JobResult jr;
+    jr.stats = job_stats(jc);
+    jr.visit_counts = std::move(jc.visits);
+    jr.endpoint_counts = std::move(jc.endpoints);
+    if (track_job_outputs_ && opt_.record_paths) {
+      // Slice the global path table by the job's contiguous walk-id range.
+      auto first = paths_.begin() + static_cast<std::ptrdiff_t>(jc.walk_base);
+      auto last = first + static_cast<std::ptrdiff_t>(jc.expected);
+      jr.paths.assign(std::make_move_iterator(first), std::make_move_iterator(last));
+    }
+    result.jobs.push_back(std::move(jr));
+  }
+  if (track_job_outputs_ && opt_.record_paths) {
+    paths_.clear();  // gutted by the per-job slices above
+  }
   result.paths = std::move(paths_);
   return result;
 }

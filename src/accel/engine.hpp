@@ -30,6 +30,7 @@
 #include "accel/config.hpp"
 #include "accel/metrics.hpp"
 #include "accel/scheduler.hpp"
+#include "accel/service/job.hpp"
 #include "common/assoc_cache.hpp"
 #include "common/pool.hpp"
 #include "common/rng.hpp"
@@ -54,6 +55,14 @@ struct EngineOptions {
   AccelConfig accel = bench_accel_config();
   ssd::SsdConfig ssd;
   rw::WalkSpec spec;
+  /// Multi-job mode: when non-empty, the engine multiplexes these jobs over
+  /// the shared hierarchy (each with its own walk model and RNG streams)
+  /// and `spec` is ignored. Jobs arrive at their `arrival` ticks, pass
+  /// through `policy` admission control, and complete independently. When
+  /// empty, `spec` runs as the single implicit job 0.
+  std::vector<service::WalkJob> jobs;
+  /// Admission control for multi-job runs (all-zero = admit everything).
+  service::ServicePolicy policy;
   bool record_visits = true;
   /// Record every walk's vertex sequence (memory ∝ walks x length; meant
   /// for corpus generation and tests, not large sweeps).
@@ -116,12 +125,29 @@ struct EngineResult {
   std::vector<std::uint64_t> visit_counts;  ///< per-vertex, when recorded
   /// Per-vertex terminal counts, when record_endpoints is set.
   std::vector<std::uint64_t> endpoint_counts;
-  /// Per-walk vertex sequences (starting vertex first), when recorded.
+  /// Per-walk vertex sequences (starting vertex first), when recorded. For
+  /// explicit multi-job runs the sequences live in `jobs[j].paths` instead.
   std::vector<std::vector<VertexId>> paths;
+
+  /// Per-job results in submission order: timing/throughput stats always;
+  /// per-job output vectors only for explicit multi-job runs.
+  std::vector<service::JobResult> jobs;
 };
 
 class FlashWalkerEngine {
  public:
+  /// Construction access token: the supported entry points are
+  /// accel::SimulationBuilder and service::WalkService, which assemble a
+  /// validated EngineOptions and construct through this tag.
+  struct BuildAccess {
+    explicit BuildAccess() = default;
+  };
+
+  FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options,
+                    BuildAccess access);
+  [[deprecated(
+      "construct via accel::SimulationBuilder (or service::WalkService for "
+      "multi-job runs); the direct constructor is removed next release")]]
   FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options);
   ~FlashWalkerEngine();
 
@@ -191,8 +217,31 @@ class FlashWalkerEngine {
     std::uint32_t extra_cycles = 0;  ///< ITS search steps etc.
   };
 
-  // --- setup -------------------------------------------------------------
-  void init_walks();
+  /// Per-job runtime state: workload + progress counters + timing marks.
+  struct JobRt {
+    service::WalkJob job;
+    std::uint64_t expected = 0;   ///< walks this job will start
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t hops = 0;
+    std::uint64_t parked = 0;
+    std::uint32_t walk_base = 0;  ///< global walk-id offset of local walk 0
+    bool admitted = false;
+    Tick admit_tick = 0;
+    Tick done_tick = 0;
+    std::vector<std::uint64_t> visits;     ///< explicit-jobs runs only
+    std::vector<std::uint64_t> endpoints;  ///< explicit-jobs runs only
+  };
+
+  // --- setup / job lifecycle ---------------------------------------------
+  void arrive_job(std::uint16_t j);
+  void admit_job(std::uint16_t j);
+  void finish_job(JobRt& jc);
+  void inject_admitted_walks();
+  [[nodiscard]] service::JobStats job_stats(const JobRt& jc) const;
+  [[nodiscard]] const rw::WalkSpec& spec_of(const rw::Walk& w) const {
+    return jobs_[w.job].job.spec;
+  }
   void begin_partition(PartitionId p, bool charge_io);
   void load_hot_subgraphs();
   void schedule_heartbeats();
@@ -274,7 +323,17 @@ class FlashWalkerEngine {
   std::vector<std::vector<rw::Walk>> fl_walks_;    // per subgraph, resident in flash
   std::vector<std::vector<rw::Walk>> pending_;     // per partition (foreign / future)
 
-  Xoshiro256 rng_;
+  // Job table (always at least the implicit job 0), in submission order.
+  std::vector<JobRt> jobs_;
+  bool explicit_jobs_ = false;     ///< EngineOptions::jobs was non-empty
+  bool track_job_outputs_ = false; ///< record per-job visits/endpoints/paths
+  std::uint64_t total_expected_ = 0;
+  std::uint32_t admitted_jobs_ = 0;
+  std::uint32_t running_jobs_ = 0;
+  std::deque<std::uint16_t> admit_queue_;  ///< arrived, awaiting a slot
+  bool partition_started_ = false;
+  bool hot_loaded_ = false;
+
   EngineMetrics metrics_;
   obs::CounterRegistry registry_;
   std::vector<std::uint64_t> visits_;

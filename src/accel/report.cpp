@@ -73,6 +73,7 @@ class JsonWriter {
 void write_json(std::ostream& os, const std::string& label, const EngineResult& r) {
   JsonWriter w(os);
   w.begin();
+  w.field("schema_version", kReportSchemaVersion);
   w.field("name", label);
   w.field("engine", std::string("flashwalker"));
   w.field("exec_time_ns", r.exec_time);
@@ -110,6 +111,25 @@ void write_json(std::ostream& os, const std::string& label, const EngineResult& 
   w.field("parked_walks", r.metrics.parked_walks);
   w.field("recovered_pages", r.metrics.recovered_pages);
   w.field("degraded_loads", r.metrics.degraded_loads);
+  if (!r.jobs.empty()) {
+    w.array("jobs", r.jobs, [&](const service::JobResult& j) {
+      std::ostringstream name;
+      for (const char c : j.stats.name) {
+        if (c == '"' || c == '\\') name << '\\';
+        name << c;
+      }
+      w.stream() << "{\"id\":" << j.stats.id << ",\"name\":\"" << name.str()
+                 << "\",\"weight\":" << j.stats.weight
+                 << ",\"walks\":" << j.stats.walks << ",\"steps\":" << j.stats.steps
+                 << ",\"parked_walks\":" << j.stats.parked_walks
+                 << ",\"arrival_ns\":" << j.stats.arrival
+                 << ",\"admitted_ns\":" << j.stats.admitted
+                 << ",\"completed_ns\":" << j.stats.completed
+                 << ",\"exec_ns\":" << j.stats.exec_ns()
+                 << ",\"latency_ns\":" << j.stats.latency_ns()
+                 << ",\"steps_per_sec\":" << j.stats.steps_per_sec() << "}";
+    });
+  }
   if (!r.counters.empty()) {
     w.raw_field("counters");
     obs::write_counters_json(w.stream(), r.counters);
@@ -129,6 +149,7 @@ void write_json(std::ostream& os, const std::string& label,
                 const baseline::BaselineResult& r) {
   JsonWriter w(os);
   w.begin();
+  w.field("schema_version", kReportSchemaVersion);
   w.field("name", label);
   w.field("engine", std::string("baseline"));
   w.field("exec_time_ns", r.exec_time);

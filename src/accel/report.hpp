@@ -2,6 +2,7 @@
 // so bench outputs can feed plotting scripts without scraping tables.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -10,9 +11,15 @@
 
 namespace fw::accel {
 
+/// Version stamped into every JSON run report / metrics envelope as
+/// "schema_version". v2 added the stamp itself and per-job sections;
+/// consumers (bench/regression.py, plotting scripts) must reject
+/// versions they do not understand rather than silently parse.
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
+
 /// Serialize an engine result (counters, byte totals, utilization summary,
-/// timeline if present) as a single JSON object. `label` becomes the
-/// "name" field.
+/// per-job sections and timeline if present) as a single JSON object.
+/// `label` becomes the "name" field.
 void write_json(std::ostream& os, const std::string& label, const EngineResult& result);
 
 /// Serialize a baseline result.

@@ -1,5 +1,7 @@
 #include "accel/scheduler.hpp"
 
+#include <algorithm>
+
 namespace fw::accel {
 
 SubgraphScheduler::SubgraphScheduler(const partition::PartitionedGraph& pg,
@@ -49,11 +51,45 @@ void SubgraphScheduler::maybe_refresh_topn(SubgraphId sg) {
   topn_[chip_of_sg_[sg]].update(sg, score(sg));
 }
 
+void SubgraphScheduler::configure_jobs(std::vector<std::uint32_t> weights) {
+  job_weight_ = std::move(weights);
+  for (auto& w : job_weight_) w = std::max<std::uint32_t>(1, w);
+  job_service_.assign(job_weight_.size(), 0.0);
+  job_pending_.assign(
+      fair() ? state_.size() * job_weight_.size() : 0, 0);
+}
+
+double SubgraphScheduler::job_service(std::uint16_t job) const {
+  if (job >= job_service_.size()) return 0.0;
+  return job_service_[job] / static_cast<double>(job_weight_[job]);
+}
+
+double SubgraphScheduler::fair_need(SubgraphId sg) const {
+  const std::size_t jobs = job_weight_.size();
+  const std::size_t row = static_cast<std::size_t>(sg) * jobs;
+  double need = -1.0;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    if (job_pending_[row + j] == 0) continue;
+    const double s = job_service(static_cast<std::uint16_t>(j));
+    if (need < 0.0 || s < need) need = s;
+  }
+  return need < 0.0 ? 0.0 : need;
+}
+
 void SubgraphScheduler::on_walk_insert(SubgraphId sg, bool to_flash) {
+  on_walk_insert(sg, /*job=*/0, to_flash);
+}
+
+void SubgraphScheduler::on_walk_insert(SubgraphId sg, std::uint16_t job, bool to_flash) {
   if (to_flash) {
     ++state_[sg].fl;
   } else {
     ++state_[sg].pwb;
+  }
+  if (fair()) {
+    // The row tracks pwb + fl together: overflow flushes keep walks pending,
+    // so a flush moves nothing between jobs.
+    ++job_pending_[static_cast<std::size_t>(sg) * job_weight_.size() + job];
   }
   maybe_refresh_topn(sg);
 }
@@ -65,7 +101,23 @@ void SubgraphScheduler::on_entry_flushed(SubgraphId sg, std::uint64_t n) {
   maybe_refresh_topn(sg);
 }
 
-void SubgraphScheduler::on_subgraph_loaded(SubgraphId sg) {
+void SubgraphScheduler::on_subgraph_loaded(SubgraphId sg, std::uint32_t granted_pages) {
+  if (fair()) {
+    // Deficit charging: bill the load's plane-read pages to the resident
+    // jobs in proportion to their pending walks, then clear the row.
+    const std::size_t jobs = job_weight_.size();
+    const std::size_t row = static_cast<std::size_t>(sg) * jobs;
+    std::uint64_t total = 0;
+    for (std::size_t j = 0; j < jobs; ++j) total += job_pending_[row + j];
+    for (std::size_t j = 0; j < jobs; ++j) {
+      if (total > 0 && granted_pages > 0 && job_pending_[row + j] > 0) {
+        job_service_[j] += static_cast<double>(granted_pages) *
+                           static_cast<double>(job_pending_[row + j]) /
+                           static_cast<double>(total);
+      }
+      job_pending_[row + j] = 0;
+    }
+  }
   state_[sg].pwb = 0;
   state_[sg].fl = 0;
   state_[sg].inserts_since_update = 0;
@@ -75,18 +127,58 @@ void SubgraphScheduler::on_subgraph_loaded(SubgraphId sg) {
 std::optional<SubgraphScheduler::Pick> SubgraphScheduler::pick_for_chip(
     std::uint32_t chip_global, const std::function<bool(SubgraphId)>& eligible) {
   Pick pick;
+  // Fairness key (multi-job only): least weight-normalized service over the
+  // jobs resident in the candidate wins — a subgraph holding even one walk
+  // of an underserved job outranks one holding only well-served jobs, so a
+  // small job is never starved behind a large one that dominates every
+  // subgraph. Eq. 1 score (or the baseline walk count) breaks ties, then
+  // the lower subgraph id — fully deterministic.
+  double best_need = 0.0;
+  double fair_tie = -1.0;
+  auto fair_better = [&](SubgraphId sg, double tie_break) {
+    const double need = fair_need(sg);
+    if (pick.sg == kInvalidSubgraph || need < best_need ||
+        (need == best_need &&
+         (tie_break > fair_tie || (tie_break == fair_tie && sg < pick.sg)))) {
+      best_need = need;
+      fair_tie = tie_break;
+      return true;
+    }
+    return false;
+  };
+
   if (config_.features.subgraph_scheduling) {
-    // Fast path: pop the per-chip top-N list.
     TopNList& list = topn_[chip_global];
-    while (!list.empty()) {
-      pick.compare_ops += static_cast<std::uint32_t>(list.size());
-      const auto best = list.pop_best();
-      const SubgraphId sg = static_cast<SubgraphId>(best->first);
-      if (pending_walks(sg) > 0 && eligible(sg)) {
-        pick.sg = sg;
+    if (!fair()) {
+      // Fast path: pop the per-chip top-N list.
+      while (!list.empty()) {
+        pick.compare_ops += static_cast<std::uint32_t>(list.size());
+        const auto best = list.pop_best();
+        const SubgraphId sg = static_cast<SubgraphId>(best->first);
+        if (pending_walks(sg) > 0 && eligible(sg)) {
+          pick.sg = sg;
+          return pick;
+        }
+        // Stale entry (drained or ineligible): keep popping.
+      }
+    } else if (!list.empty()) {
+      // Fair path: scan the retained entries (N is small) with the fairness
+      // key instead of popping by score alone.
+      const auto entries = list.entries();
+      pick.compare_ops += static_cast<std::uint32_t>(entries.size());
+      for (const auto& entry : entries) {
+        const SubgraphId sg = static_cast<SubgraphId>(entry.first);
+        if (pending_walks(sg) == 0) {
+          list.remove(entry.first);  // drained entries would otherwise linger
+          continue;
+        }
+        if (!eligible(sg)) continue;
+        if (fair_better(sg, score(sg))) pick.sg = sg;
+      }
+      if (pick.sg != kInvalidSubgraph) {
+        list.remove(pick.sg);
         return pick;
       }
-      // Stale entry (drained or ineligible): keep popping.
     }
   }
   // Fallback / baseline: scan the chip's candidates. Baseline policy is
@@ -106,13 +198,17 @@ std::optional<SubgraphScheduler::Pick> SubgraphScheduler::pick_for_chip(
       state_[sg].inserts_since_update = 0;
       if (!eligible(sg)) continue;
       const double s = score(sg);
-      if (s > best_score) {
+      if (fair()) {
+        if (fair_better(sg, s)) pick.sg = sg;
+      } else if (s > best_score) {
         best_score = s;
         pick.sg = sg;
       }
     } else {
       if (!eligible(sg)) continue;
-      if (walks > best_walks) {
+      if (fair()) {
+        if (fair_better(sg, static_cast<double>(walks))) pick.sg = sg;
+      } else if (walks > best_walks) {
         best_walks = walks;
         pick.sg = sg;
       }

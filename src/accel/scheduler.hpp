@@ -10,6 +10,15 @@
 // costs N comparisons instead of a full scan. With SS disabled, the
 // scheduler scans the chip's candidates for the most-walks subgraph
 // (GraphWalker's policy), which is the Fig 9 baseline.
+//
+// Multi-job runs (configure_jobs with >1 weight) add a weighted-fair layer:
+// each job carries a service counter charged with the plane-read pages its
+// walks' subgraph loads consume, normalized by the job's QoS weight
+// (deficit-round-robin over flash-read grants). Picks then choose, among the
+// ranked candidates, the one whose neediest resident job has the least
+// normalized service — most-walks-first (Eq. 1) breaks ties, so the paper's
+// heuristic is preserved within a fairness class. Single-job runs bypass
+// the fairness layer entirely and keep the exact paper pick sequence.
 #pragma once
 
 #include <cstdint>
@@ -34,15 +43,28 @@ class SubgraphScheduler {
   /// subgraphs grouped by owning chip.
   void begin_partition(PartitionId p);
 
+  /// Enable the weighted-fair pick layer for a multi-job run: one fair-share
+  /// weight per job (zero weights are clamped to 1). A single weight (or
+  /// never calling this) keeps the single-workload policy.
+  void configure_jobs(std::vector<std::uint32_t> weights);
+
   /// A walk entered subgraph `sg`'s partition-walk-buffer entry (or, with
   /// `to_flash`, was counted as resident in flash).
   void on_walk_insert(SubgraphId sg, bool to_flash = false);
+  /// Job-attributed variant: also tracks the per-job walk composition of
+  /// `sg` for fair-share accounting.
+  void on_walk_insert(SubgraphId sg, std::uint16_t job, bool to_flash = false);
 
   /// A pwb entry overflowed: its `n` walks moved to flash.
   void on_entry_flushed(SubgraphId sg, std::uint64_t n);
 
-  /// A subgraph load consumed all buffered walks of `sg`.
-  void on_subgraph_loaded(SubgraphId sg);
+  /// A subgraph load consumed all buffered walks of `sg`; `granted_pages`
+  /// is the plane-read page count the load was charged (0 for walk-fetch
+  /// refreshes), billed to the resident jobs in proportion to their walks.
+  void on_subgraph_loaded(SubgraphId sg, std::uint32_t granted_pages = 0);
+
+  /// Weight-normalized service a job has received so far (test hook).
+  [[nodiscard]] double job_service(std::uint16_t job) const;
 
   [[nodiscard]] std::uint64_t pwb_count(SubgraphId sg) const { return state_[sg].pwb; }
   [[nodiscard]] std::uint64_t fl_count(SubgraphId sg) const { return state_[sg].fl; }
@@ -73,6 +95,10 @@ class SubgraphScheduler {
   };
 
   void maybe_refresh_topn(SubgraphId sg);
+  [[nodiscard]] bool fair() const { return job_weight_.size() > 1; }
+  /// Least weight-normalized service over the jobs with pending walks on
+  /// `sg`; 0 when no walk is attributed (treated as top priority).
+  [[nodiscard]] double fair_need(SubgraphId sg) const;
 
   const partition::PartitionedGraph* pg_;
   const ssd::GraphLayout* layout_;
@@ -83,6 +109,11 @@ class SubgraphScheduler {
   std::vector<std::vector<SubgraphId>> candidates_; // per chip, current partition
   std::vector<TopNList> topn_;                      // per chip (SS only)
   PartitionId current_partition_ = 0;
+
+  // Weighted-fair state (multi-job runs only; empty otherwise).
+  std::vector<std::uint32_t> job_weight_;   // per job
+  std::vector<double> job_service_;         // plane-read pages charged, per job
+  std::vector<std::uint64_t> job_pending_;  // [sg * J + j] pending-walk counts
 };
 
 }  // namespace fw::accel

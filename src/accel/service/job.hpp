@@ -1,0 +1,115 @@
+// Walk job service types: the unit of multi-tenant work the engine
+// multiplexes over the shared chip/channel/board hierarchy.
+//
+// A WalkJob bundles one walk workload (model, walk count, RNG seed) with the
+// service-level attributes the scheduler consumes: a QoS class (or explicit
+// weight) for the weighted-fair flash-read policy, an arrival tick, and an
+// optional completion callback. Determinism contract: a job's walk output is
+// a pure function of (job seed, walk id) — bit-identical whether the job
+// runs alone or co-scheduled with arbitrary other jobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rw/spec.hpp"
+
+namespace fw::accel::service {
+
+using JobId = std::uint16_t;
+
+/// Service classes for the weighted-fair flash-read scheduler. The class
+/// maps to a deficit weight; an explicit WalkJob::weight overrides it.
+enum class QosClass : std::uint8_t {
+  kBronze,  ///< weight 1 (best effort)
+  kSilver,  ///< weight 2
+  kGold,    ///< weight 4 (latency-sensitive)
+};
+
+[[nodiscard]] constexpr std::uint32_t qos_weight(QosClass q) {
+  switch (q) {
+    case QosClass::kSilver: return 2;
+    case QosClass::kGold: return 4;
+    case QosClass::kBronze: break;
+  }
+  return 1;
+}
+
+[[nodiscard]] constexpr const char* qos_name(QosClass q) {
+  switch (q) {
+    case QosClass::kSilver: return "silver";
+    case QosClass::kGold: return "gold";
+    case QosClass::kBronze: break;
+  }
+  return "bronze";
+}
+
+struct JobStats {
+  JobId id = 0;
+  std::string name;
+  QosClass qos = QosClass::kBronze;
+  std::uint32_t weight = 1;
+  std::uint64_t walks = 0;        ///< walks completed
+  std::uint64_t steps = 0;        ///< real hops executed (== engine total_hops share)
+  std::uint64_t parked_walks = 0; ///< walks parked behind faulted loads
+  Tick arrival = 0;               ///< when the job was submitted to the service
+  Tick admitted = 0;              ///< when admission control released it
+  Tick completed = 0;             ///< when its final walk finished
+
+  /// Time the job spent executing (admission to final walk).
+  [[nodiscard]] Tick exec_ns() const { return completed - admitted; }
+  /// End-to-end job latency (arrival to final walk), the percentile input.
+  [[nodiscard]] Tick latency_ns() const { return completed - arrival; }
+  /// Weight-normalized execution throughput, the fairness-ratio input.
+  [[nodiscard]] double steps_per_sec() const {
+    if (completed <= admitted) return 0.0;
+    return static_cast<double>(steps) * 1e9 / static_cast<double>(exec_ns());
+  }
+};
+
+struct WalkJob {
+  std::string name;
+  rw::WalkSpec spec;
+  QosClass qos = QosClass::kBronze;
+  /// Explicit fair-share weight; 0 derives the weight from `qos`.
+  std::uint32_t weight = 0;
+  /// Simulated tick at which the job reaches the service.
+  Tick arrival = 0;
+  /// Fired (synchronously, inside the simulation) when the job's final walk
+  /// completes — before queued jobs waiting on its admission slot start.
+  std::function<void(const JobStats&)> on_complete;
+};
+
+/// Per-job slice of an engine run. Output vectors are populated only for
+/// explicit multi-job runs (EngineOptions::jobs non-empty) and mirror the
+/// engine-level record_visits / record_endpoints / record_paths switches.
+struct JobResult {
+  JobStats stats;
+  std::vector<std::uint64_t> visit_counts;
+  std::vector<std::uint64_t> endpoint_counts;
+  std::vector<std::vector<VertexId>> paths;
+};
+
+/// Admission control for the service: all limits are 0 = unlimited.
+struct ServicePolicy {
+  /// Jobs running concurrently; arrivals beyond this queue FIFO and are
+  /// admitted as running jobs complete.
+  std::uint32_t max_concurrent_jobs = 0;
+  /// Hard cap on jobs the service accepts (submit rejects beyond it).
+  std::uint32_t max_jobs = 0;
+  /// Hard cap on the total expected walk count across accepted jobs.
+  std::uint64_t max_total_walks = 0;
+};
+
+/// Expected walk count of a spec on a graph with `num_vertices` vertices
+/// (kAllVertices derives the count from the graph).
+[[nodiscard]] constexpr std::uint64_t expected_walks(const rw::WalkSpec& spec,
+                                                     std::uint64_t num_vertices) {
+  return spec.start_mode == rw::StartMode::kAllVertices ? num_vertices
+                                                        : spec.num_walks;
+}
+
+}  // namespace fw::accel::service

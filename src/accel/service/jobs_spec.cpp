@@ -1,0 +1,168 @@
+#include "accel/service/jobs_spec.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fw::accel::service {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("--jobs entry '" + entry + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& entry, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t r = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    fail(entry, "expected an integer, got '" + v + "'");
+  }
+}
+
+double parse_f64(const std::string& entry, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double r = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    fail(entry, "expected a number, got '" + v + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<WalkJob> parse_jobs(const std::string& spec,
+                                const JobSpecDefaults& defaults) {
+  std::vector<WalkJob> jobs;
+  for (const std::string& raw : split(spec, ';')) {
+    if (raw.empty()) fail(raw, "empty entry");
+
+    std::string entry = raw;
+    std::uint64_t count = 1;
+    if (const std::size_t star = entry.find('*'); star != std::string::npos) {
+      count = parse_u64(raw, entry.substr(0, star));
+      if (count == 0) fail(raw, "repeat count must be >= 1");
+      entry = entry.substr(star + 1);
+    }
+
+    std::string model = entry;
+    std::string kvs;
+    if (const std::size_t colon = entry.find(':'); colon != std::string::npos) {
+      model = entry.substr(0, colon);
+      kvs = entry.substr(colon + 1);
+    }
+
+    WalkJob job;
+    job.name = model;
+    job.spec.num_walks = defaults.walks;
+    job.spec.length = defaults.length;
+    bool seed_set = false;
+    if (model == "deepwalk") {
+      job.spec.start_mode = rw::StartMode::kUniformRandom;
+    } else if (model == "node2vec") {
+      job.spec.start_mode = rw::StartMode::kUniformRandom;
+      job.spec.second_order.enabled = true;
+    } else if (model == "ppr") {
+      // Monte-Carlo PPR: all walks from one source, geometric termination,
+      // restart at the source on dead ends.
+      job.spec.start_mode = rw::StartMode::kSingleSource;
+      job.spec.stop_prob = 0.15;
+      job.spec.dead_end = rw::WalkSpec::DeadEnd::kRestart;
+    } else {
+      fail(raw, "unknown model '" + model + "' (deepwalk|node2vec|ppr)");
+    }
+
+    if (!kvs.empty()) {
+      for (const std::string& kv : split(kvs, ',')) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) fail(raw, "expected key=value, got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "walks") {
+          job.spec.num_walks = parse_u64(raw, val);
+        } else if (key == "length") {
+          job.spec.length = static_cast<std::uint32_t>(parse_u64(raw, val));
+        } else if (key == "seed") {
+          job.spec.seed = parse_u64(raw, val);
+          seed_set = true;
+        } else if (key == "weight") {
+          job.weight = static_cast<std::uint32_t>(parse_u64(raw, val));
+        } else if (key == "arrive") {
+          job.arrival = parse_u64(raw, val);
+        } else if (key == "source") {
+          job.spec.source = static_cast<VertexId>(parse_u64(raw, val));
+        } else if (key == "qos") {
+          if (val == "bronze") {
+            job.qos = QosClass::kBronze;
+          } else if (val == "silver") {
+            job.qos = QosClass::kSilver;
+          } else if (val == "gold") {
+            job.qos = QosClass::kGold;
+          } else {
+            fail(raw, "qos must be bronze|silver|gold, got '" + val + "'");
+          }
+        } else if (key == "start") {
+          if (val == "random") {
+            job.spec.start_mode = rw::StartMode::kUniformRandom;
+          } else if (val == "all") {
+            job.spec.start_mode = rw::StartMode::kAllVertices;
+          } else if (val == "source") {
+            job.spec.start_mode = rw::StartMode::kSingleSource;
+          } else {
+            fail(raw, "start must be random|all|source, got '" + val + "'");
+          }
+        } else if (key == "p" && model == "node2vec") {
+          job.spec.second_order.p = parse_f64(raw, val);
+        } else if (key == "q" && model == "node2vec") {
+          job.spec.second_order.q = parse_f64(raw, val);
+        } else if (key == "stop" && model == "ppr") {
+          job.spec.stop_prob = parse_f64(raw, val);
+        } else {
+          fail(raw, "unknown key '" + key + "' for model '" + model + "'");
+        }
+      }
+    }
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+      WalkJob j = job;
+      const std::size_t index = jobs.size();
+      if (!seed_set) j.spec.seed = defaults.base_seed + kSeedStride * index;
+      j.name = model + "#" + std::to_string(index);
+      jobs.push_back(std::move(j));
+    }
+  }
+  if (jobs.empty()) throw std::invalid_argument("--jobs: no entries");
+  return jobs;
+}
+
+std::string jobs_help() {
+  return "job mix: [N*]model[:key=val,...] entries joined by ';'\n"
+         "  models: deepwalk (uniform random-start), node2vec (second-order,\n"
+         "          keys p/q), ppr (single-source, keys stop/source)\n"
+         "  common keys: walks, length, seed, qos=bronze|silver|gold, weight,\n"
+         "               arrive (ns), start=random|all|source, source\n"
+         "  unseeded jobs get seed = base-seed + 7919 * job-index\n"
+         "  example: \"2*deepwalk:walks=1000;node2vec:p=0.5,q=2;ppr:source=3\"";
+}
+
+}  // namespace fw::accel::service

@@ -1,0 +1,43 @@
+// Textual job-mix specification for the `--jobs` CLI flag.
+//
+// Grammar (';'-separated entries, each optionally repeated):
+//
+//   jobs    := entry (';' entry)*
+//   entry   := [count '*'] model [':' kv (',' kv)*]
+//   model   := 'deepwalk' | 'node2vec' | 'ppr'
+//   kv      := key '=' value
+//
+// Common keys: walks, length, seed, qos (bronze|silver|gold), weight,
+// arrive (ns), start (random|all|source), source. Model keys: p, q
+// (node2vec), stop (ppr). Example:
+//
+//   --jobs "2*deepwalk:walks=1000;node2vec:walks=500,p=0.5,q=2;ppr:walks=500,source=3"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/service/job.hpp"
+
+namespace fw::accel::service {
+
+/// Workload-wide defaults a job entry inherits when it omits the key.
+struct JobSpecDefaults {
+  /// Per-job seed when `seed=` is absent: base_seed + kSeedStride * index,
+  /// so co-scheduled jobs get distinct, reproducible streams.
+  std::uint64_t base_seed = 42;
+  std::uint64_t walks = 1000;
+  std::uint32_t length = 6;
+};
+
+/// Seed spacing between jobs that did not set `seed=` explicitly.
+inline constexpr std::uint64_t kSeedStride = 7919;
+
+/// Parse a `--jobs` mix. Throws std::invalid_argument with a message
+/// naming the offending entry/key on malformed input.
+std::vector<WalkJob> parse_jobs(const std::string& spec, const JobSpecDefaults& defaults);
+
+/// Multi-line `--help` text describing the grammar.
+std::string jobs_help();
+
+}  // namespace fw::accel::service

@@ -1,0 +1,73 @@
+#include "accel/service/walk_service.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace fw::accel::service {
+
+WalkService::WalkService(const partition::PartitionedGraph& pg, SimulationConfig cfg)
+    : pg_(&pg), cfg_(std::move(cfg)) {
+  if (!cfg_.jobs.empty()) {
+    throw std::invalid_argument("WalkService: submit jobs via submit(), not the config");
+  }
+}
+
+JobId WalkService::submit(WalkJob job) {
+  const auto& policy = cfg_.policy;
+  if (policy.max_jobs > 0 && jobs_.size() >= policy.max_jobs) {
+    throw AdmissionError("WalkService: job count would exceed policy.max_jobs");
+  }
+  const std::uint64_t walks = expected_walks(job.spec, pg_->graph().num_vertices());
+  if (policy.max_total_walks > 0 &&
+      submitted_walks_ + walks > policy.max_total_walks) {
+    throw AdmissionError("WalkService: walk count would exceed policy.max_total_walks");
+  }
+  if (job.name.empty()) job.name = "job" + std::to_string(jobs_.size());
+  submitted_walks_ += walks;
+  jobs_.push_back(std::move(job));
+  return static_cast<JobId>(jobs_.size() - 1);
+}
+
+ServiceResult WalkService::run() {
+  if (jobs_.empty()) {
+    throw std::logic_error("WalkService::run: no jobs submitted");
+  }
+  EngineOptions opts = static_cast<const EngineOptions&>(cfg_);
+  opts.jobs = jobs_;
+  FlashWalkerEngine engine(*pg_, std::move(opts), FlashWalkerEngine::BuildAccess{});
+
+  ServiceResult res;
+  res.engine = engine.run();
+  res.makespan = res.engine.exec_time;
+
+  std::vector<double> latencies;
+  latencies.reserve(res.engine.jobs.size());
+  double min_rate = 0.0;
+  double max_rate = 0.0;
+  bool have_rate = false;
+  for (const JobResult& jr : res.engine.jobs) {
+    latencies.push_back(static_cast<double>(jr.stats.latency_ns()));
+    const double rate =
+        jr.stats.steps_per_sec() / static_cast<double>(std::max(1u, jr.stats.weight));
+    if (rate <= 0.0) continue;  // zero-step jobs carry no throughput signal
+    if (!have_rate) {
+      min_rate = max_rate = rate;
+      have_rate = true;
+    } else {
+      min_rate = std::min(min_rate, rate);
+      max_rate = std::max(max_rate, rate);
+    }
+  }
+  res.latency_p50_ns = percentile(latencies, 50);
+  res.latency_p95_ns = percentile(latencies, 95);
+  res.latency_p99_ns = percentile(latencies, 99);
+  if (have_rate && min_rate > 0.0) res.fairness_ratio = max_rate / min_rate;
+  if (res.makespan > 0) {
+    res.aggregate_steps_per_sec = static_cast<double>(res.engine.metrics.total_hops) *
+                                  1e9 / static_cast<double>(res.makespan);
+  }
+  return res;
+}
+
+}  // namespace fw::accel::service

@@ -1,0 +1,69 @@
+// WalkService: the multi-tenant front end of the simulator.
+//
+// Clients submit WalkJobs (each its own walk model, walk count, RNG seed,
+// QoS class, arrival time); the service applies admission control, then
+// multiplexes the accepted jobs over one shared chip/channel/board
+// accelerator hierarchy with weighted-fair flash-read scheduling. run()
+// returns per-job outputs (bit-identical to each job's solo run, by the
+// per-walk RNG-stream contract) plus service-level latency percentiles,
+// aggregate throughput, and the fairness ratio.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "accel/builder.hpp"
+#include "accel/engine.hpp"
+#include "accel/service/job.hpp"
+
+namespace fw::accel::service {
+
+/// submit() rejected a job under the service's admission policy.
+class AdmissionError : public std::runtime_error {
+ public:
+  explicit AdmissionError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ServiceResult {
+  EngineResult engine;
+  /// Arrival of the first job to completion of the last (== engine exec time).
+  Tick makespan = 0;
+  /// Job latency (arrival to final walk) percentiles across all jobs.
+  double latency_p50_ns = 0.0;
+  double latency_p95_ns = 0.0;
+  double latency_p99_ns = 0.0;
+  /// Total real hops per simulated second over the makespan.
+  double aggregate_steps_per_sec = 0.0;
+  /// max/min weight-normalized per-job throughput (steps/sec while the job
+  /// ran, divided by its fair-share weight); 1.0 = perfectly fair. Jobs that
+  /// executed no steps are excluded.
+  double fairness_ratio = 1.0;
+
+  [[nodiscard]] const std::vector<JobResult>& jobs() const { return engine.jobs; }
+};
+
+class WalkService {
+ public:
+  /// `cfg.spec` is ignored (jobs carry their own specs); `cfg.jobs` must be
+  /// empty — jobs enter through submit().
+  explicit WalkService(const partition::PartitionedGraph& pg, SimulationConfig cfg = {});
+
+  /// Admit a job into the service. Throws AdmissionError when the policy's
+  /// max_jobs / max_total_walks caps reject it. Returns the job's id.
+  JobId submit(WalkJob job);
+
+  [[nodiscard]] std::size_t num_jobs() const { return jobs_.size(); }
+
+  /// Run all submitted jobs to completion over the shared hierarchy.
+  /// Throws std::logic_error when no jobs were submitted.
+  ServiceResult run();
+
+ private:
+  const partition::PartitionedGraph* pg_;
+  SimulationConfig cfg_;
+  std::vector<WalkJob> jobs_;
+  std::uint64_t submitted_walks_ = 0;
+};
+
+}  // namespace fw::accel::service

@@ -1,0 +1,86 @@
+// Declarative command-line option table shared by every CLI entry point
+// (examples/flashwalker_sim, bench/*). One registration is the single
+// source of truth for parsing, the generated --help text, and the value
+// binding, so tools cannot drift apart on flag spelling or semantics.
+//
+//   fw::OptionSet opts;
+//   opts.opt("--walks", &cfg.walks, "N", "number of walks")
+//       .flag("--biased", &cfg.biased, "edge-weight-biased walks (ITS)");
+//   opts.parse_or_exit(argc, argv, "one-line tool summary");
+//
+// Both `--name value` and `--name=value` are accepted. `--help`/`-h`
+// print the generated table and exit 0. parse() throws
+// std::invalid_argument for unknown flags, missing values, and malformed
+// numbers; parse_or_exit() turns that into exit(2) with a hint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fw {
+
+class OptionSet {
+ public:
+  using Handler = std::function<void(const std::string&)>;
+
+  /// Presence flag: `--name` sets *target to true.
+  OptionSet& flag(const std::string& name, bool* target, const std::string& help);
+  /// Presence flag with a side effect instead of a bound bool.
+  OptionSet& flag(const std::string& name, const std::string& help,
+                  std::function<void()> fn);
+
+  /// Value options bound directly to a variable. The metavar is only used
+  /// in the generated help (`--walks N`).
+  OptionSet& opt(const std::string& name, std::string* target,
+                 const std::string& metavar, const std::string& help);
+  OptionSet& opt(const std::string& name, std::uint64_t* target,
+                 const std::string& metavar, const std::string& help);
+  OptionSet& opt(const std::string& name, std::uint32_t* target,
+                 const std::string& metavar, const std::string& help);
+  OptionSet& opt(const std::string& name, double* target, const std::string& metavar,
+                 const std::string& help);
+  /// Value option with a custom handler (validation, enums, sub-grammars).
+  OptionSet& opt(const std::string& name, const std::string& metavar,
+                 const std::string& help, Handler fn);
+
+  /// Parse argv[1..). Throws std::invalid_argument on any error. Does NOT
+  /// special-case --help (so the error path stays testable).
+  void parse(int argc, const char* const* argv) const;
+
+  /// parse(), but --help/-h print the option table to stdout and exit 0,
+  /// and parse errors print to stderr (with a --help hint) and exit 2.
+  void parse_or_exit(int argc, const char* const* argv,
+                     const std::string& summary) const;
+
+  /// The generated help text: summary line, then one aligned row per
+  /// registered option (multi-line help strings indent their continuation
+  /// lines under the first).
+  void print_help(std::ostream& os, const std::string& prog,
+                  const std::string& summary) const;
+
+  [[nodiscard]] std::size_t size() const { return opts_.size(); }
+
+  /// Strict scalar conversions used by the typed binders; `name` labels
+  /// the error message. Exposed for custom handlers.
+  static std::uint64_t to_u64(const std::string& name, const std::string& value);
+  static double to_f64(const std::string& name, const std::string& value);
+
+ private:
+  struct Option {
+    std::string name;
+    std::string metavar;  // empty for flags
+    std::string help;
+    bool takes_value = false;
+    Handler handler;
+  };
+
+  OptionSet& add(Option o);
+  [[nodiscard]] const Option* find(const std::string& name) const;
+
+  std::vector<Option> opts_;
+};
+
+}  // namespace fw

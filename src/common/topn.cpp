@@ -54,6 +54,13 @@ bool TopNList::contains(std::uint64_t id) const {
                      [id](const Entry& e) { return e.id == id; });
 }
 
+std::vector<std::pair<std::uint64_t, double>> TopNList::entries() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.id, e.score);
+  return out;
+}
+
 double TopNList::min_score() const {
   if (entries_.empty()) return -std::numeric_limits<double>::infinity();
   auto worst = std::min_element(

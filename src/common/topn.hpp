@@ -42,6 +42,11 @@ class TopNList {
   /// possibly enter the list without scanning).
   [[nodiscard]] double min_score() const;
 
+  /// Unordered snapshot of the retained (id, score) entries, for callers
+  /// that rank the candidates with their own key (e.g. the weighted-fair
+  /// scheduler). N is small, so the copy is a handful of pairs.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> entries() const;
+
  private:
   struct Entry {
     std::uint64_t id;

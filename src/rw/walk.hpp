@@ -19,7 +19,13 @@ inline constexpr std::uint32_t kNoRangeTag = ~0u;
 struct Walk {
   /// Simulation-side identity (used for optional path recording; not part
   /// of the modeled on-flash state, so it never enters byte accounting).
+  /// Globally unique across jobs: job `walk_base` + local walk index.
   std::uint32_t id = 0;
+  /// Owning walk job (index into the engine's job table). Single-workload
+  /// runs use the implicit job 0. Rides along for per-job walk-model
+  /// dispatch, fair-share accounting, and per-job output attribution; like
+  /// `id` it is simulation-side and never enters byte accounting.
+  std::uint16_t job = 0;
   VertexId src = 0;
   VertexId cur = 0;
   /// Previous vertex — carried only for second-order (node2vec) walks,

@@ -1,0 +1,53 @@
+// Registers the reliability CLI flags (--rber / --retention / --fault-seed
+// / --inject) onto an OptionSet, bound to a ReliabilityConfig. This is the
+// single definition of those flags; every tool that models faults pulls
+// them from here so spelling and semantics cannot drift between binaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/options.hpp"
+#include "ssd/reliability/config.hpp"
+
+namespace fw::ssd {
+
+inline void add_reliability_options(OptionSet& opts,
+                                    reliability::ReliabilityConfig* cfg) {
+  opts.opt("--rber", &cfg->rber.base, "X",
+           "NAND raw bit error rate of a fresh block\n"
+           "(0 disables the fault model; default 0)");
+  opts.opt("--retention", &cfg->rber.retention_age, "X",
+           "simulated retention age multiplier");
+  opts.opt("--fault-seed", &cfg->fault_seed, "N",
+           "seed for all fault draws (default 1);\n"
+           "runs are bit-identical for a fixed seed");
+  opts.opt("--inject", "K=V[,K=V...]",
+           "probabilistic fault injection; keys:\n"
+           "prog_fail, erase_fail, uncorrectable",
+           [cfg](const std::string& list) {
+             std::stringstream ss(list);
+             std::string kv;
+             while (std::getline(ss, kv, ',')) {
+               const auto eq = kv.find('=');
+               if (eq == std::string::npos) {
+                 throw std::invalid_argument("--inject: expected key=value, got '" +
+                                             kv + "'");
+               }
+               const std::string key = kv.substr(0, eq);
+               const double val = OptionSet::to_f64("--inject", kv.substr(eq + 1));
+               if (key == "prog_fail") {
+                 cfg->inject.program_fail = val;
+               } else if (key == "erase_fail") {
+                 cfg->inject.erase_fail = val;
+               } else if (key == "uncorrectable") {
+                 cfg->inject.uncorrectable = val;
+               } else {
+                 throw std::invalid_argument("--inject: unknown key '" + key + "'");
+               }
+             }
+           });
+}
+
+}  // namespace fw::ssd

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "accel/report.hpp"
 #include "baseline/graphwalker.hpp"
@@ -99,7 +100,7 @@ TEST(Embeddings, EngineWalksTrainAsWellAsHostWalks) {
   opts.spec.start_mode = rw::StartMode::kAllVertices;
   opts.spec.length = 6;
   opts.record_paths = true;
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
 
   rw::SkipGramParams sp;
@@ -227,7 +228,7 @@ TEST(PartitionIo, LoadedBundleDrivesTheEngine) {
   accel::EngineOptions opts;
   opts.ssd = ssd::test_ssd_config();
   opts.spec.num_walks = 2000;
-  accel::FlashWalkerEngine engine(*bundle.partitioned, opts);
+  auto engine = accel::SimulationBuilder(*bundle.partitioned).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 2000u);
 }
 
@@ -242,7 +243,7 @@ TEST(Report, EngineJsonIsWellFormed) {
   opts.ssd = ssd::test_ssd_config();
   opts.spec.num_walks = 500;
   opts.timeline_interval = 100 * kUs;
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto json = accel::to_json("unit \"test\"", engine.run());
   // Structural checks without a JSON library: balanced braces/brackets,
   // escaped label, key fields present.

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/datasets.hpp"
 #include "obs/counters.hpp"
@@ -39,8 +40,8 @@ TEST(Determinism, EngineRunsAreBitIdenticalForSameSeed) {
   pc.subgraphs_per_range = 8;
   const partition::PartitionedGraph pg(g, pc);
 
-  accel::FlashWalkerEngine e1(pg, engine_opts(2024));
-  accel::FlashWalkerEngine e2(pg, engine_opts(2024));
+  auto e1 = accel::SimulationBuilder(pg).options(engine_opts(2024)).build();
+  auto e2 = accel::SimulationBuilder(pg).options(engine_opts(2024)).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
 
@@ -63,8 +64,8 @@ TEST(Determinism, EngineRunsDivergeForDifferentSeeds) {
   pc.subgraphs_per_range = 8;
   const partition::PartitionedGraph pg(g, pc);
 
-  accel::FlashWalkerEngine e1(pg, engine_opts(2024));
-  accel::FlashWalkerEngine e2(pg, engine_opts(2025));
+  auto e1 = accel::SimulationBuilder(pg).options(engine_opts(2024)).build();
+  auto e2 = accel::SimulationBuilder(pg).options(engine_opts(2025)).build();
   EXPECT_NE(e1.run().visit_counts, e2.run().visit_counts);
 }
 

@@ -3,6 +3,7 @@
 // fallback, and utilization accounting.
 #include <gtest/gtest.h>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/datasets.hpp"
@@ -35,7 +36,7 @@ TEST(EngineStress, TinyRovingBufferStillCompletes) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(3000);
   opts.accel.chip.roving_buffer_bytes = 16;  // ~1 walk
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 3000u);
 }
 
@@ -44,7 +45,7 @@ TEST(EngineStress, SlowPollIntervalStillCompletes) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(2000);
   opts.accel.roving_poll_interval = 500 * kUs;  // 250x the default
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 2000u);
 }
@@ -54,7 +55,7 @@ TEST(EngineStress, FastPollIntervalStillCompletes) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(2000);
   opts.accel.roving_poll_interval = 100;  // 100 ns
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 2000u);
 }
 
@@ -63,7 +64,7 @@ TEST(EngineStress, SingleSlotChips) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(3000);
   opts.accel.chip.subgraph_buffer_bytes = 4096;  // exactly one slot
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 3000u);
 }
 
@@ -75,7 +76,7 @@ TEST(EngineStress, TinyHotQueuesFallBackToPwb) {
   auto opts = small_opts(5000);
   opts.accel.board.walk_queue_bytes = 64;
   opts.accel.channel.walk_queue_bytes = 64;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 5000u);
 }
 
@@ -86,7 +87,7 @@ TEST(EngineStress, SelfLoopGraph) {
   const auto g = std::move(b).build();
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(1000);
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 1000u);
   EXPECT_EQ(r.metrics.total_hops, 6000u);  // all walks run the full length
@@ -99,7 +100,7 @@ TEST(EngineStress, AllDeadEndsGraph) {
   const auto g = std::move(b).build();
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(500);
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 500u);
   EXPECT_GE(r.metrics.dead_ends, 400u);
@@ -117,7 +118,7 @@ TEST(EngineStress, StarGraphSerializesOnOneSubgraph) {
   partition::PartitionedGraph pg(g, small_pc());
   ASSERT_TRUE(pg.is_dense_vertex(0));  // 4095 out-edges > one 4 KiB block
   auto opts = small_opts(2000);
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 2000u);
   // Every other hop returns to the dense hub: pre-walking must fire.
@@ -129,7 +130,7 @@ TEST(EngineStress, WalkLengthOne) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(2000);
   opts.spec.length = 1;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 2000u);
   EXPECT_LE(r.metrics.total_hops, 2000u);
@@ -140,7 +141,7 @@ TEST(EngineStress, LongWalks) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(500);
   opts.spec.length = 64;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 500u);
   EXPECT_LE(r.metrics.total_hops, 500u * 64);
@@ -152,7 +153,7 @@ TEST(EngineStress, QueryCachesClearAcrossPartitions) {
   const auto g = graph::make_dataset(graph::DatasetId::CW, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc(/*per_partition=*/8));
   auto opts = small_opts(4000);
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 4000u);
   EXPECT_GT(r.metrics.partition_switches, 0u);
@@ -162,7 +163,7 @@ TEST(EngineStress, QueryCachesClearAcrossPartitions) {
 TEST(EngineStress, UtilizationAccountingSane) {
   const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc());
-  FlashWalkerEngine engine(pg, small_opts(10'000));
+  auto engine = SimulationBuilder(pg).options(small_opts(10'000)).build();
   const auto r = engine.run();
   ASSERT_EQ(r.chip_utilization.size(),
             ssd::test_ssd_config().topo.total_chips());
@@ -179,7 +180,7 @@ TEST(EngineStress, BatchSizeOneMatchesConservation) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(1000);
   opts.accel.batch_walks = 1;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 1000u);
 }
 

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
@@ -42,7 +43,7 @@ class EngineBasic : public ::testing::Test {
 };
 
 TEST_F(EngineBasic, AllWalksComplete) {
-  FlashWalkerEngine engine(pg_, small_opts());
+  auto engine = SimulationBuilder(pg_).options(small_opts()).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_started, 2000u);
   EXPECT_EQ(r.metrics.walks_completed, 2000u);
@@ -50,7 +51,7 @@ TEST_F(EngineBasic, AllWalksComplete) {
 }
 
 TEST_F(EngineBasic, HopAccountingConsistent) {
-  FlashWalkerEngine engine(pg_, small_opts());
+  auto engine = SimulationBuilder(pg_).options(small_opts()).build();
   const auto r = engine.run();
   // Every walk takes at most `length` hops; dead ends take fewer.
   EXPECT_LE(r.metrics.total_hops, 2000u * 6);
@@ -65,8 +66,8 @@ TEST_F(EngineBasic, HopAccountingConsistent) {
 }
 
 TEST_F(EngineBasic, DeterministicAcrossRuns) {
-  FlashWalkerEngine e1(pg_, small_opts());
-  FlashWalkerEngine e2(pg_, small_opts());
+  auto e1 = SimulationBuilder(pg_).options(small_opts()).build();
+  auto e2 = SimulationBuilder(pg_).options(small_opts()).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
   EXPECT_EQ(r1.exec_time, r2.exec_time);
@@ -79,8 +80,8 @@ TEST_F(EngineBasic, SeedChangesTrajectory) {
   auto o1 = small_opts();
   auto o2 = small_opts();
   o2.spec.seed = 123456;
-  FlashWalkerEngine e1(pg_, o1);
-  FlashWalkerEngine e2(pg_, o2);
+  auto e1 = SimulationBuilder(pg_).options(o1).build();
+  auto e2 = SimulationBuilder(pg_).options(o2).build();
   EXPECT_NE(e1.run().visit_counts, e2.run().visit_counts);
 }
 
@@ -89,7 +90,7 @@ TEST_F(EngineBasic, VisitDistributionMatchesHostReference) {
   // match the host reference within sampling noise. Compare top-vertex
   // visit shares.
   auto opts = small_opts(20'000);
-  FlashWalkerEngine engine(pg_, opts);
+  auto engine = SimulationBuilder(pg_).options(opts).build();
   const auto r = engine.run();
 
   rw::WalkSpec ref_spec = opts.spec;
@@ -117,7 +118,7 @@ TEST_F(EngineBasic, VisitDistributionMatchesHostReference) {
 }
 
 TEST_F(EngineBasic, DensePrewalkingHappens) {
-  FlashWalkerEngine engine(pg_, small_opts());
+  auto engine = SimulationBuilder(pg_).options(small_opts()).build();
   // The FS test graph at 4 KB blocks has dense vertices.
   bool any_dense = false;
   for (const auto& sg : pg_.subgraphs()) any_dense |= sg.dense;
@@ -130,7 +131,7 @@ TEST_F(EngineBasic, DensePrewalkingHappens) {
 TEST_F(EngineBasic, InStorageReadsDominateChannelTraffic) {
   // The design's core claim: chip-level loads avoid the channel bus, so
   // bytes read at the planes exceed bytes moved over channels.
-  FlashWalkerEngine engine(pg_, small_opts(10'000));
+  auto engine = SimulationBuilder(pg_).options(small_opts(10'000)).build();
   const auto r = engine.run();
   EXPECT_GT(r.flash_read_bytes, r.channel_bytes);
 }
@@ -138,7 +139,7 @@ TEST_F(EngineBasic, InStorageReadsDominateChannelTraffic) {
 TEST_F(EngineBasic, TimelineRecordsProgress) {
   auto opts = small_opts(5000);
   opts.timeline_interval = 50 * kUs;
-  FlashWalkerEngine engine(pg_, opts);
+  auto engine = SimulationBuilder(pg_).options(opts).build();
   const auto r = engine.run();
   ASSERT_GT(r.timeline.size(), 1u);
   // Progress is monotone and ends at 100%.
@@ -149,7 +150,7 @@ TEST_F(EngineBasic, TimelineRecordsProgress) {
 }
 
 TEST_F(EngineBasic, ZeroWalksFinishInstantly) {
-  FlashWalkerEngine engine(pg_, small_opts(0));
+  auto engine = SimulationBuilder(pg_).options(small_opts(0)).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 0u);
   EXPECT_EQ(r.exec_time, 0u);
@@ -159,7 +160,7 @@ TEST_F(EngineBasic, SingleSourceMode) {
   auto opts = small_opts(1000);
   opts.spec.start_mode = rw::StartMode::kSingleSource;
   opts.spec.source = 5;
-  FlashWalkerEngine engine(pg_, opts);
+  auto engine = SimulationBuilder(pg_).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 1000u);
 }
@@ -167,7 +168,7 @@ TEST_F(EngineBasic, SingleSourceMode) {
 TEST_F(EngineBasic, AllVerticesMode) {
   auto opts = small_opts();
   opts.spec.start_mode = rw::StartMode::kAllVertices;
-  FlashWalkerEngine engine(pg_, opts);
+  auto engine = SimulationBuilder(pg_).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_started, g_.num_vertices());
   EXPECT_EQ(r.metrics.walks_completed, g_.num_vertices());
@@ -177,7 +178,7 @@ TEST_F(EngineBasic, StopProbabilityTermination) {
   auto opts = small_opts(3000);
   opts.spec.stop_prob = 0.5;
   opts.spec.length = 20;
-  FlashWalkerEngine engine(pg_, opts);
+  auto engine = SimulationBuilder(pg_).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 3000u);
   // Expected hops/walk ≈ 1 with stop 0.5 (plus dead ends cut more).
@@ -205,7 +206,7 @@ TEST_P(EngineFeatures, CompletesAndConserves) {
   opts.accel.features.walk_query = GetParam().wq;
   opts.accel.features.hot_subgraphs = GetParam().hs;
   opts.accel.features.subgraph_scheduling = GetParam().ss;
-  FlashWalkerEngine engine(pg_, opts);
+  auto engine = SimulationBuilder(pg_).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 4000u);
   if (!GetParam().hs) {
@@ -236,7 +237,8 @@ TEST(EngineFeaturesExtra, WalkQueryReducesSearchSteps) {
   base_opts.accel.features = {false, false, false};
   auto wq_opts = small_opts(5000);
   wq_opts.accel.features = {true, false, false};
-  FlashWalkerEngine base(pg, base_opts), wq(pg, wq_opts);
+  auto base = SimulationBuilder(pg).options(base_opts).build();
+  auto wq = SimulationBuilder(pg).options(wq_opts).build();
   const auto rb = base.run();
   const auto rw_ = wq.run();
   // WQ replaces full-table searches with range-limited + cached ones.
@@ -251,7 +253,8 @@ TEST(EngineFeaturesExtra, HotSubgraphsOffloadChipUpdates) {
   off.accel.features.hot_subgraphs = false;
   auto on = small_opts(5000);
   on.accel.features.hot_subgraphs = true;
-  FlashWalkerEngine e_off(pg, off), e_on(pg, on);
+  auto e_off = SimulationBuilder(pg).options(off).build();
+  auto e_on = SimulationBuilder(pg).options(on).build();
   const auto r_off = e_off.run();
   const auto r_on = e_on.run();
   EXPECT_GT(r_on.metrics.channel_updates + r_on.metrics.board_updates, 0u);
@@ -265,7 +268,7 @@ TEST(EnginePartitions, MultiPartitionRunCompletes) {
   partition::PartitionedGraph pg(g, small_pc(/*per_partition=*/8));
   ASSERT_GT(pg.num_partitions(), 3u);
   auto opts = small_opts(3000);
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 3000u);
   EXPECT_GT(r.metrics.partition_switches, 0u);
@@ -277,7 +280,7 @@ TEST(EnginePartitions, ForeignerFlushesAccounted) {
   partition::PartitionedGraph pg(g, small_pc(8));
   auto opts = small_opts(5000);
   opts.accel.foreigner_buffer_bytes = 512;  // tiny buffer: force flushes
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_GT(r.metrics.foreigner_flush_pages, 0u);
   EXPECT_GT(r.flash_write_bytes, 0u);
@@ -288,7 +291,7 @@ TEST(EnginePartitions, PwbOverflowTriggersFlashWrites) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(20'000);
   opts.accel.pwb_entry_bytes = 128;  // tiny entries: overflow quickly
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_GT(r.metrics.pwb_overflow_events, 0u);
   EXPECT_GT(r.metrics.pwb_overflow_walks, 0u);
@@ -304,7 +307,7 @@ TEST(EnginePartitions, SchedulingReducesOverflowFlushes) {
     auto opts = small_opts(20'000);
     opts.accel.pwb_entry_bytes = 256;
     opts.accel.features.subgraph_scheduling = ss;
-    FlashWalkerEngine e(pg, opts);
+    auto e = SimulationBuilder(pg).options(opts).build();
     return e.run();
   };
   const auto with_ss = mk(true);
@@ -327,7 +330,7 @@ TEST(EngineBiased, BiasedRunCompletesAndBiases) {
   partition::PartitionedGraph pg(g, pc);
   auto opts = small_opts(5000);
   opts.spec.biased = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 5000u);
 
@@ -345,7 +348,7 @@ TEST(EngineBiased, RequiresWeightedGraph) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts();
   opts.spec.biased = true;
-  EXPECT_THROW(FlashWalkerEngine(pg, opts), std::invalid_argument);
+  EXPECT_THROW(SimulationBuilder(pg).options(opts).build(), std::invalid_argument);
 }
 
 // --- walk writes / FTL interaction --------------------------------------------------
@@ -355,7 +358,7 @@ TEST(EngineWrites, CompletedWalksFlushToFlash) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(10'000);
   opts.accel.completed_buffer_bytes = 256;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_GT(r.metrics.completed_flush_pages, 0u);
   EXPECT_GT(r.ftl.host_page_writes, 0u);
@@ -365,7 +368,7 @@ TEST(EngineWrites, WriteTrafficIsSmallVsReads) {
   // Fig 8 observation: "very small flash memory write bandwidth".
   const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc());
-  FlashWalkerEngine engine(pg, small_opts(10'000));
+  auto engine = SimulationBuilder(pg).options(small_opts(10'000)).build();
   const auto r = engine.run();
   EXPECT_LT(r.flash_write_bytes, r.flash_read_bytes / 2);
 }

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "accel/energy_model.hpp"
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "baseline/graphwalker.hpp"
 #include "graph/builder.hpp"
@@ -103,7 +104,7 @@ TEST(EngineSecondOrder, CompletesAndBacktracksLikeReference) {
   opts.spec.second_order.p = 0.2;  // strong return bias
   opts.spec.length = 8;
   opts.record_paths = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 3000u);
 
@@ -133,7 +134,7 @@ TEST(EngineSecondOrder, CompletesAndBacktracksLikeReference) {
   // And the p-effect is strong: raising p collapses the backtrack rate.
   auto high_p = opts;
   high_p.spec.second_order.p = 10.0;
-  FlashWalkerEngine engine_hp(pg, high_p);
+  auto engine_hp = SimulationBuilder(pg).options(high_p).build();
   const double engine_high_p = backtracks(engine_hp.run().paths);
   EXPECT_GT(engine_low_p, 10.0 * std::max(engine_high_p, 1e-6));
 }
@@ -145,7 +146,7 @@ TEST(EngineSecondOrder, CarriesPrevCostInWalkBytes) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(2000);
   opts.spec.second_order.enabled = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   EXPECT_EQ(engine.run().metrics.walks_completed, 2000u);
 }
 
@@ -157,7 +158,7 @@ TEST(DeadEndRestart, EngineConservesWalks) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(3000);
   opts.spec.dead_end = rw::WalkSpec::DeadEnd::kRestart;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 3000u);
   EXPECT_EQ(r.metrics.dead_ends, 0u);  // restarts, never dies at a dead end
@@ -193,7 +194,7 @@ TEST(PathRecording, PathsAreValidWalks) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(1500);
   opts.record_paths = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   ASSERT_EQ(r.paths.size(), 1500u);
   std::uint64_t recorded_hops = 0;
@@ -215,7 +216,7 @@ TEST(PathRecording, MatchesVisitCounts) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(1000);
   opts.record_paths = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   std::vector<std::uint64_t> from_paths(g.num_vertices(), 0);
   for (const auto& path : r.paths) {
@@ -227,7 +228,7 @@ TEST(PathRecording, MatchesVisitCounts) {
 TEST(PathRecording, OffByDefault) {
   const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc());
-  FlashWalkerEngine engine(pg, small_opts(100));
+  auto engine = SimulationBuilder(pg).options(small_opts(100)).build();
   EXPECT_TRUE(engine.run().paths.empty());
 }
 
@@ -238,7 +239,7 @@ TEST(EndpointRecording, CountsSumToWalks) {
   partition::PartitionedGraph pg(g, small_pc());
   auto opts = small_opts(3000);
   opts.record_endpoints = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   std::uint64_t total = 0;
   for (const auto c : r.endpoint_counts) total += c;
@@ -251,7 +252,7 @@ TEST(EndpointRecording, MatchesRecordedPathEnds) {
   auto opts = small_opts(1500);
   opts.record_endpoints = true;
   opts.record_paths = true;
-  FlashWalkerEngine engine(pg, opts);
+  auto engine = SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   std::vector<std::uint64_t> from_paths(g.num_vertices(), 0);
   for (const auto& path : r.paths) ++from_paths[path.back()];
@@ -261,7 +262,7 @@ TEST(EndpointRecording, MatchesRecordedPathEnds) {
 TEST(EndpointRecording, OffByDefault) {
   const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc());
-  FlashWalkerEngine engine(pg, small_opts(100));
+  auto engine = SimulationBuilder(pg).options(small_opts(100)).build();
   EXPECT_TRUE(engine.run().endpoint_counts.empty());
 }
 
@@ -270,7 +271,7 @@ TEST(EndpointRecording, OffByDefault) {
 TEST(EnergyModel, ComponentsArePositiveAndSum) {
   const auto g = graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc());
-  FlashWalkerEngine engine(pg, small_opts(5000));
+  auto engine = SimulationBuilder(pg).options(small_opts(5000)).build();
   const auto r = engine.run();
   const auto e = estimate_flashwalker(r, bench_accel_config(), ssd::test_ssd_config());
   EXPECT_GT(e.flash_j, 0.0);
@@ -298,8 +299,8 @@ TEST(EnergyModel, BaselineChargesCpuAndPcie) {
 TEST(EnergyModel, MoreWalksMoreEnergy) {
   const auto g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
   partition::PartitionedGraph pg(g, small_pc());
-  FlashWalkerEngine e1(pg, small_opts(1000));
-  FlashWalkerEngine e2(pg, small_opts(8000));
+  auto e1 = SimulationBuilder(pg).options(small_opts(1000)).build();
+  auto e2 = SimulationBuilder(pg).options(small_opts(8000)).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
   const auto cfg = bench_accel_config();

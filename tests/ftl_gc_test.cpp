@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/datasets.hpp"
 #include "ssd/address.hpp"
@@ -130,8 +131,8 @@ TEST(FtlGc, EngineRunWithGcIsDeterministic) {
     o.spec.seed = 99;
     return o;
   };
-  accel::FlashWalkerEngine e1(pg, opts());
-  accel::FlashWalkerEngine e2(pg, opts());
+  auto e1 = accel::SimulationBuilder(pg).options(opts()).build();
+  auto e2 = accel::SimulationBuilder(pg).options(opts()).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
   EXPECT_EQ(r1.exec_time, r2.exec_time);

@@ -2,6 +2,7 @@
 // behaviour, and positioning between GraphWalker and FlashWalker.
 #include <gtest/gtest.h>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "baseline/graphssd.hpp"
 #include "baseline/graphwalker.hpp"
@@ -78,7 +79,7 @@ TEST(GraphSsd, InStorageWalkingStillWins) {
   fw_opts.spec.num_walks = 5000;
   fw_opts.spec.length = 6;
   fw_opts.record_visits = false;
-  accel::FlashWalkerEngine fw_engine(pg, fw_opts);
+  auto fw_engine = accel::SimulationBuilder(pg).options(fw_opts).build();
   const auto fw = fw_engine.run();
 
   auto opts = gs_opts(5000);

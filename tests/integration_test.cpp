@@ -7,6 +7,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "baseline/drunkardmob.hpp"
 #include "baseline/graphwalker.hpp"
@@ -54,7 +55,7 @@ AllEngines run_all(const graph::CsrGraph& g, std::uint64_t walks) {
   accel::EngineOptions fw_opts;
   fw_opts.ssd = ssd::test_ssd_config();
   fw_opts.spec = spec;
-  accel::FlashWalkerEngine fw_engine(pg, fw_opts);
+  auto fw_engine = accel::SimulationBuilder(pg).options(fw_opts).build();
   out.fw = fw_engine.run();
 
   baseline::GraphWalkerOptions gw_opts;
@@ -136,7 +137,7 @@ TEST(CrossEngine, BiasedDistributionsAgree) {
   accel::EngineOptions opts;
   opts.ssd = ssd::test_ssd_config();
   opts.spec = spec;
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_LT(l1_distance(ref.visit_counts, r.visit_counts), 0.30);
 }
@@ -160,7 +161,7 @@ TEST_P(SmallScaleEndToEnd, FullSsdRunCompletesAndWins) {
   fw_opts.spec.num_walks = walks;
   fw_opts.spec.length = 6;
   fw_opts.record_visits = false;
-  accel::FlashWalkerEngine fw_engine(pg, fw_opts);
+  auto fw_engine = accel::SimulationBuilder(pg).options(fw_opts).build();
   const auto fw = fw_engine.run();
   EXPECT_EQ(fw.metrics.walks_completed, walks);
 

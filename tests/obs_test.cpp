@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/datasets.hpp"
 #include "obs/counters.hpp"
@@ -342,7 +343,7 @@ TEST(EngineTrace, RunProducesSpansForAllUnitLevels) {
   opts.spec.seed = 99;
   TraceRecorder trace;
   opts.trace = &trace;
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 2000u);
   EXPECT_GT(trace.num_events(), 0u);
@@ -397,8 +398,8 @@ TEST(EngineTrace, DisabledTracingLeavesResultIdentical) {
   auto with = opts();
   TraceRecorder trace;
   with.trace = &trace;
-  accel::FlashWalkerEngine e1(pg, with);
-  accel::FlashWalkerEngine e2(pg, opts());
+  auto e1 = accel::SimulationBuilder(pg).options(with).build();
+  auto e2 = accel::SimulationBuilder(pg).options(opts()).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
   EXPECT_EQ(r1.exec_time, r2.exec_time);

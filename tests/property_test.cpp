@@ -6,6 +6,7 @@
 
 #include <numeric>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -186,7 +187,7 @@ INSTANTIATE_TEST_SUITE_P(Topologies, LayoutSweep,
                                            TopoCase{4, 4, 2, 4}, TopoCase{16, 2, 2, 2}),
                          [](const auto& param_info) {
                            const auto& p = param_info.param;
-                           return "t" + std::to_string(p.channels) + "x" +
+                           return std::string("t") + std::to_string(p.channels) + "x" +
                                   std::to_string(p.chips) + "x" + std::to_string(p.dies) +
                                   "x" + std::to_string(p.planes);
                          });
@@ -213,7 +214,7 @@ TEST_P(EngineSweep, WalksConservedEverywhere) {
   opts.accel.batch_walks = batch;
   opts.spec.num_walks = 4000;
   opts.spec.length = 6;
-  accel::FlashWalkerEngine engine(pg, opts);
+  auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto r = engine.run();
   EXPECT_EQ(r.metrics.walks_completed, 4000u);
   EXPECT_GT(r.exec_time, 0u);
@@ -226,7 +227,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 16u, 256u)),
     [](const auto& param_info) {
       const auto& tc = std::get<0>(param_info.param);
-      return "c" + std::to_string(tc.channels) + "x" + std::to_string(tc.chips) + "_b" +
+      return std::string("c") + std::to_string(tc.channels) + "x" +
+             std::to_string(tc.chips) + "_b" +
              std::to_string(std::get<1>(param_info.param));
     });
 
@@ -246,7 +248,7 @@ TEST(EngineBatching, VisitCountsIndependentOfBatchSize) {
     opts.ssd = ssd::test_ssd_config();
     opts.accel.batch_walks = batch;
     opts.spec.num_walks = 10'000;
-    accel::FlashWalkerEngine engine(pg, opts);
+    auto engine = accel::SimulationBuilder(pg).options(opts).build();
     hops.push_back(engine.run().metrics.total_hops);
   }
   for (std::size_t i = 1; i < hops.size(); ++i) {

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "accel/builder.hpp"
 #include "accel/engine.hpp"
 #include "graph/datasets.hpp"
 #include "ssd/address.hpp"
@@ -289,9 +290,10 @@ TEST_F(EngineFaults, ElevatedRberPreservesWalkOutput) {
   // Faults may only ever change *when* things happen, never *what* the
   // walks do: per-walk RNG streams make trajectories independent of
   // fault-induced reordering.
-  FlashWalkerEngine clean(pg_, fault_opts(/*rber=*/0.0, /*fault_seed=*/7));
-  FlashWalkerEngine faulty(pg_, fault_opts(/*rber=*/5e-3, /*fault_seed=*/7,
-                                           /*uncorrectable=*/0.02));
+  auto clean =
+      SimulationBuilder(pg_).options(fault_opts(/*rber=*/0.0, /*fault_seed=*/7)).build();
+  auto faulty = SimulationBuilder(pg_).options(fault_opts(/*rber=*/5e-3, /*fault_seed=*/7,
+                                           /*uncorrectable=*/0.02)).build();
   const auto rc = clean.run();
   const auto rf = faulty.run();
 
@@ -314,8 +316,8 @@ TEST_F(EngineFaults, ElevatedRberPreservesWalkOutput) {
 }
 
 TEST_F(EngineFaults, FaultRunsAreBitReproducible) {
-  FlashWalkerEngine e1(pg_, fault_opts(5e-3, 7, 0.02));
-  FlashWalkerEngine e2(pg_, fault_opts(5e-3, 7, 0.02));
+  auto e1 = SimulationBuilder(pg_).options(fault_opts(5e-3, 7, 0.02)).build();
+  auto e2 = SimulationBuilder(pg_).options(fault_opts(5e-3, 7, 0.02)).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
   EXPECT_EQ(r1.exec_time, r2.exec_time);
@@ -328,8 +330,8 @@ TEST_F(EngineFaults, FaultRunsAreBitReproducible) {
 }
 
 TEST_F(EngineFaults, FaultSeedShiftsTimingNotTrajectories) {
-  FlashWalkerEngine e1(pg_, fault_opts(5e-3, 7));
-  FlashWalkerEngine e2(pg_, fault_opts(5e-3, 8));
+  auto e1 = SimulationBuilder(pg_).options(fault_opts(5e-3, 7)).build();
+  auto e2 = SimulationBuilder(pg_).options(fault_opts(5e-3, 8)).build();
   const auto r1 = e1.run();
   const auto r2 = e2.run();
   EXPECT_EQ(r1.visit_counts, r2.visit_counts);

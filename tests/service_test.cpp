@@ -1,0 +1,319 @@
+// Walk service layer: solo-vs-co-scheduled bit-identity (the per-job RNG
+// stream contract), weighted-fair scheduling bounds, admission control,
+// arrival times, completion callbacks, per-job counters, and the --jobs
+// grammar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/builder.hpp"
+#include "accel/engine.hpp"
+#include "accel/report.hpp"
+#include "accel/service/jobs_spec.hpp"
+#include "accel/service/walk_service.hpp"
+#include "graph/datasets.hpp"
+
+namespace fw::accel {
+namespace {
+
+partition::PartitionConfig small_pc() {
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 4096;
+  pc.subgraphs_per_partition = 1u << 20;
+  pc.subgraphs_per_range = 8;
+  return pc;
+}
+
+service::WalkJob make_job(std::string name, std::uint64_t walks, std::uint64_t seed) {
+  service::WalkJob j;
+  j.name = std::move(name);
+  j.spec.num_walks = walks;
+  j.spec.length = 6;
+  j.spec.seed = seed;
+  return j;
+}
+
+/// Fault-injecting SSD: moderate mid-life RBER so retries/parks actually
+/// happen (mirrors reliability_test's retrying_config).
+ssd::SsdConfig faulty_ssd() {
+  ssd::SsdConfig cfg = ssd::test_ssd_config();
+  cfg.reliability.rber.base = 5e-3;
+  cfg.reliability.fault_seed = 7;
+  return cfg;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : g_(graph::make_dataset(graph::DatasetId::FS, graph::Scale::kTest)),
+        pg_(g_, small_pc()) {}
+
+  EngineResult run_jobs(std::vector<service::WalkJob> jobs,
+                        ssd::SsdConfig ssd = ssd::test_ssd_config(),
+                        service::ServicePolicy policy = {}) {
+    SimulationConfig cfg;
+    cfg.ssd = ssd;
+    cfg.record_paths = true;
+    cfg.record_endpoints = true;
+    cfg.policy = policy;
+    return SimulationBuilder(pg_).config(cfg).jobs(std::move(jobs)).run();
+  }
+
+  /// Assert each co-scheduled job's walk output is bit-identical to the
+  /// same job run alone on an otherwise idle service.
+  void expect_solo_identity(const std::vector<service::WalkJob>& jobs,
+                            ssd::SsdConfig ssd = ssd::test_ssd_config()) {
+    const EngineResult co = run_jobs(jobs, ssd);
+    ASSERT_EQ(co.jobs.size(), jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const EngineResult solo = run_jobs({jobs[j]}, ssd);
+      ASSERT_EQ(solo.jobs.size(), 1u);
+      EXPECT_EQ(co.jobs[j].paths, solo.jobs[0].paths)
+          << "job " << jobs[j].name << " diverged from its solo run";
+      EXPECT_EQ(co.jobs[j].endpoint_counts, solo.jobs[0].endpoint_counts);
+      EXPECT_EQ(co.jobs[j].stats.steps, solo.jobs[0].stats.steps);
+      EXPECT_EQ(co.jobs[j].stats.walks, solo.jobs[0].stats.walks);
+    }
+  }
+
+  graph::CsrGraph g_;
+  partition::PartitionedGraph pg_;
+};
+
+// --- determinism: solo == co-scheduled -----------------------------------------
+
+TEST_F(ServiceTest, SingleExplicitJobMatchesImplicitSpecRun) {
+  // The explicit one-job service run must replay the exact event sequence
+  // of the classic single-workload run: same exec time, same totals.
+  SimulationConfig implicit_cfg;
+  implicit_cfg.ssd = ssd::test_ssd_config();
+  implicit_cfg.spec = make_job("x", 2000, 99).spec;
+  const EngineResult implicit = SimulationBuilder(pg_).config(implicit_cfg).run();
+
+  const EngineResult explicit_run = run_jobs({make_job("x", 2000, 99)});
+  EXPECT_EQ(implicit.exec_time, explicit_run.exec_time);
+  EXPECT_EQ(implicit.metrics.total_hops, explicit_run.metrics.total_hops);
+  EXPECT_EQ(implicit.metrics.walks_completed, explicit_run.metrics.walks_completed);
+}
+
+TEST_F(ServiceTest, SoloVsCoScheduledFourJobs) {
+  expect_solo_identity({make_job("a", 500, 1), make_job("b", 500, 2),
+                        make_job("c", 500, 3), make_job("d", 500, 4)});
+}
+
+TEST_F(ServiceTest, SoloVsCoScheduledSixteenJobs) {
+  std::vector<service::WalkJob> jobs;
+  for (std::uint64_t j = 0; j < 16; ++j) {
+    jobs.push_back(make_job(std::string("j") + std::to_string(j), 125, 1000 + 13 * j));
+  }
+  expect_solo_identity(jobs);
+}
+
+TEST_F(ServiceTest, SoloVsCoScheduledMixedModels) {
+  // The acceptance-criteria mix: 2x DeepWalk + node2vec + PPR.
+  auto n2v = make_job("n2v", 250, 5);
+  n2v.spec.second_order.enabled = true;
+  n2v.spec.second_order.p = 0.5;
+  n2v.spec.second_order.q = 2.0;
+  auto ppr = make_job("ppr", 250, 6);
+  ppr.spec.start_mode = rw::StartMode::kSingleSource;
+  ppr.spec.source = 3;
+  ppr.spec.stop_prob = 0.15;
+  ppr.spec.dead_end = rw::WalkSpec::DeadEnd::kRestart;
+  expect_solo_identity(
+      {make_job("dw0", 500, 3), make_job("dw1", 500, 4), n2v, ppr});
+}
+
+TEST_F(ServiceTest, SoloVsCoScheduledUnderFaultInjection) {
+  expect_solo_identity({make_job("a", 400, 11), make_job("b", 400, 12),
+                        make_job("c", 400, 13), make_job("d", 400, 14)},
+                       faulty_ssd());
+}
+
+TEST_F(ServiceTest, CoScheduledRunsAreReproducible) {
+  const std::vector<service::WalkJob> jobs = {make_job("a", 300, 21),
+                                              make_job("b", 300, 22)};
+  const EngineResult r1 = run_jobs(jobs);
+  const EngineResult r2 = run_jobs(jobs);
+  EXPECT_EQ(r1.exec_time, r2.exec_time);
+  ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+  for (std::size_t j = 0; j < r1.jobs.size(); ++j) {
+    EXPECT_EQ(r1.jobs[j].paths, r2.jobs[j].paths);
+    EXPECT_EQ(r1.jobs[j].stats.completed, r2.jobs[j].stats.completed);
+  }
+}
+
+// --- fairness and starvation ---------------------------------------------------
+
+TEST_F(ServiceTest, EqualPriorityJobsWithinTwoXThroughput) {
+  service::WalkService svc(pg_);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    svc.submit(make_job(std::string("j") + std::to_string(j), 500, 31 + j));
+  }
+  const auto res = svc.run();
+  EXPECT_LE(res.fairness_ratio, 2.0);
+  double min_rate = 0.0, max_rate = 0.0;
+  for (const auto& jr : res.jobs()) {
+    const double rate = jr.stats.steps_per_sec();
+    ASSERT_GT(rate, 0.0);
+    min_rate = min_rate == 0.0 ? rate : std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+  }
+  EXPECT_LE(max_rate, 2.0 * min_rate);
+}
+
+TEST_F(ServiceTest, TinyJobFinishesWhileHugeJobRuns) {
+  // Starvation regression: a 50-walk job sharing the array with a
+  // 10000-walk job must not be held to the big job's completion. The tiny
+  // job's last walk still waits on the partition rotation reaching its
+  // subgraph, so strictly-before is the architectural bound, not a ratio.
+  const EngineResult r =
+      run_jobs({make_job("huge", 10'000, 41), make_job("tiny", 50, 42)});
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_LT(r.jobs[1].stats.completed, r.jobs[0].stats.completed);
+  EXPECT_LT(r.jobs[1].stats.exec_ns(), r.jobs[0].stats.exec_ns());
+}
+
+TEST_F(ServiceTest, GoldQosDerivesHigherWeight) {
+  auto gold = make_job("gold", 200, 51);
+  gold.qos = service::QosClass::kGold;
+  const EngineResult r = run_jobs({make_job("bronze", 200, 52), gold});
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(r.jobs[0].stats.weight, 1u);
+  EXPECT_EQ(r.jobs[1].stats.weight, 4u);
+  EXPECT_EQ(r.jobs[1].stats.qos, service::QosClass::kGold);
+}
+
+// --- admission control and arrivals --------------------------------------------
+
+TEST_F(ServiceTest, MaxConcurrentSerializesAdmission) {
+  service::ServicePolicy policy;
+  policy.max_concurrent_jobs = 1;
+  const EngineResult r = run_jobs(
+      {make_job("first", 500, 61), make_job("second", 100, 62)},
+      ssd::test_ssd_config(), policy);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  // The second job waits in the admit queue until the first completes.
+  EXPECT_GE(r.jobs[1].stats.admitted, r.jobs[0].stats.completed);
+  EXPECT_GT(r.jobs[1].stats.latency_ns(), r.jobs[1].stats.exec_ns());
+}
+
+TEST_F(ServiceTest, LateArrivalIsHonored) {
+  auto late = make_job("late", 100, 71);
+  late.arrival = 300 * kUs;
+  const EngineResult r = run_jobs({make_job("early", 100, 72), late});
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_GE(r.jobs[1].stats.admitted, late.arrival);
+  EXPECT_EQ(r.jobs[1].stats.walks, 100u);
+  // An arrival gap with an idle array must not kill the run.
+  EXPECT_GT(r.exec_time, late.arrival);
+}
+
+TEST_F(ServiceTest, CompletionCallbackFiresWithStats) {
+  std::vector<std::string> done;
+  auto a = make_job("a", 300, 81);
+  auto b = make_job("b", 50, 82);
+  a.on_complete = [&done](const service::JobStats& s) { done.push_back(s.name); };
+  b.on_complete = [&done](const service::JobStats& s) { done.push_back(s.name); };
+  run_jobs({a, b});
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], "b");  // the small job finishes first
+  EXPECT_EQ(done[1], "a");
+}
+
+TEST_F(ServiceTest, SubmitEnforcesPolicyCaps) {
+  SimulationConfig cfg;
+  cfg.policy.max_jobs = 2;
+  cfg.policy.max_total_walks = 900;
+  service::WalkService svc(pg_, cfg);
+  svc.submit(make_job("a", 400, 1));
+  EXPECT_THROW(svc.submit(make_job("big", 600, 2)), service::AdmissionError);
+  svc.submit(make_job("b", 400, 3));
+  EXPECT_THROW(svc.submit(make_job("c", 10, 4)), service::AdmissionError);
+  EXPECT_EQ(svc.num_jobs(), 2u);
+}
+
+TEST_F(ServiceTest, RunWithoutJobsThrows) {
+  service::WalkService svc(pg_);
+  EXPECT_THROW(svc.run(), std::logic_error);
+}
+
+TEST_F(ServiceTest, ZeroWalkJobCompletesInstantly) {
+  const EngineResult r = run_jobs({make_job("empty", 0, 91), make_job("real", 200, 92)});
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(r.jobs[0].stats.walks, 0u);
+  EXPECT_EQ(r.jobs[0].stats.completed, r.jobs[0].stats.admitted);
+}
+
+// --- observability -------------------------------------------------------------
+
+TEST_F(ServiceTest, PerJobCountersAndLatencyPercentilesPublished) {
+  const EngineResult r = run_jobs({make_job("a", 300, 93), make_job("b", 100, 94)});
+  auto has = [&r](const std::string& name) {
+    return std::any_of(r.counters.begin(), r.counters.end(),
+                       [&name](const auto& s) { return s.first == name; });
+  };
+  EXPECT_TRUE(has("job.0.exec_ns"));
+  EXPECT_TRUE(has("job.0.steps"));
+  EXPECT_TRUE(has("job.0.parked_walks"));
+  EXPECT_TRUE(has("job.1.exec_ns"));
+  EXPECT_TRUE(has("service.jobs"));
+  EXPECT_TRUE(has("service.latency_p50_ns"));
+  EXPECT_TRUE(has("service.latency_p95_ns"));
+  EXPECT_TRUE(has("service.latency_p99_ns"));
+}
+
+TEST_F(ServiceTest, ReportJsonCarriesSchemaV2AndJobSections) {
+  const EngineResult r = run_jobs({make_job("a", 200, 95), make_job("b", 100, 96)});
+  const std::string json = to_json("svc", r);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\":"), std::string::npos);
+}
+
+// --- the --jobs grammar --------------------------------------------------------
+
+TEST(JobsSpec, ParsesMixWithRepeatsAndDefaults) {
+  service::JobSpecDefaults d;
+  d.base_seed = 100;
+  const auto jobs = service::parse_jobs(
+      "2*deepwalk:walks=500;node2vec:walks=250,p=0.5,q=2;ppr:walks=250,source=3", d);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].name, "deepwalk#0");
+  EXPECT_EQ(jobs[1].name, "deepwalk#1");
+  EXPECT_EQ(jobs[2].name, "node2vec#2");
+  EXPECT_EQ(jobs[3].name, "ppr#3");
+  // Unseeded jobs get distinct stride-spaced seeds off the base.
+  EXPECT_EQ(jobs[0].spec.seed, 100u);
+  EXPECT_EQ(jobs[1].spec.seed, 100u + service::kSeedStride);
+  EXPECT_TRUE(jobs[2].spec.second_order.enabled);
+  EXPECT_DOUBLE_EQ(jobs[2].spec.second_order.p, 0.5);
+  EXPECT_EQ(jobs[3].spec.start_mode, rw::StartMode::kSingleSource);
+  EXPECT_EQ(jobs[3].spec.source, 3u);
+  EXPECT_DOUBLE_EQ(jobs[3].spec.stop_prob, 0.15);
+}
+
+TEST(JobsSpec, ParsesQosAndExplicitSeedAndArrival) {
+  const auto jobs = service::parse_jobs(
+      "deepwalk:walks=10,seed=7,qos=gold,arrive=5000", {});
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].spec.seed, 7u);
+  EXPECT_EQ(jobs[0].qos, service::QosClass::kGold);
+  EXPECT_EQ(jobs[0].arrival, 5000u);
+}
+
+TEST(JobsSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(service::parse_jobs("", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("randomwalk", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("deepwalk:p=0.5", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("ppr:stop=x", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("0*deepwalk", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("deepwalk:qos=plutonium", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fw::accel
