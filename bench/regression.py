@@ -30,6 +30,15 @@ What is gated, and why
    (same refresh rule as sim_exec_ns), and uniform equal-priority mixes
    must hold the weighted-fair scheduler's <= 2x fairness bound.
 
+5. `parallel` (when the current report carries the section, i.e. the
+   bench ran with --parallel): `determinism_ok` must be true — identical
+   checksums and event counts across 1/2/4/8 workers are the whole
+   contract of the conservative-lookahead design. The 8-worker speedup
+   floor (--parallel-floor, default 3.0x over the serial sharded
+   baseline) is gated only when the *current* machine reports
+   `hw_threads >= 8`; on smaller hosts real parallel speedup is
+   physically unobservable, so the number prints as informational.
+
 Reports must declare `"schema": "fw-bench-sim/2"`; unknown or missing
 versions are rejected (exit 2) instead of silently parsed.
 """
@@ -101,6 +110,33 @@ def check_service_mix(base, cur, failures):
                 failures.append(f"service_mix.{name}.fairness_ratio")
 
 
+def check_parallel(cur, floor, failures):
+    """Gate the parallel-DES section: hard determinism, conditional speedup."""
+    par = cur.get("parallel")
+    if par is None:
+        print("parallel: no section in current report, checks skipped")
+        return
+    ok = par.get("determinism_ok")
+    verdict = "ok" if ok else "NONDETERMINISTIC"
+    print(f"parallel.determinism_ok: {ok}  [{verdict}]")
+    if not ok:
+        failures.append("parallel.determinism_ok")
+
+    speedup = par.get("speedup_8w", 0.0)
+    hw = par.get("hw_threads", 0)
+    if hw >= 8:
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        print(f"parallel.speedup_8w: {speedup:.3g} (floor {floor}, "
+              f"hw_threads {hw}) [{verdict}]")
+        if speedup < floor:
+            failures.append("parallel.speedup_8w")
+    else:
+        # Fewer hardware threads than workers: the barrier protocol still
+        # proves determinism, but speedup cannot manifest. Report, don't gate.
+        print(f"parallel.speedup_8w: {speedup:.3g} (hw_threads {hw} < 8) "
+              "[informational]")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -109,6 +145,10 @@ def main():
                     help="allowed fractional drop in gated rates (default 0.20)")
     ap.add_argument("--absolute", action="store_true",
                     help="also gate raw bucketed_events_per_sec (same-machine runs only)")
+    ap.add_argument("--parallel-floor", type=float, default=3.0,
+                    help="minimum 8-worker speedup over the serial sharded "
+                         "baseline, gated only on hosts with >= 8 hardware "
+                         "threads (default 3.0)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -148,6 +188,7 @@ def main():
               "determinism check skipped")
 
     check_service_mix(base, cur, failures)
+    check_parallel(cur, args.parallel_floor, failures)
 
     if failures:
         print(f"regression: FAILED ({', '.join(failures)})", file=sys.stderr)

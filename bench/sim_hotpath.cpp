@@ -27,11 +27,13 @@
 #include <iostream>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/config.hpp"
 #include "accel/builder.hpp"
 #include "accel/engine.hpp"
+#include "accel/lookahead.hpp"
 #include "bench_common.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
@@ -39,6 +41,7 @@
 #include "graph/datasets.hpp"
 #include "partition/partitioned_graph.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parallel_sim.hpp"
 
 namespace fw::bench {
 namespace {
@@ -128,6 +131,151 @@ double measure_events_per_sec(std::uint64_t total_events, std::uint64_t seed,
   return static_cast<double>(total_events) / secs;
 }
 
+// --- parallel section -------------------------------------------------------
+//
+// Engine-shaped sharded workload for the conservative-lookahead parallel
+// DES: one shard per channel plus a hub shard (the board), each shard
+// driving self-perpetuating event chains with a mostly-local delay mixture
+// (cycles/DRAM, all inside one lookahead window) and a ~6% tail of
+// cross-shard sends routed at >= lookahead — the traffic shape
+// src/accel/engine.cpp produces per the shard audit. The same workload runs
+// on a single serial bucketed EventQueue (the baseline) and on
+// sim::ParallelSimulator at several worker counts; per-shard checksums and
+// event counts must agree across worker counts (the determinism gate).
+
+struct ShardCtx {
+  Xoshiro256 rng{0};
+  std::uint64_t checksum = 0;
+};
+
+/// Shard-local delays: small enough that each shard executes several
+/// events per ~260 ns window.
+Tick local_delay(Xoshiro256& rng) {
+  const std::uint64_t r = rng.bounded(100);
+  if (r < 70) return 4 + 4 * rng.bounded(4);  // accelerator cycles
+  if (r < 90) return 55;                      // DRAM access
+  return 100 + rng.bounded(100);              // short channel hop
+}
+
+/// Chain driver over the parallel simulator. Each fire consumes one hop of
+/// its chain's budget and schedules exactly one successor, ~6% of them
+/// cross-shard (half to the hub, half to a random shard).
+struct ParallelDriver {
+  sim::ParallelSimulator& ps;
+  std::vector<ShardCtx>& ctx;
+  std::uint32_t shards;
+  Tick lookahead;
+
+  void fire(sim::ShardId s, std::uint32_t hops) {
+    ShardCtx& c = ctx[s];
+    c.checksum += (ps.shard(s).now() << 1) ^ hops;
+    if (hops == 0) return;
+    const std::uint64_t r = c.rng.bounded(1000);
+    if (r < 60) {
+      const auto dst = r < 30 ? sim::ShardId{0}
+                              : static_cast<sim::ShardId>(1 + c.rng.bounded(shards - 1));
+      ps.shard(s).send(dst, lookahead + c.rng.bounded(256),
+                       [this, dst, hops] { fire(dst, hops - 1); });
+    } else {
+      ps.shard(s).schedule(local_delay(c.rng),
+                           [this, s, hops] { fire(s, hops - 1); });
+    }
+  }
+};
+
+/// Identical workload on one serial bucketed queue: the speedup
+/// denominator. (Event totals match the parallel runs exactly; checksums
+/// are not compared against them — single-queue interleaving legitimately
+/// orders equal-tick cross traffic differently.)
+struct SerialDriver {
+  sim::EventQueue& q;
+  std::vector<ShardCtx>& ctx;
+  std::uint32_t shards;
+  Tick lookahead;
+  Tick now = 0;
+
+  void fire(std::uint32_t s, std::uint32_t hops) {
+    ShardCtx& c = ctx[s];
+    c.checksum += (now << 1) ^ hops;
+    if (hops == 0) return;
+    const std::uint64_t r = c.rng.bounded(1000);
+    if (r < 60) {
+      const auto dst =
+          r < 30 ? 0u : static_cast<std::uint32_t>(1 + c.rng.bounded(shards - 1));
+      q.push(now + lookahead + c.rng.bounded(256),
+             [this, dst, hops] { fire(dst, hops - 1); });
+    } else {
+      q.push(now + local_delay(c.rng), [this, s, hops] { fire(s, hops - 1); });
+    }
+  }
+};
+
+struct ParallelRun {
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 0;
+};
+
+constexpr std::uint32_t kParChains = 8;  ///< chains seeded per shard
+
+void seed_shard_rngs(std::vector<ShardCtx>& ctx, std::uint64_t seed) {
+  for (std::size_t s = 0; s < ctx.size(); ++s) {
+    ctx[s].rng = Xoshiro256(seed ^ (0x9e3779b97f4a7c15ull * (s + 1)));
+    ctx[s].checksum = 0;
+  }
+}
+
+ParallelRun run_parallel(std::uint32_t shards, Tick lookahead, std::uint32_t workers,
+                         std::uint32_t hops, std::uint64_t seed) {
+  sim::ParallelSimulator ps(shards, lookahead, workers);
+  std::vector<ShardCtx> ctx(shards);
+  seed_shard_rngs(ctx, seed);
+  ParallelDriver drv{ps, ctx, shards, lookahead};
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::uint32_t k = 0; k < kParChains; ++k) {
+      ps.shard(s).schedule(8 * k + s % 8, [&drv, s, hops] { drv.fire(s, hops); });
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t executed = ps.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ParallelRun r;
+  r.events = executed;
+  r.events_per_sec =
+      static_cast<double>(executed) / std::chrono::duration<double>(t1 - t0).count();
+  // Fold shard clocks in too: a determinism breach in timing (not just
+  // payload order) must flip the checksum.
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    r.checksum ^= ctx[s].checksum + 0x9e3779b97f4a7c15ull * ps.shard(s).now();
+  }
+  return r;
+}
+
+ParallelRun run_serial_sharded(std::uint32_t shards, Tick lookahead,
+                               std::uint32_t hops, std::uint64_t seed) {
+  sim::EventQueue q;
+  std::vector<ShardCtx> ctx(shards);
+  seed_shard_rngs(ctx, seed);
+  SerialDriver drv{q, ctx, shards, lookahead};
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::uint32_t k = 0; k < kParChains; ++k) {
+      q.push(8 * k + s % 8, [&drv, s, hops] { drv.fire(s, hops); });
+    }
+  }
+  ParallelRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (auto ev = q.try_pop()) {
+    drv.now = ev->first;
+    ev->second();
+    ++r.events;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.events_per_sec =
+      static_cast<double>(r.events) / std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
 struct E2eResult {
   double wall_s = 0.0;
   double hops_per_sec = 0.0;
@@ -194,6 +342,8 @@ int main(int argc, char** argv) {
   std::uint64_t events = 2'000'000;
   std::uint64_t walks = 20'000;
   std::uint64_t seed = bench_seed();
+  bool parallel = false;
+  std::uint64_t par_events = 2'000'000;
   OptionSet opts;
   opts.opt("--out", &out_path, "FILE", "report path (default BENCH_sim.json)");
   opts.opt("--events", &events, "N", "microbench event count");
@@ -201,10 +351,14 @@ int main(int argc, char** argv) {
   opts.opt("--scale", &scale, "test|small|bench", "e2e dataset scale");
   opts.opt("--walks", &walks, "N", "e2e walk count");
   opts.opt("--seed", &seed, "N", "RNG seed");
+  opts.flag("--parallel", &parallel,
+            "also measure the sharded parallel DES (1/2/4/8 workers)");
+  opts.opt("--par-events", &par_events, "N", "parallel-section event target");
   opts.flag("--quick", "CI preset: 400k events, test scale, 5k walks", [&] {
     events = 400'000;
     scale = "test";
     walks = 5'000;
+    par_events = 300'000;
   });
   opts.parse_or_exit(argc, argv,
                      "DES hot-path benchmark: event-queue + engine throughput");
@@ -237,6 +391,44 @@ int main(int argc, char** argv) {
             << " events/s\n"
             << "  speedup        : " << speedup << "x\n";
 
+  // Parallel DES section: serial sharded baseline + 1/2/4/8-worker runs of
+  // the identical workload, with a cross-worker-count determinism check.
+  const std::uint32_t par_shards = 1 + bench_ssd().topo.channels;
+  const Tick par_lookahead =
+      accel::conservative_lookahead_ns(accel::bench_accel_config(), bench_ssd());
+  ParallelRun par_serial;
+  std::vector<std::pair<std::uint32_t, ParallelRun>> par_runs;
+  bool determinism_ok = true;
+  if (parallel) {
+    const auto hops = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, par_events / (par_shards * kParChains) - 1));
+    // Warm-up (primes allocator + branch predictors, like section 1).
+    run_serial_sharded(par_shards, par_lookahead, hops / 4, seed);
+    par_serial = run_serial_sharded(par_shards, par_lookahead, hops, seed);
+    for (const std::uint32_t w : {1u, 2u, 4u, 8u}) {
+      par_runs.emplace_back(w, run_parallel(par_shards, par_lookahead, w, hops, seed));
+    }
+    for (const auto& [w, r] : par_runs) {
+      determinism_ok &= r.checksum == par_runs.front().second.checksum &&
+                        r.events == par_runs.front().second.events;
+    }
+    std::cout << "\nParallel DES (" << par_shards << " shards, lookahead "
+              << par_lookahead << " ns, " << par_serial.events << " events):\n"
+              << "  serial queue   : "
+              << static_cast<std::uint64_t>(par_serial.events_per_sec)
+              << " events/s\n";
+    for (const auto& [w, r] : par_runs) {
+      std::cout << "  " << w << " worker(s)    : "
+                << static_cast<std::uint64_t>(r.events_per_sec) << " events/s\n";
+    }
+    std::cout << "  determinism    : " << (determinism_ok ? "ok" : "FAILED")
+              << " (1/2/4/8 workers)\n";
+    if (!determinism_ok) {
+      std::cerr << "FATAL: parallel runs diverged across worker counts\n";
+      return 1;
+    }
+  }
+
   const auto e2e =
       measure_engine(parse_dataset(dataset), parse_scale(scale), walks, seed);
   std::cout << "\nEnd-to-end engine (" << dataset << "/" << scale << ", " << e2e.walks
@@ -254,8 +446,28 @@ int main(int argc, char** argv) {
       << "  \"bucketed_events_per_sec\": " << static_cast<std::uint64_t>(bucketed)
       << ",\n"
       << "  \"legacy_events_per_sec\": " << static_cast<std::uint64_t>(legacy) << ",\n"
-      << "  \"queue_speedup\": " << speedup << ",\n"
-      << "  \"e2e\": {\n"
+      << "  \"queue_speedup\": " << speedup << ",\n";
+  if (parallel) {
+    const double speedup_8w =
+        par_runs.back().second.events_per_sec / par_serial.events_per_sec;
+    out << "  \"parallel\": {\n"
+        << "    \"shards\": " << par_shards << ",\n"
+        << "    \"lookahead_ns\": " << par_lookahead << ",\n"
+        << "    \"events\": " << par_serial.events << ",\n"
+        << "    \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n"
+        << "    \"serial_events_per_sec\": "
+        << static_cast<std::uint64_t>(par_serial.events_per_sec) << ",\n"
+        << "    \"workers\": {";
+    for (std::size_t i = 0; i < par_runs.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << par_runs[i].first
+          << "\": " << static_cast<std::uint64_t>(par_runs[i].second.events_per_sec);
+    }
+    out << "},\n"
+        << "    \"speedup_8w\": " << speedup_8w << ",\n"
+        << "    \"determinism_ok\": " << (determinism_ok ? "true" : "false") << "\n"
+        << "  },\n";
+  }
+  out << "  \"e2e\": {\n"
       << "    \"dataset\": \"" << dataset << "\",\n"
       << "    \"scale\": \"" << scale << "\",\n"
       << "    \"walks\": " << e2e.walks << ",\n"

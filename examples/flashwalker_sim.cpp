@@ -57,8 +57,28 @@ struct CliOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string jobs_spec;
+  std::uint32_t sim_threads = 1;
   ssd::SsdConfig ssd{};
 };
+
+/// Shard-audit summary for `--sim-threads N` runs (FlashWalker only).
+void print_shard_audit(const accel::ShardAuditReport& a) {
+  if (!a.enabled) return;
+  const double cross_pct =
+      a.local_sends + a.cross_sends == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(a.cross_sends) /
+                static_cast<double>(a.local_sends + a.cross_sends);
+  std::cout << "\nparallel-DES shard audit (" << a.shards << " shards, lookahead "
+            << a.lookahead_ns << " ns):\n"
+            << "  events        : " << a.events << " (busiest shard "
+            << a.max_shard_events << ")\n"
+            << "  cross-shard   : " << a.cross_sends << " sends ("
+            << TextTable::num(cross_pct, 1) << "% of traffic), min delay "
+            << a.min_cross_delay_ns << " ns\n"
+            << "  violations    : " << a.lookahead_violations
+            << " sends inside the lookahead window\n";
+}
 
 CliOptions parse(int argc, char** argv) {
   CliOptions o;
@@ -114,6 +134,12 @@ CliOptions parse(int argc, char** argv) {
              }
            });
   opts.opt("--seed", &o.seed, "N", "RNG seed (default 42)");
+  opts.opt("--sim-threads", &o.sim_threads, "N",
+           "parallel-DES shard validation: N > 1 tags\n"
+           "events with per-channel home shards and\n"
+           "audits cross-shard traffic against the\n"
+           "conservative lookahead (run stays serial\n"
+           "and bit-identical; FlashWalker only)");
   opts.opt("--json", &o.json_path, "PATH", "full FlashWalker run report as JSON");
   opts.opt("--trace-out", &o.trace_path, "PATH",
            "Chrome trace_event JSON of the FW run\n"
@@ -165,6 +191,7 @@ int run_service(const CliOptions& cli, const partition::PartitionedGraph& pg,
             << ", p95 " << TextTable::time_ns(static_cast<Tick>(res.latency_p95_ns))
             << ", p99 " << TextTable::time_ns(static_cast<Tick>(res.latency_p99_ns))
             << "\n";
+  print_shard_audit(res.engine.shard_audit);
 
   if (!cli.trace_path.empty()) {
     std::ofstream out(cli.trace_path);
@@ -251,6 +278,7 @@ int main(int argc, char** argv) {
     cfg.accel = accel::bench_accel_config();
     cfg.accel.features = cli.features;
     cfg.record_visits = false;
+    cfg.sim_threads = cli.sim_threads;
     return run_service(cli, pg, std::move(cfg));
   }
 
@@ -273,10 +301,12 @@ int main(int argc, char** argv) {
     cfg.accel.features = cli.features;
     cfg.spec = spec;
     cfg.record_visits = false;
+    cfg.sim_threads = cli.sim_threads;
     obs::TraceRecorder trace;
     if (!cli.trace_path.empty()) cfg.trace = &trace;
     const auto r = accel::SimulationBuilder(pg).config(cfg).run();
     fw_time = r.exec_time;
+    print_shard_audit(r.shard_audit);
     if (!cli.trace_path.empty()) {
       std::ofstream out(cli.trace_path);
       if (!out) {

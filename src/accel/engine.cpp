@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "accel/lookahead.hpp"
 #include "common/stats.hpp"
 
 namespace fw::accel {
@@ -361,7 +362,8 @@ void FlashWalkerEngine::begin_partition(PartitionId p, bool charge_io) {
 
 void FlashWalkerEngine::schedule_heartbeats() {
   for (auto& ch : channels_) {
-    sim_.schedule(opt_.accel.roving_poll_interval, [this, &ch] { poll_channel(ch); });
+    sim_.schedule_on(channel_shard(ch), opt_.accel.roving_poll_interval,
+                     [this, &ch] { poll_channel(ch); });
   }
   if (timeline_) {
     const Tick interval = timeline_->interval();
@@ -695,8 +697,8 @@ void FlashWalkerEngine::kick_chip(ChipState& c) {
                                      [](const LoadedSg& s) { return !s.queue.empty(); });
   if (has_walks) {
     c.processing = true;
-    sim_.schedule_at(std::max(sim_.now(), c.unit.busy_until()),
-                     [this, &c] { process_chip(c); });
+    sim_.schedule_at_on(chip_shard(c), std::max(sim_.now(), c.unit.busy_until()),
+                        [this, &c] { process_chip(c); });
   } else {
     request_loads(c);
   }
@@ -850,8 +852,8 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
         opt_.trace->complete(c.trace_track, "parked", t_install, t_parked,
                              parked.size(), "walks");
       }
-      sim_.schedule_at(t_parked,
-                       [this, &c, slot_idx, sg, ws = std::move(parked)]() mutable {
+      sim_.schedule_at_on(chip_shard(c), t_parked,
+                          [this, &c, slot_idx, sg, ws = std::move(parked)]() mutable {
         LoadedSg& s = c.slots[slot_idx];
         if (!s.loading && s.sg == sg) {
           for (auto& w : ws) s.queue.push_back(w);
@@ -868,7 +870,8 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
     }
   }
 
-  sim_.schedule_at(t_install, [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
+  sim_.schedule_at_on(chip_shard(c), t_install,
+                      [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
     LoadedSg& s = c.slots[slot_idx];
     s.sg = sg;
     s.loading = false;
@@ -956,7 +959,7 @@ void FlashWalkerEngine::process_chip(ChipState& c) {
                          processed, "walks");
   }
   c.processing = true;
-  sim_.schedule_at(completion, [this, &c] {
+  sim_.schedule_at_on(chip_shard(c), completion, [this, &c] {
     c.processing = false;
     kick_chip(c);
     maybe_switch_partition();
@@ -982,14 +985,16 @@ void FlashWalkerEngine::poll_channel(ChannelState& ch) {
     metrics_.roving_walks += pulled.size();
     const Tick done = flash_->channel_transfer(sim_.now(), ch.index,
                                                pulled.size() * wbytes());
-    sim_.schedule_at(done, [this, &ch, walks = std::move(pulled)]() mutable {
+    sim_.schedule_at_on(channel_shard(ch), done,
+                        [this, &ch, walks = std::move(pulled)]() mutable {
       receive_roving(ch, std::move(walks));
     });
   } else {
     walk_pool_.release(std::move(pulled));
   }
   maybe_switch_partition();
-  sim_.schedule(opt_.accel.roving_poll_interval, [this, &ch] { poll_channel(ch); });
+  sim_.schedule_on(channel_shard(ch), opt_.accel.roving_poll_interval,
+                   [this, &ch] { poll_channel(ch); });
 }
 
 void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> walks) {
@@ -1041,7 +1046,8 @@ void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> w
   }
   if (!to_board.empty()) {
     metrics_.to_board_walks += to_board.size();
-    sim_.schedule_at(completion, [this, walks2 = std::move(to_board)]() mutable {
+    sim_.schedule_at_on(kBoardShard, completion,
+                        [this, walks2 = std::move(to_board)]() mutable {
       enqueue_board(std::move(walks2));
     });
   } else {
@@ -1057,8 +1063,8 @@ void FlashWalkerEngine::kick_channel(ChannelState& ch) {
                                      [](const LoadedSg& s) { return !s.queue.empty(); });
   if (!has_walks) return;
   ch.processing = true;
-  sim_.schedule_at(std::max(sim_.now(), ch.unit.busy_until()),
-                   [this, &ch] { process_channel(ch); });
+  sim_.schedule_at_on(channel_shard(ch), std::max(sim_.now(), ch.unit.busy_until()),
+                      [this, &ch] { process_channel(ch); });
 }
 
 void FlashWalkerEngine::process_channel(ChannelState& ch) {
@@ -1130,7 +1136,11 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
                          processed, "walks");
   }
   ch.processing = true;
-  sim_.schedule_at(completion, [this, &ch, walks = std::move(to_board)]() mutable {
+  // Home: channel. The handler hands `walks` to the board by direct call
+  // (enqueue_board), a zero-latency channel->board edge the shard audit
+  // reports via the board events it schedules — see MODELING.md.
+  sim_.schedule_at_on(channel_shard(ch), completion,
+                      [this, &ch, walks = std::move(to_board)]() mutable {
     ch.processing = false;
     if (!walks.empty()) {
       metrics_.to_board_walks += walks.size();
@@ -1156,8 +1166,8 @@ void FlashWalkerEngine::enqueue_board(std::vector<rw::Walk> walks) {
 void FlashWalkerEngine::kick_board_guider() {
   if (board_.guiding || board_.guide.empty() || done_) return;
   board_.guiding = true;
-  sim_.schedule_at(std::max(sim_.now(), board_.guider_unit.busy_until()),
-                   [this] { process_board_guider(); });
+  sim_.schedule_at_on(kBoardShard, std::max(sim_.now(), board_.guider_unit.busy_until()),
+                      [this] { process_board_guider(); });
 }
 
 void FlashWalkerEngine::process_board_guider() {
@@ -1185,7 +1195,8 @@ void FlashWalkerEngine::process_board_guider() {
                          processed, "walks");
   }
   board_.guiding = true;
-  sim_.schedule_at(completion, [this, touched = std::move(touched_chips)]() mutable {
+  sim_.schedule_at_on(kBoardShard, completion,
+                      [this, touched = std::move(touched_chips)]() mutable {
     board_.guiding = false;
     for (std::uint32_t g : touched) kick_chip(chips_[g]);
     chip_list_pool_.release(std::move(touched));
@@ -1201,8 +1212,8 @@ void FlashWalkerEngine::kick_board_updater() {
                                      [](const LoadedSg& s) { return !s.queue.empty(); });
   if (!has_walks) return;
   board_.updating = true;
-  sim_.schedule_at(std::max(sim_.now(), board_.updater_unit.busy_until()),
-                   [this] { process_board_updater(); });
+  sim_.schedule_at_on(kBoardShard, std::max(sim_.now(), board_.updater_unit.busy_until()),
+                      [this] { process_board_updater(); });
 }
 
 void FlashWalkerEngine::process_board_updater() {
@@ -1249,7 +1260,8 @@ void FlashWalkerEngine::process_board_updater() {
                          processed, "walks");
   }
   board_.updating = true;
-  sim_.schedule_at(completion, [this, walks = std::move(to_guide)]() mutable {
+  sim_.schedule_at_on(kBoardShard, completion,
+                      [this, walks = std::move(to_guide)]() mutable {
     board_.updating = false;
     if (!walks.empty()) {
       enqueue_board(std::move(walks));
@@ -1354,26 +1366,53 @@ void FlashWalkerEngine::publish_counters() {
       latencies.push_back(static_cast<double>(jc.done_tick - jc.job.arrival));
     }
     set("service.jobs", jobs_.size());
-    set("service.latency_p50_ns", static_cast<std::uint64_t>(percentile(latencies, 50)));
-    set("service.latency_p95_ns", static_cast<std::uint64_t>(percentile(latencies, 95)));
-    set("service.latency_p99_ns", static_cast<std::uint64_t>(percentile(latencies, 99)));
+    // Nearest-rank (see WalkService::run): SLO percentiles report observed
+    // latencies, not interpolations between them.
+    set("service.latency_p50_ns",
+        static_cast<std::uint64_t>(percentile_nearest_rank(latencies, 50)));
+    set("service.latency_p95_ns",
+        static_cast<std::uint64_t>(percentile_nearest_rank(latencies, 95)));
+    set("service.latency_p99_ns",
+        static_cast<std::uint64_t>(percentile_nearest_rank(latencies, 99)));
+  }
+  if (audit_) {
+    // The parallel.* family exists only in shard-audit runs, so serial runs
+    // keep their pre-audit counter sets byte-for-byte.
+    set("parallel.shards", audit_->num_shards());
+    set("parallel.lookahead_ns", audit_->lookahead());
+    set("parallel.events", audit_->total_events());
+    set("parallel.max_shard_events", audit_->max_shard_events());
+    set("parallel.local_sends", audit_->local_sends());
+    set("parallel.cross_sends", audit_->cross_sends());
+    set("parallel.lookahead_violations", audit_->lookahead_violations());
   }
 }
 
 EngineResult FlashWalkerEngine::run() {
   check_done();  // zero-walk workloads finish immediately
 
+  if (opt_.sim_threads > 1) {
+    // Shard-audit mode: tag + measure, attached before the first schedule
+    // so every event of the run is covered. Execution stays serial.
+    audit_ = std::make_unique<sim::ShardAudit>(
+        1 + static_cast<std::uint32_t>(channels_.size()),
+        conservative_lookahead_ns(opt_.accel, opt_.ssd));
+    sim_.attach_audit(audit_.get());
+  }
+
   if (!done_) {
     // Jobs enter the simulation at their arrival ticks; the implicit
     // single-workload job arrives at tick 0, reproducing the pre-service
-    // event sequence exactly.
+    // event sequence exactly. Job control lives on the board shard.
     for (std::uint16_t j = 0; j < jobs_.size(); ++j) {
-      sim_.schedule_at(jobs_[j].job.arrival, [this, j] { arrive_job(j); });
+      sim_.schedule_at_on(kBoardShard, jobs_[j].job.arrival,
+                          [this, j] { arrive_job(j); });
     }
     schedule_heartbeats();
   }
 
   sim_.run();
+  sim_.attach_audit(nullptr);  // queue is drained; nothing left to tag
 
   if (metrics_.walks_completed != total_expected_) {
     throw std::logic_error("FlashWalkerEngine: run ended with unfinished walks");
@@ -1387,6 +1426,19 @@ EngineResult FlashWalkerEngine::run() {
   // the measurement.
   result.exec_time = done_tick_;
   result.metrics = metrics_;
+  if (audit_) {
+    ShardAuditReport& r = result.shard_audit;
+    r.enabled = true;
+    r.shards = audit_->num_shards();
+    r.lookahead_ns = audit_->lookahead();
+    r.events = audit_->total_events();
+    r.max_shard_events = audit_->max_shard_events();
+    r.local_sends = audit_->local_sends();
+    r.cross_sends = audit_->cross_sends();
+    r.min_cross_delay_ns =
+        r.cross_sends > 0 ? audit_->min_cross_delay() : Tick{0};
+    r.lookahead_violations = audit_->lookahead_violations();
+  }
   result.flash_read_bytes = flash_->read_bytes();
   result.flash_write_bytes = flash_->programmed_bytes();
   result.channel_bytes = flash_->channel_bytes();

@@ -81,6 +81,30 @@ struct EngineOptions {
   /// fragmented planes while the device would otherwise sit idle after the
   /// walk workload drains; 0 disables the pass.
   std::uint32_t idle_gc_episodes = 256;
+  /// Parallel-DES shard validation (the `--sim-threads` CLI knob). 1 runs
+  /// the serial reference engine untouched. > 1 keeps execution serial and
+  /// bit-exact but tags every event with its home shard (board = 0,
+  /// channel c = 1 + c) and audits the event stream against the
+  /// conservative-lookahead window (accel/lookahead.hpp): the result's
+  /// `shard_audit` reports per-shard balance, cross-shard traffic, and any
+  /// sends that land inside the window — the paths a true multi-threaded
+  /// engine run would need to fix first (see docs/MODELING.md
+  /// "Parallel DES").
+  std::uint32_t sim_threads = 1;
+};
+
+/// What a conservative-lookahead partitioning of the engine's event stream
+/// looks like; populated when EngineOptions::sim_threads > 1.
+struct ShardAuditReport {
+  bool enabled = false;
+  std::uint32_t shards = 0;
+  Tick lookahead_ns = 0;
+  std::uint64_t events = 0;
+  std::uint64_t max_shard_events = 0;  ///< busiest shard (balance signal)
+  std::uint64_t local_sends = 0;
+  std::uint64_t cross_sends = 0;
+  Tick min_cross_delay_ns = 0;  ///< 0 when no cross-shard send occurred
+  std::uint64_t lookahead_violations = 0;
 };
 
 struct EngineResult {
@@ -132,6 +156,9 @@ struct EngineResult {
   /// Per-job results in submission order: timing/throughput stats always;
   /// per-job output vectors only for explicit multi-job runs.
   std::vector<service::JobResult> jobs;
+
+  /// Shard-audit report (enabled only when sim_threads > 1).
+  ShardAuditReport shard_audit;
 };
 
 class FlashWalkerEngine {
@@ -294,10 +321,22 @@ class FlashWalkerEngine {
   /// scheduler work) into the counter registry; called once at end of run.
   void publish_counters();
 
+  // --- parallel-DES shard model -----------------------------------------------
+  /// Home shards: the board (plus every other shared resource — DRAM, FTL,
+  /// host link, job control) is shard 0; channel c and its chips are 1 + c.
+  static constexpr sim::ShardId kBoardShard = 0;
+  [[nodiscard]] static sim::ShardId chip_shard(const ChipState& c) {
+    return 1 + c.channel;
+  }
+  [[nodiscard]] static sim::ShardId channel_shard(const ChannelState& ch) {
+    return 1 + ch.index;
+  }
+
   // --- members ----------------------------------------------------------------
   const partition::PartitionedGraph* pg_;
   EngineOptions opt_;
   sim::Simulator sim_;
+  std::unique_ptr<sim::ShardAudit> audit_;  ///< attached when sim_threads > 1
   std::unique_ptr<ssd::FlashArray> flash_;
   std::unique_ptr<ssd::GraphLayout> layout_;
   std::unique_ptr<ssd::Ftl> ftl_;

@@ -59,9 +59,12 @@ ServiceResult WalkService::run() {
       max_rate = std::max(max_rate, rate);
     }
   }
-  res.latency_p50_ns = percentile(latencies, 50);
-  res.latency_p95_ns = percentile(latencies, 95);
-  res.latency_p99_ns = percentile(latencies, 99);
+  // Nearest-rank, not interpolated: an SLO percentile must be a latency
+  // some job actually saw, and interpolation misbehaves on the tiny
+  // samples (1-4 jobs) this service typically runs.
+  res.latency_p50_ns = percentile_nearest_rank(latencies, 50);
+  res.latency_p95_ns = percentile_nearest_rank(latencies, 95);
+  res.latency_p99_ns = percentile_nearest_rank(latencies, 99);
   if (have_rate && min_rate > 0.0) res.fairness_ratio = max_rate / min_rate;
   if (res.makespan > 0) {
     res.aggregate_steps_per_sec = static_cast<double>(res.engine.metrics.total_hops) *

@@ -71,6 +71,11 @@ OptionSet& OptionSet::opt(const std::string& name, const std::string& metavar,
 
 std::uint64_t OptionSet::to_u64(const std::string& name, const std::string& value) {
   try {
+    // std::stoull accepts a leading '-' and wraps modulo 2^64 ("-5" parses
+    // as 18446744073709551611); these are unsigned options, so any sign —
+    // anywhere stoull would tolerate it, including after whitespace — is an
+    // error, not a wrap.
+    if (value.find('-') != std::string::npos) throw std::invalid_argument(value);
     std::size_t pos = 0;
     const std::uint64_t r = std::stoull(value, &pos);
     if (pos != value.size()) throw std::invalid_argument(value);

@@ -38,6 +38,17 @@ double percentile(std::span<const double> sample, double p) {
   return copy[lo] * (1.0 - frac) + copy[hi] * frac;
 }
 
+double percentile_nearest_rank(std::span<const double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(copy.size()));
+  // p = 0 gives rank 0; clamp to the first order statistic (the minimum).
+  const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return copy[std::min(idx, copy.size() - 1)];
+}
+
 double geomean(std::span<const double> sample) {
   double log_sum = 0.0;
   std::size_t n = 0;

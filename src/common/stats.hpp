@@ -30,8 +30,16 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Percentile of a sample (copies + sorts; fine for test/bench sizes).
+/// Percentile of a sample by linear interpolation between order statistics
+/// (numpy's default). Empty sample -> 0.0. Copies + sorts; fine for
+/// test/bench sizes.
 double percentile(std::span<const double> sample, double p);
+
+/// Nearest-rank percentile: the ceil(p/100 * n)-th order statistic, always
+/// an actually observed value — the right definition for SLO latency
+/// reporting, and well-behaved on tiny samples (n = 1 returns that sample
+/// for every p; n = 2 returns the max for p > 50). Empty sample -> 0.0.
+double percentile_nearest_rank(std::span<const double> sample, double p);
 
 /// Geometric mean; ignores non-positive values.
 double geomean(std::span<const double> sample);

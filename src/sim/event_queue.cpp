@@ -1,10 +1,15 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace fw::sim {
 namespace {
+
+/// Cold path for the empty-queue precondition: a thrown logic_error instead
+/// of the former assert, which compiled out in Release and left UB.
+[[noreturn]] void throw_empty(const char* what) { throw std::logic_error(what); }
 
 /// Heap/sort order: earliest (at, seq) first. Keys are unique (seq is
 /// monotone), so plain sort preserves insertion order at equal ticks.
@@ -133,13 +138,18 @@ void EventQueue::settle() {
 }
 
 Tick EventQueue::next_tick() {
-  assert(!empty() && "EventQueue::next_tick on empty queue");
+  if (empty()) throw_empty("EventQueue::next_tick on empty queue");
   settle();
   return bucket(scan_bid_)[pos_].at;
 }
 
+std::optional<std::pair<Tick, EventFn>> EventQueue::try_pop() {
+  if (empty()) return std::nullopt;
+  return pop();
+}
+
 std::pair<Tick, EventFn> EventQueue::pop() {
-  assert(!empty() && "EventQueue::pop on empty queue");
+  if (empty()) throw_empty("EventQueue::pop on empty queue");
   settle();
   std::vector<Event>& b = bucket(scan_bid_);
   Event ev = std::move(b[pos_]);

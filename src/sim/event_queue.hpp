@@ -30,6 +30,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -52,13 +54,19 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  /// Tick of the earliest pending event. Precondition: !empty().
+  /// Tick of the earliest pending event. Throws std::logic_error when the
+  /// queue is empty — a hard check, not an assert, because callers like the
+  /// multi-shard drain loop hit this path in Release builds too.
   /// (Non-const: positions the drain cursor, which may sort a bucket or
   /// promote overflow events — observable state is unchanged.)
   Tick next_tick();
 
-  /// Pop and return the earliest event. Precondition: !empty().
+  /// Pop and return the earliest event. Throws std::logic_error when empty.
   std::pair<Tick, EventFn> pop();
+
+  /// Pop the earliest event, or nullopt when the queue is empty. The
+  /// non-throwing form for drain loops that race the queue dry.
+  [[nodiscard]] std::optional<std::pair<Tick, EventFn>> try_pop();
 
   /// Events currently parked in the overflow heap (observability/tests).
   [[nodiscard]] std::size_t overflow_size() const { return overflow_.size(); }

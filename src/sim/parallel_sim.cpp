@@ -1,0 +1,170 @@
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace fw::sim {
+
+namespace {
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+}  // namespace
+
+void Shard::send(ShardId dst, Tick delay, EventFn fn) {
+  if (dst == id_) {
+    schedule(delay, std::move(fn));
+    return;
+  }
+  if (dst >= outbox_.size()) {
+    throw std::out_of_range("Shard::send: destination shard out of range");
+  }
+  if (delay < owner_->lookahead_) {
+    throw std::logic_error(
+        "Shard::send: cross-shard delay below the conservative lookahead");
+  }
+  outbox_[dst].push_back(Envelope{now_ + delay, send_seq_++, std::move(fn)});
+}
+
+void ParallelSimulator::Barrier::arrive_and_wait() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (++spins > kSpinLimit) std::this_thread::yield();
+    }
+  }
+}
+
+ParallelSimulator::ParallelSimulator(std::uint32_t num_shards, Tick lookahead,
+                                     std::uint32_t workers)
+    : lookahead_(lookahead),
+      workers_(std::clamp<std::uint32_t>(workers, 1,
+                                         num_shards == 0 ? 1 : num_shards)),
+      barrier_(workers_ + 1) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ParallelSimulator: need at least one shard");
+  }
+  if (lookahead == 0) {
+    throw std::invalid_argument("ParallelSimulator: lookahead must be >= 1 ns");
+  }
+  shards_.resize(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].owner_ = this;
+    shards_[s].id_ = s;
+    shards_[s].outbox_.resize(num_shards);
+  }
+}
+
+bool ParallelSimulator::idle() const {
+  for (const Shard& s : shards_) {
+    if (!s.queue_.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ParallelSimulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.executed_;
+  return total;
+}
+
+std::optional<Tick> ParallelSimulator::next_window(Tick until) {
+  Tick start = kMaxTick;
+  bool any = false;
+  for (Shard& s : shards_) {
+    if (s.queue_.empty()) continue;
+    any = true;
+    start = std::min(start, s.queue_.next_tick());
+  }
+  if (!any || start > until) return std::nullopt;
+  Tick end = start + lookahead_;
+  if (end < start) end = kMaxTick;  // saturate
+  if (until != kMaxTick && end > until + 1) end = until + 1;
+  return end;
+}
+
+void ParallelSimulator::drain_window(Shard& s, Tick window_end) {
+  while (!s.queue_.empty() && s.queue_.next_tick() < window_end) {
+    auto popped = s.queue_.try_pop();
+    if (!popped) break;  // unreachable given the guard; keeps the API honest
+    s.now_ = popped->first;
+    popped->second();
+    ++s.executed_;
+  }
+}
+
+void ParallelSimulator::merge_outboxes() {
+  merge_scratch_.clear();
+  for (Shard& src : shards_) {
+    for (ShardId dst = 0; dst < src.outbox_.size(); ++dst) {
+      for (Shard::Envelope& env : src.outbox_[dst]) {
+        merge_scratch_.push_back(
+            Crossing{env.at, src.id_, env.seq, dst, std::move(env.fn)});
+      }
+      src.outbox_[dst].clear();
+    }
+  }
+  // (tick, src, seq) is a total order — seq is monotone per source — so the
+  // destination queues see crossings in a schedule-independent sequence.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Crossing& a, const Crossing& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Crossing& c : merge_scratch_) {
+    shards_[c.dst].queue_.push(c.at, std::move(c.fn));
+  }
+  merge_scratch_.clear();
+}
+
+void ParallelSimulator::worker_loop(std::uint32_t worker) {
+  for (;;) {
+    barrier_.arrive_and_wait();  // coordinator publishes window_end_ / stop_
+    if (stop_.load(std::memory_order_acquire)) return;
+    const Tick end = window_end_;
+    for (ShardId s = worker; s < shards_.size(); s += workers_) {
+      drain_window(shards_[s], end);
+    }
+    barrier_.arrive_and_wait();  // window complete; coordinator merges
+  }
+}
+
+std::uint64_t ParallelSimulator::run(Tick until) {
+  const std::uint64_t before = events_executed();
+  if (workers_ == 1) {
+    // Inline mode: identical window/merge schedule, no threads.
+    while (std::optional<Tick> end = next_window(until)) {
+      for (Shard& s : shards_) drain_window(s, *end);
+      merge_outboxes();
+    }
+  } else {
+    stop_.store(false, std::memory_order_release);
+    std::vector<std::thread> pool;
+    pool.reserve(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      pool.emplace_back([this, w] { worker_loop(w); });
+    }
+    // Between barriers the coordinator is the only thread touching shard
+    // state: workers sit at the round-start rendezvous while it inspects
+    // queues, merges outboxes, and publishes the next window.
+    while (std::optional<Tick> end = next_window(until)) {
+      window_end_ = *end;
+      barrier_.arrive_and_wait();  // release workers into the window
+      barrier_.arrive_and_wait();  // wait for the drain phase
+      merge_outboxes();
+    }
+    stop_.store(true, std::memory_order_release);
+    barrier_.arrive_and_wait();
+    for (std::thread& t : pool) t.join();
+  }
+  for (const Shard& s : shards_) now_ = std::max(now_, s.now_);
+  if (idle() && until != kMaxTick && now_ < until) now_ = until;
+  return events_executed() - before;
+}
+
+}  // namespace fw::sim

@@ -1,0 +1,182 @@
+// Conservative-lookahead parallel DES over per-channel event-queue shards.
+//
+// Each shard owns a private bucketed calendar EventQueue (sim/event_queue)
+// plus a clock and a set of single-writer outboxes. Execution proceeds in
+// windows: the coordinator takes the globally earliest pending tick
+// `start`, opens the window [start, start + lookahead), and every shard
+// drains its own queue strictly inside the window with no locks — safe
+// because the model guarantees any cross-shard interaction takes at least
+// `lookahead` ns (ONFI channel transfer + DRAM hop; see
+// accel/lookahead.hpp and docs/MODELING.md "Parallel DES"). Cross-shard
+// sends therefore always land at or after the window end; they are parked
+// in the sender's outbox and merged at the barrier.
+//
+// Determinism: the window schedule is a pure function of queue state at
+// barriers, each shard executes serially in (tick, seq) order, and the
+// barrier merge delivers crossings in ascending (tick, src_shard, seq)
+// order into the destination queues — so equal-tick arrivals tie-break by
+// source shard then send order, and locally scheduled events (pushed
+// earlier, hence smaller destination seq) fire before same-tick crossings.
+// None of this depends on the worker count: 1, 2, and 8 workers produce
+// bit-identical traces, which tests/parallel_sim_test.cpp pins (and the CI
+// TSan job re-checks for data races).
+//
+// Threading: `workers == 1` runs the identical window/merge schedule
+// inline on the caller's thread (no threads spawned). With more workers,
+// shard s is statically owned by worker s % workers, workers run shards in
+// increasing id, and a sense-reversing spin-then-yield barrier (two
+// rendezvous per window) separates the parallel drain phase from the
+// serial merge phase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/shard_audit.hpp"
+
+namespace fw::sim {
+
+class ParallelSimulator;
+
+/// One event-queue shard. Handlers receive a reference to their home shard
+/// and use it exactly like the serial Simulator — plus `send` for
+/// cross-shard traffic. Constructed and owned by ParallelSimulator.
+class Shard {
+ public:
+  Shard() = default;
+  Shard(Shard&&) = default;
+  Shard& operator=(Shard&&) = default;
+
+  [[nodiscard]] ShardId id() const { return id_; }
+  [[nodiscard]] Tick now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Schedule on this shard, `delay` ns from the shard clock.
+  void schedule(Tick delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
+
+  /// Schedule on this shard at absolute tick `at` (clamped to the shard
+  /// clock, like Simulator::schedule_at).
+  void schedule_at(Tick at, EventFn fn) {
+    queue_.push(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  /// Schedule on shard `dst`, `delay` ns from this shard's clock. A
+  /// self-send degenerates to a local schedule (no lookahead constraint).
+  /// Cross-shard sends must respect the conservative window: throws
+  /// std::logic_error when `delay` is below the simulator's lookahead, and
+  /// std::out_of_range for an unknown destination. The event is parked in
+  /// this shard's outbox and delivered at the next window barrier.
+  void send(ShardId dst, Tick delay, EventFn fn);
+
+ private:
+  friend class ParallelSimulator;
+
+  struct Envelope {
+    Tick at;
+    std::uint64_t seq;  ///< per-source send order, tie-break within a tick
+    EventFn fn;
+  };
+
+  ParallelSimulator* owner_ = nullptr;
+  ShardId id_ = 0;
+  Tick now_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t send_seq_ = 0;
+  EventQueue queue_;
+  /// outbox_[dst]: crossings produced this window. Written only by the
+  /// worker that owns this shard; drained only by the merge phase.
+  std::vector<std::vector<Envelope>> outbox_;
+};
+
+class ParallelSimulator {
+ public:
+  /// `lookahead` must be >= 1 ns (the window would otherwise be empty);
+  /// `workers` is clamped to [1, num_shards]. Throws std::invalid_argument
+  /// on a zero shard count or zero lookahead.
+  ParallelSimulator(std::uint32_t num_shards, Tick lookahead,
+                    std::uint32_t workers = 1);
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  [[nodiscard]] Shard& shard(ShardId s) { return shards_[s]; }
+  [[nodiscard]] const Shard& shard(ShardId s) const { return shards_[s]; }
+  [[nodiscard]] std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] Tick lookahead() const { return lookahead_; }
+  [[nodiscard]] std::uint32_t workers() const { return workers_; }
+
+  /// Global completed-through time: the latest shard clock after run()
+  /// (clamped up to `until`, matching Simulator::run).
+  [[nodiscard]] Tick now() const { return now_; }
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  /// Run windows until every shard queue drains or the earliest pending
+  /// event lies beyond `until`. Returns the number of events executed by
+  /// this call across all shards.
+  std::uint64_t run(Tick until = std::numeric_limits<Tick>::max());
+
+ private:
+  friend class Shard;
+
+  /// Sense-reversing central barrier; spins briefly then yields, so it
+  /// stays live even when threads outnumber cores.
+  class Barrier {
+   public:
+    explicit Barrier(std::uint32_t parties) : parties_(parties) {}
+    void arrive_and_wait();
+
+   private:
+    static constexpr int kSpinLimit = 1024;
+    const std::uint32_t parties_;
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+  };
+
+  /// Next window end, or nullopt when nothing remains at or before
+  /// `until`. Pure function of the shard queues — callers must hold all
+  /// workers at a barrier.
+  [[nodiscard]] std::optional<Tick> next_window(Tick until);
+
+  /// Drain one shard's events with tick < window_end (the parallel phase
+  /// body; also the inline-mode body).
+  static void drain_window(Shard& s, Tick window_end);
+
+  /// Deliver every outbox envelope in (tick, src, seq) order (the serial
+  /// merge phase).
+  void merge_outboxes();
+
+  void worker_loop(std::uint32_t worker);
+
+  Tick lookahead_;
+  std::uint32_t workers_;
+  std::vector<Shard> shards_;
+  Tick now_ = 0;
+
+  // Window-loop rendezvous state (used only when workers_ > 1). The
+  // barrier's acquire/release pairs order these plain fields: the
+  // coordinator writes before releasing workers into a window, workers
+  // read after.
+  Barrier barrier_;
+  Tick window_end_ = 0;
+  std::atomic<bool> stop_{false};
+
+  struct Crossing {
+    Tick at;
+    ShardId src;
+    std::uint64_t seq;
+    ShardId dst;
+    EventFn fn;
+  };
+  std::vector<Crossing> merge_scratch_;
+};
+
+}  // namespace fw::sim

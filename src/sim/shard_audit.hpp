@@ -1,0 +1,76 @@
+// Shard identity + the serial-mode shard audit.
+//
+// The parallel DES (sim/parallel_sim.hpp) shards the event queue per
+// channel. The serial Simulator stays the bit-exact reference, but it can
+// carry the same shard tagging: every event is scheduled with a home shard,
+// and an attached ShardAudit measures what a conservative-lookahead
+// parallel execution of the identical event stream would see — per-shard
+// event balance, cross-shard traffic volume, the minimum cross-shard delay,
+// and how many cross-shard sends land inside the configured lookahead
+// window (each such send would force a smaller window, or a model change
+// that charges the real transfer latency on that path). This is how the
+// engine's event stream is validated against the window derivation in
+// docs/MODELING.md ("Parallel DES") without perturbing the serial run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fw::sim {
+
+/// Identifies one event-queue shard. By engine convention shard 0 is the
+/// board/shared-resource shard and shard 1 + c is channel c.
+using ShardId = std::uint32_t;
+
+class ShardAudit {
+ public:
+  ShardAudit(std::uint32_t num_shards, Tick lookahead)
+      : lookahead_(lookahead), events_(num_shards, 0) {}
+
+  void record_execute(ShardId home) { ++events_[home]; }
+
+  void record_send(ShardId src, ShardId dst, Tick delay) {
+    if (src == dst) {
+      ++local_sends_;
+      return;
+    }
+    ++cross_sends_;
+    min_cross_delay_ = std::min(min_cross_delay_, delay);
+    if (delay < lookahead_) ++violations_;
+  }
+
+  [[nodiscard]] std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(events_.size());
+  }
+  [[nodiscard]] Tick lookahead() const { return lookahead_; }
+  /// Events executed on one shard (the parallel-mode load-balance signal).
+  [[nodiscard]] std::uint64_t events(ShardId s) const { return events_[s]; }
+  [[nodiscard]] std::uint64_t total_events() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t e : events_) sum += e;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t max_shard_events() const {
+    return events_.empty() ? 0 : *std::max_element(events_.begin(), events_.end());
+  }
+  [[nodiscard]] std::uint64_t local_sends() const { return local_sends_; }
+  [[nodiscard]] std::uint64_t cross_sends() const { return cross_sends_; }
+  /// Smallest observed cross-shard delay (max Tick when no send occurred).
+  [[nodiscard]] Tick min_cross_delay() const { return min_cross_delay_; }
+  /// Cross-shard sends scheduled closer than the lookahead window.
+  [[nodiscard]] std::uint64_t lookahead_violations() const { return violations_; }
+
+ private:
+  Tick lookahead_;
+  std::vector<std::uint64_t> events_;
+  std::uint64_t local_sends_ = 0;
+  std::uint64_t cross_sends_ = 0;
+  Tick min_cross_delay_ = std::numeric_limits<Tick>::max();
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace fw::sim

@@ -1,6 +1,37 @@
 #include "sim/simulator.hpp"
 
+#include <utility>
+
 namespace fw::sim {
+
+void Simulator::schedule_on(ShardId home, Tick delay, EventFn fn) {
+  if (audit_ == nullptr) {
+    queue_.push(now_ + delay, std::move(fn));
+    return;
+  }
+  audit_->record_send(current_shard_, home, delay);
+  queue_.push(now_ + delay, tag(home, std::move(fn)));
+}
+
+void Simulator::schedule_at_on(ShardId home, Tick at, EventFn fn) {
+  if (audit_ == nullptr) {
+    queue_.push(at < now_ ? now_ : at, std::move(fn));
+    return;
+  }
+  const Tick eff = at < now_ ? now_ : at;
+  audit_->record_send(current_shard_, home, eff - now_);
+  queue_.push(eff, tag(home, std::move(fn)));
+}
+
+EventFn Simulator::tag(ShardId home, EventFn fn) {
+  return EventFn([this, home, fn = std::move(fn)]() mutable {
+    const ShardId prev = current_shard_;
+    current_shard_ = home;
+    audit_->record_execute(home);
+    fn();
+    current_shard_ = prev;
+  });
+}
 
 std::uint64_t Simulator::run(Tick until) {
   std::uint64_t executed = 0;

@@ -1,10 +1,20 @@
 // The simulation clock + event loop.
+//
+// The serial Simulator is the bit-exact reference engine. It can optionally
+// carry the parallel-DES shard model (sim/shard_audit.hpp): when an audit
+// is attached, every event is tagged with a home shard — explicitly via
+// `schedule_on`/`schedule_at_on`, or inherited from the currently executing
+// event for plain `schedule`/`schedule_at` — and each schedule is recorded
+// as a (src, dst, delay) send. Execution order and timing are unchanged;
+// with no audit attached the tagged overloads collapse to the plain ones,
+// so the default path stays byte-identical to the pre-audit engine.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 
 #include "sim/event_queue.hpp"
+#include "sim/shard_audit.hpp"
 
 namespace fw::sim {
 
@@ -13,12 +23,36 @@ class Simulator {
   [[nodiscard]] Tick now() const { return now_; }
 
   /// Schedule `fn` to run `delay` ns from now.
-  void schedule(Tick delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
+  void schedule(Tick delay, EventFn fn) {
+    if (audit_ == nullptr) {
+      queue_.push(now_ + delay, std::move(fn));
+      return;
+    }
+    schedule_on(current_shard_, delay, std::move(fn));
+  }
 
   /// Schedule `fn` at absolute tick `at` (clamped to now).
   void schedule_at(Tick at, EventFn fn) {
-    queue_.push(at < now_ ? now_ : at, std::move(fn));
+    if (audit_ == nullptr) {
+      queue_.push(at < now_ ? now_ : at, std::move(fn));
+      return;
+    }
+    schedule_at_on(current_shard_, at, std::move(fn));
   }
+
+  /// Tagged variants: like schedule/schedule_at, but naming the event's
+  /// home shard. No-cost aliases of the plain forms when no audit is
+  /// attached.
+  void schedule_on(ShardId home, Tick delay, EventFn fn);
+  void schedule_at_on(ShardId home, Tick at, EventFn fn);
+
+  /// Attach (or detach, with nullptr) a shard audit. Only events scheduled
+  /// while attached are tagged and counted; attach before the first
+  /// schedule for full coverage. The audit must outlive the run.
+  void attach_audit(ShardAudit* audit) { audit_ = audit; }
+  /// Home shard of the currently executing event (0 outside events or when
+  /// no audit is attached).
+  [[nodiscard]] ShardId current_shard() const { return current_shard_; }
 
   /// Run until the queue drains or `until` is reached. Returns the number
   /// of events executed.
@@ -31,9 +65,14 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
 
  private:
+  /// Wrap `fn` so execution sets the current shard and records itself.
+  [[nodiscard]] EventFn tag(ShardId home, EventFn fn);
+
   Tick now_ = 0;
   std::uint64_t events_executed_ = 0;
   EventQueue queue_;
+  ShardId current_shard_ = 0;
+  ShardAudit* audit_ = nullptr;
 };
 
 }  // namespace fw::sim

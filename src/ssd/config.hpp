@@ -84,6 +84,13 @@ struct SsdConfig {
   [[nodiscard]] std::uint64_t aggregate_channel_mb_per_s() const {
     return topo.channels * timing.channel_mb_per_s;
   }
+  /// Minimum latency of any path that leaves a channel's island of state:
+  /// the ONFI command/address overhead to get off the channel bus plus one
+  /// on-board DRAM first-access hop. The parallel DES uses this as the
+  /// floor of its conservative-lookahead window (accel/lookahead.hpp).
+  [[nodiscard]] Tick min_cross_channel_ns() const {
+    return timing.channel_cmd_overhead + dram.access_latency();
+  }
   /// Aggregate in-plane read throughput if every plane streams pages.
   [[nodiscard]] double aggregate_plane_read_mb_per_s() const {
     const double per_plane =

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <initializer_list>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/assoc_cache.hpp"
 #include "common/bloom.hpp"
+#include "common/options.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -210,6 +214,37 @@ TEST(Percentile, Median) {
   EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
 }
 
+TEST(PercentileNearestRank, ReturnsObservedOrderStatistics) {
+  // ceil(p/100 * n)-th order statistic: every result is a sample member.
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 20), 10.0);   // ceil(1) = 1st
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 50), 30.0);   // ceil(2.5) = 3rd
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 90), 50.0);   // ceil(4.5) = 5th
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 100), 50.0);
+  // Unlike linear interpolation, p95 of {10..50} is never an invented 48.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 95), 50.0);
+}
+
+TEST(PercentileNearestRank, TinySamplesAreWellBehaved) {
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({}, 50), 0.0);  // empty -> 0
+  std::vector<double> one{7.0};
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(one, p), 7.0);
+  }
+  std::vector<double> two{3.0, 9.0};  // unsorted input is fine
+  std::reverse(two.begin(), two.end());
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(two, 50), 3.0);  // ceil(1) = min
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(two, 51), 9.0);  // ceil(1.02) = max
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(two, 99), 9.0);
+}
+
+TEST(PercentileNearestRank, ClampsOutOfRangeP) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 250), 3.0);
+}
+
 TEST(Geomean, Basic) {
   std::vector<double> v{1.0, 4.0, 16.0};
   EXPECT_NEAR(geomean(v), 4.0, 1e-9);
@@ -269,6 +304,59 @@ TEST(TextTable, Formatters) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::bytes(2048), "2.00 KiB");
   EXPECT_EQ(TextTable::time_ns(1'500'000), "1.500 ms");
+}
+
+// --- OptionSet -------------------------------------------------------------
+
+/// Parse the given argv tail against a fresh `--walks` u64 / `--rate` u32
+/// option set; returns the parsed values.
+struct ParsedOpts {
+  std::uint64_t walks = 11;
+  std::uint32_t rate = 22;
+};
+
+ParsedOpts parse_opts(std::initializer_list<const char*> args) {
+  ParsedOpts p;
+  OptionSet os;
+  os.opt("--walks", &p.walks, "N", "walk count")
+      .opt("--rate", &p.rate, "R", "rate");
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  os.parse(static_cast<int>(argv.size()), argv.data());
+  return p;
+}
+
+TEST(OptionSet, ParsesUnsignedValuesInBothSpellings) {
+  const ParsedOpts a = parse_opts({"--walks", "500", "--rate", "7"});
+  EXPECT_EQ(a.walks, 500u);
+  EXPECT_EQ(a.rate, 7u);
+  const ParsedOpts b = parse_opts({"--walks=18446744073709551615"});
+  EXPECT_EQ(b.walks, 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(b.rate, 22u);  // untouched default
+}
+
+TEST(OptionSet, RejectsNegativeUnsignedValues) {
+  // Regression: std::stoull accepts "-5" and wraps it to 2^64-5, so a typo
+  // like `--walks -5` used to silently request ~1.8e19 walks. Any '-' in an
+  // unsigned value must be a hard parse error in both option spellings.
+  EXPECT_THROW(parse_opts({"--walks", "-5"}), std::invalid_argument);
+  EXPECT_THROW(parse_opts({"--walks=-5"}), std::invalid_argument);
+  EXPECT_THROW(parse_opts({"--rate", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse_opts({"--walks", "5-5"}), std::invalid_argument);
+  EXPECT_THROW(parse_opts({"--walks", " -5"}), std::invalid_argument);
+}
+
+TEST(OptionSet, ToU64RejectsMalformedInput) {
+  EXPECT_EQ(OptionSet::to_u64("--x", "42"), 42u);
+  EXPECT_THROW(OptionSet::to_u64("--x", "-1"), std::invalid_argument);
+  EXPECT_THROW(OptionSet::to_u64("--x", ""), std::invalid_argument);
+  EXPECT_THROW(OptionSet::to_u64("--x", "12abc"), std::invalid_argument);
+  EXPECT_THROW(OptionSet::to_u64("--x", "abc"), std::invalid_argument);
+}
+
+TEST(OptionSet, StillRejectsUnknownAndValuelessOptions) {
+  EXPECT_THROW(parse_opts({"--bogus", "1"}), std::invalid_argument);
+  EXPECT_THROW(parse_opts({"--walks"}), std::invalid_argument);
 }
 
 }  // namespace

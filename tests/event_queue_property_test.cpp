@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -177,6 +178,37 @@ TEST(EventQueueProperty, NonMonotonePushesRewindWindow) {
     ASSERT_EQ(fired.back(), model_id);
   }
   ASSERT_TRUE(q.empty());
+}
+
+// --- empty-queue hard checks ----------------------------------------------
+
+TEST(EventQueueProperty, EmptyQueueAccessThrowsInEveryBuildType) {
+  // next_tick/pop on an empty queue used to be assert-only (UB in Release);
+  // they are hard std::logic_error throws now, so this test is meaningful
+  // in both Debug and Release CI legs.
+  EventQueue q;
+  EXPECT_THROW(q.next_tick(), std::logic_error);
+  EXPECT_THROW(q.pop(), std::logic_error);
+  // Still empty and usable after the misuse.
+  q.push(5, [] {});
+  EXPECT_EQ(q.next_tick(), 5u);
+  q.pop().second();
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueueProperty, TryPopDrainsWithoutThrowing) {
+  EventQueue q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  std::vector<Tick> ticks;
+  q.push(20, [] {});
+  q.push(10, [] {});
+  while (auto ev = q.try_pop()) {
+    ticks.push_back(ev->first);
+    ev->second();
+  }
+  EXPECT_EQ(ticks, (std::vector<Tick>{10, 20}));
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_TRUE(q.empty());
 }
 
 // --- EventFn ---------------------------------------------------------------

@@ -1,0 +1,267 @@
+// Tests for the conservative-lookahead parallel DES (sim/parallel_sim):
+// cross-worker-count determinism, merge-order rules, window semantics, and
+// misuse hard-checks — plus the engine's shard-audit mode staying
+// bit-identical to the serial reference. The determinism cases are the ones
+// the CI TSan job runs to prove the barrier protocol race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "accel/builder.hpp"
+#include "accel/lookahead.hpp"
+#include "common/rng.hpp"
+#include "graph/datasets.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace fw::sim {
+namespace {
+
+constexpr Tick kLookahead = 100;
+
+/// Deterministic chain workload across shards: every handler mixes the
+/// execution context (shard, tick, hop) into a per-shard trace checksum and
+/// schedules one successor, some of them cross-shard at >= lookahead.
+struct ChainState {
+  std::vector<std::uint64_t> checksum;
+  std::vector<Xoshiro256> rng;
+
+  explicit ChainState(std::uint32_t shards) : checksum(shards) {
+    for (std::uint32_t s = 0; s < shards; ++s) rng.emplace_back(1234 + s);
+  }
+};
+
+struct ChainDriver {
+  ParallelSimulator& ps;
+  ChainState& st;
+
+  void fire(ShardId s, std::uint32_t hops) {
+    st.checksum[s] = st.checksum[s] * 31 + (ps.shard(s).now() ^ hops);
+    if (hops == 0) return;
+    const std::uint64_t r = st.rng[s].bounded(100);
+    if (r < 10) {
+      const auto dst = static_cast<ShardId>(st.rng[s].bounded(ps.num_shards()));
+      ps.shard(s).send(dst, kLookahead + st.rng[s].bounded(64),
+                       [this, dst, hops] { fire(dst, hops - 1); });
+    } else {
+      ps.shard(s).schedule(1 + st.rng[s].bounded(40),
+                           [this, s, hops] { fire(s, hops - 1); });
+    }
+  }
+};
+
+struct RunResult {
+  std::vector<std::uint64_t> checksums;
+  std::vector<Tick> clocks;
+  std::uint64_t executed = 0;
+  Tick now = 0;
+};
+
+RunResult run_chains(std::uint32_t shards, std::uint32_t workers,
+                     std::uint32_t chains, std::uint32_t hops) {
+  ParallelSimulator ps(shards, kLookahead, workers);
+  ChainState st(shards);
+  ChainDriver drv{ps, st};
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (std::uint32_t k = 0; k < chains; ++k) {
+      ps.shard(s).schedule(k * 3 + s, [&drv, s, hops] { drv.fire(s, hops); });
+    }
+  }
+  RunResult r;
+  r.executed = ps.run();
+  r.checksums = st.checksum;
+  for (std::uint32_t s = 0; s < shards; ++s) r.clocks.push_back(ps.shard(s).now());
+  r.now = ps.now();
+  return r;
+}
+
+TEST(ParallelSim, WorkerCountsProduceIdenticalResults) {
+  // The acceptance determinism gate: 1, 2, and 8 workers must yield
+  // bit-identical traces (checksums, per-shard clocks, event counts).
+  const RunResult one = run_chains(9, 1, 4, 200);
+  const RunResult two = run_chains(9, 2, 4, 200);
+  const RunResult eight = run_chains(9, 8, 4, 200);
+  EXPECT_EQ(one.checksums, two.checksums);
+  EXPECT_EQ(one.checksums, eight.checksums);
+  EXPECT_EQ(one.clocks, two.clocks);
+  EXPECT_EQ(one.clocks, eight.clocks);
+  EXPECT_EQ(one.executed, two.executed);
+  EXPECT_EQ(one.executed, eight.executed);
+  EXPECT_EQ(one.now, two.now);
+  EXPECT_EQ(one.now, eight.now);
+  EXPECT_EQ(one.executed, 9u * 4u * 201u);  // every chain ran to completion
+}
+
+TEST(ParallelSim, RepeatedRunsAreReproducible) {
+  const RunResult a = run_chains(5, 4, 2, 100);
+  const RunResult b = run_chains(5, 4, 2, 100);
+  EXPECT_EQ(a.checksums, b.checksums);
+  EXPECT_EQ(a.executed, b.executed);
+}
+
+TEST(ParallelSim, CrossingsMergeInTickSourceSeqOrder) {
+  // Three shards bombard shard 0 with same-tick crossings; arrival order at
+  // the destination must be (tick, src shard, send seq) regardless of the
+  // order the window executed the senders.
+  for (std::uint32_t workers : {1u, 2u, 4u}) {
+    ParallelSimulator ps(4, kLookahead, workers);
+    std::vector<std::pair<ShardId, int>> order;
+    for (ShardId src : {3u, 1u, 2u}) {  // scheduled in scrambled shard order
+      ps.shard(src).schedule(src, [&ps, &order, src] {
+        // All three send()s land on shard 0 at the same absolute tick.
+        const Tick at = 2 * kLookahead;
+        const Tick d = at - ps.shard(src).now();
+        ps.shard(src).send(0, d, [&order, src] { order.emplace_back(src, 0); });
+        ps.shard(src).send(0, d, [&order, src] { order.emplace_back(src, 1); });
+      });
+    }
+    ps.run();
+    const std::vector<std::pair<ShardId, int>> expect = {
+        {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 0}, {3, 1}};
+    EXPECT_EQ(order, expect) << workers << " workers";
+  }
+}
+
+TEST(ParallelSim, LocalEventsFireBeforeEqualTickCrossings) {
+  // A crossing arriving at tick T merges behind anything the destination
+  // already scheduled for T (local pushes carry smaller destination seq).
+  ParallelSimulator ps(2, kLookahead, 2);
+  std::vector<int> order;
+  ps.shard(0).schedule(2 * kLookahead, [&order] { order.push_back(1); });  // local @2L
+  ps.shard(1).schedule(0, [&ps, &order] {
+    ps.shard(1).send(0, 2 * kLookahead, [&order] { order.push_back(2); });  // cross @2L
+  });
+  ps.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ParallelSim, EventsCanScheduleAndChainAcrossWindows) {
+  ParallelSimulator ps(3, kLookahead, 1);
+  Tick seen = 0;
+  ps.shard(2).schedule(5, [&ps, &seen] {
+    ps.shard(2).send(0, kLookahead, [&ps, &seen] {
+      ps.shard(0).schedule(7, [&ps, &seen] { seen = ps.shard(0).now(); });
+    });
+  });
+  ps.run();
+  EXPECT_EQ(seen, 5u + kLookahead + 7u);
+  EXPECT_EQ(ps.events_executed(), 3u);
+}
+
+TEST(ParallelSim, RunUntilBoundsExecutionAndResumes) {
+  ParallelSimulator ps(2, kLookahead, 1);
+  int fired = 0;
+  ps.shard(0).schedule(10, [&fired] { ++fired; });
+  ps.shard(1).schedule(500, [&fired] { ++fired; });
+  EXPECT_EQ(ps.run(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(ps.idle());
+  // Like Simulator::run, the clock rests on the last executed event while
+  // work remains pending beyond the bound.
+  EXPECT_EQ(ps.now(), 10u);
+  EXPECT_EQ(ps.run(), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(ps.idle());
+  EXPECT_EQ(ps.now(), 500u);
+}
+
+TEST(ParallelSim, SelfSendIsLocalAndUnconstrained) {
+  ParallelSimulator ps(2, kLookahead, 1);
+  int fired = 0;
+  ps.shard(1).schedule(0, [&ps, &fired] {
+    ps.shard(1).send(1, 1, [&fired] { ++fired; });  // below lookahead: fine
+  });
+  ps.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ParallelSim, RejectsSubLookaheadCrossSends) {
+  ParallelSimulator ps(2, kLookahead, 1);
+  bool threw = false;
+  ps.shard(0).schedule(0, [&ps, &threw] {
+    try {
+      ps.shard(0).send(1, kLookahead - 1, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  ps.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ParallelSim, RejectsUnknownDestinationAndBadConfig) {
+  ParallelSimulator ps(2, kLookahead, 1);
+  EXPECT_THROW(ps.shard(0).send(2, kLookahead, [] {}), std::out_of_range);
+  EXPECT_THROW(ParallelSimulator(0, kLookahead), std::invalid_argument);
+  EXPECT_THROW(ParallelSimulator(4, 0), std::invalid_argument);
+}
+
+TEST(ParallelSim, WorkerCountClampsToShards) {
+  ParallelSimulator ps(3, kLookahead, 64);
+  EXPECT_EQ(ps.workers(), 3u);
+  // Atomic: the three events land in one window, so with 3 workers they
+  // execute concurrently — shared test state needs its own synchronization.
+  std::atomic<int> fired{0};
+  for (ShardId s = 0; s < 3; ++s) ps.shard(s).schedule(s, [&fired] { ++fired; });
+  ps.run();
+  EXPECT_EQ(fired.load(), 3);
+}
+
+}  // namespace
+}  // namespace fw::sim
+
+namespace fw::accel {
+namespace {
+
+/// Engine shard-audit mode: `sim_threads > 1` must not perturb the serial
+/// reference run, and the audit must describe the event stream it saw.
+TEST(EngineShardAudit, SerialRunIsBitIdenticalAndAuditPopulated) {
+  const graph::CsrGraph g = graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 16 * KiB;
+  pc.subgraphs_per_partition = 2048;
+  pc.subgraphs_per_range = 64;
+  const partition::PartitionedGraph pg(g, pc);
+
+  auto run_with = [&](std::uint32_t threads) {
+    SimulationConfig cfg;
+    cfg.ssd = ssd::test_ssd_config();
+    cfg.accel = bench_accel_config();
+    cfg.spec.num_walks = 500;
+    cfg.spec.length = 6;
+    cfg.spec.seed = 42;
+    cfg.record_visits = true;
+    cfg.sim_threads = threads;
+    return SimulationBuilder(pg).config(cfg).run();
+  };
+
+  const EngineResult serial = run_with(1);
+  const EngineResult audited = run_with(8);
+
+  EXPECT_FALSE(serial.shard_audit.enabled);
+  ASSERT_TRUE(audited.shard_audit.enabled);
+  // Bit-identical simulation: same exec time, hop counts, visit vector.
+  EXPECT_EQ(serial.exec_time, audited.exec_time);
+  EXPECT_EQ(serial.metrics.total_hops, audited.metrics.total_hops);
+  EXPECT_EQ(serial.metrics.walks_completed, audited.metrics.walks_completed);
+  EXPECT_EQ(serial.flash_read_bytes, audited.flash_read_bytes);
+  EXPECT_EQ(serial.visit_counts, audited.visit_counts);
+
+  const ShardAuditReport& a = audited.shard_audit;
+  EXPECT_EQ(a.shards, 1u + ssd::test_ssd_config().topo.channels);
+  EXPECT_EQ(a.lookahead_ns,
+            conservative_lookahead_ns(bench_accel_config(), ssd::test_ssd_config()));
+  EXPECT_GT(a.events, 0u);
+  EXPECT_GT(a.cross_sends, 0u);  // channel<->board traffic exists
+  EXPECT_LE(a.max_shard_events, a.events);
+  // The audit is allowed to find violations (zero-latency channel->board
+  // handoffs); it must never find more violations than cross sends.
+  EXPECT_LE(a.lookahead_violations, a.cross_sends);
+}
+
+}  // namespace
+}  // namespace fw::accel

@@ -266,6 +266,43 @@ TEST_F(ServiceTest, PerJobCountersAndLatencyPercentilesPublished) {
   EXPECT_TRUE(has("service.latency_p99_ns"));
 }
 
+std::uint64_t counter_value(const EngineResult& r, const std::string& name) {
+  for (const auto& [n, v] : r.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter " << name << " not published";
+  return 0;
+}
+
+TEST_F(ServiceTest, LatencyPercentilesAreNearestRankObservedValues) {
+  // Pins the SLO percentile semantics: service.latency_p{50,95,99}_ns are
+  // nearest-rank order statistics of the per-job latencies — always a
+  // latency some job actually experienced, never an interpolated midpoint.
+  const EngineResult r = run_jobs({make_job("big", 400, 97), make_job("small", 50, 98)});
+  ASSERT_EQ(r.jobs.size(), 2u);
+  const std::uint64_t lat0 = counter_value(r, "job.0.latency_ns");
+  const std::uint64_t lat1 = counter_value(r, "job.1.latency_ns");
+  ASSERT_NE(lat0, lat1);  // a 400-walk and a 50-walk job cannot tie
+  const std::uint64_t lo = std::min(lat0, lat1);
+  const std::uint64_t hi = std::max(lat0, lat1);
+  // n = 2: p50 -> ceil(1) = 1st order statistic (min); p95/p99 -> 2nd (max).
+  EXPECT_EQ(counter_value(r, "service.latency_p50_ns"), lo);
+  EXPECT_EQ(counter_value(r, "service.latency_p95_ns"), hi);
+  EXPECT_EQ(counter_value(r, "service.latency_p99_ns"), hi);
+}
+
+TEST_F(ServiceTest, SingleJobPercentilesAllEqualItsLatency) {
+  // n = 1: every percentile is that one observed latency (nearest-rank is
+  // total on tiny samples — no special-casing, no zeros, no interpolation).
+  const EngineResult r = run_jobs({make_job("only", 200, 99)});
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const std::uint64_t lat = counter_value(r, "job.0.latency_ns");
+  EXPECT_GT(lat, 0u);
+  EXPECT_EQ(counter_value(r, "service.latency_p50_ns"), lat);
+  EXPECT_EQ(counter_value(r, "service.latency_p95_ns"), lat);
+  EXPECT_EQ(counter_value(r, "service.latency_p99_ns"), lat);
+}
+
 TEST_F(ServiceTest, ReportJsonCarriesSchemaV2AndJobSections) {
   const EngineResult r = run_jobs({make_job("a", 200, 95), make_job("b", 100, 96)});
   const std::string json = to_json("svc", r);
