@@ -39,6 +39,13 @@ What is gated, and why
    `hw_threads >= 8`; on smaller hosts real parallel speedup is
    physically unobservable, so the number prints as informational.
 
+6. `engine_parallel` (same trigger as 5): the full FlashWalker engine at
+   1/2/4/8 DES workers. `determinism_ok` (identical sim_exec_ns / hop /
+   walk totals across worker counts) is gated unconditionally — it holds
+   even on a single-core host. The 8-worker walks/sec speedup floor
+   (--engine-floor, default 2.5x over the 1-worker run) is gated only
+   when `hw_threads >= 8`, like the raw-DES floor.
+
 Reports must declare `"schema": "fw-bench-sim/2"`; unknown or missing
 versions are rejected (exit 2) instead of silently parsed.
 """
@@ -137,6 +144,31 @@ def check_parallel(cur, floor, failures):
               "[informational]")
 
 
+def check_engine_parallel(cur, floor, failures):
+    """Gate the concurrent-engine section: hard determinism, conditional speedup."""
+    par = cur.get("engine_parallel")
+    if par is None:
+        print("engine_parallel: no section in current report, checks skipped")
+        return
+    ok = par.get("determinism_ok")
+    verdict = "ok" if ok else "NONDETERMINISTIC"
+    print(f"engine_parallel.determinism_ok: {ok}  [{verdict}]")
+    if not ok:
+        failures.append("engine_parallel.determinism_ok")
+
+    speedup = par.get("speedup_8w", 0.0)
+    hw = par.get("hw_threads", 0)
+    if hw >= 8:
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        print(f"engine_parallel.speedup_8w: {speedup:.3g} (floor {floor}, "
+              f"hw_threads {hw}) [{verdict}]")
+        if speedup < floor:
+            failures.append("engine_parallel.speedup_8w")
+    else:
+        print(f"engine_parallel.speedup_8w: {speedup:.3g} (hw_threads {hw} < 8) "
+              "[informational]")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -149,6 +181,10 @@ def main():
                     help="minimum 8-worker speedup over the serial sharded "
                          "baseline, gated only on hosts with >= 8 hardware "
                          "threads (default 3.0)")
+    ap.add_argument("--engine-floor", type=float, default=2.5,
+                    help="minimum 8-worker concurrent-engine walks/sec speedup "
+                         "over the 1-worker run, gated only on hosts with >= 8 "
+                         "hardware threads (default 2.5)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -189,6 +225,7 @@ def main():
 
     check_service_mix(base, cur, failures)
     check_parallel(cur, args.parallel_floor, failures)
+    check_engine_parallel(cur, args.engine_floor, failures)
 
     if failures:
         print(f"regression: FAILED ({', '.join(failures)})", file=sys.stderr)

@@ -286,7 +286,7 @@ struct E2eResult {
 };
 
 E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t walks,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, std::uint32_t sim_threads = 1) {
   const graph::CsrGraph g = graph::make_dataset(id, scale);
   const partition::PartitionedGraph pg(g, bench_partition());
 
@@ -297,6 +297,7 @@ E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t 
   opts.spec.length = 6;
   opts.spec.seed = seed;
   opts.record_visits = false;
+  opts.sim_threads = sim_threads;
 
   auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto t0 = std::chrono::steady_clock::now();
@@ -352,7 +353,8 @@ int main(int argc, char** argv) {
   opts.opt("--walks", &walks, "N", "e2e walk count");
   opts.opt("--seed", &seed, "N", "RNG seed");
   opts.flag("--parallel", &parallel,
-            "also measure the sharded parallel DES (1/2/4/8 workers)");
+            "also measure the sharded parallel DES and\n"
+            "the concurrent engine (1/2/4/8 workers)");
   opts.opt("--par-events", &par_events, "N", "parallel-section event target");
   opts.flag("--quick", "CI preset: 400k events, test scale, 5k walks", [&] {
     events = 400'000;
@@ -429,6 +431,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Concurrent-engine section: the full FlashWalker engine at 1/2/4/8 DES
+  // workers on the same workload. Every run must report the identical
+  // simulated execution (exec_time / hops / walks are bit-deterministic
+  // regardless of worker count); walks/sec wall-clock is the speedup story.
+  std::vector<std::pair<std::uint32_t, E2eResult>> eng_runs;
+  bool engine_determinism_ok = true;
+  if (parallel) {
+    for (const std::uint32_t w : {1u, 2u, 4u, 8u}) {
+      eng_runs.emplace_back(
+          w, measure_engine(parse_dataset(dataset), parse_scale(scale), walks, seed, w));
+    }
+    for (const auto& [w, r] : eng_runs) {
+      engine_determinism_ok &= r.sim_exec_ns == eng_runs.front().second.sim_exec_ns &&
+                               r.total_hops == eng_runs.front().second.total_hops &&
+                               r.walks == eng_runs.front().second.walks;
+    }
+    std::cout << "\nConcurrent engine (" << dataset << "/" << scale << ", "
+              << eng_runs.front().second.walks << " walks):\n";
+    for (const auto& [w, r] : eng_runs) {
+      std::cout << "  " << w << " worker(s)    : "
+                << static_cast<std::uint64_t>(r.walks_per_sec) << " walks/s\n";
+    }
+    std::cout << "  determinism    : " << (engine_determinism_ok ? "ok" : "FAILED")
+              << " (1/2/4/8 workers)\n";
+    if (!engine_determinism_ok) {
+      std::cerr << "FATAL: engine runs diverged across worker counts\n";
+      return 1;
+    }
+  }
+
   const auto e2e =
       measure_engine(parse_dataset(dataset), parse_scale(scale), walks, seed);
   std::cout << "\nEnd-to-end engine (" << dataset << "/" << scale << ", " << e2e.walks
@@ -465,6 +497,22 @@ int main(int argc, char** argv) {
     out << "},\n"
         << "    \"speedup_8w\": " << speedup_8w << ",\n"
         << "    \"determinism_ok\": " << (determinism_ok ? "true" : "false") << "\n"
+        << "  },\n";
+
+    const double eng_speedup_8w =
+        eng_runs.back().second.walks_per_sec / eng_runs.front().second.walks_per_sec;
+    out << "  \"engine_parallel\": {\n"
+        << "    \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n"
+        << "    \"sim_exec_ns\": " << eng_runs.front().second.sim_exec_ns << ",\n"
+        << "    \"workers_walks_per_sec\": {";
+    for (std::size_t i = 0; i < eng_runs.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << eng_runs[i].first
+          << "\": " << static_cast<std::uint64_t>(eng_runs[i].second.walks_per_sec);
+    }
+    out << "},\n"
+        << "    \"speedup_8w\": " << eng_speedup_8w << ",\n"
+        << "    \"determinism_ok\": " << (engine_determinism_ok ? "true" : "false")
+        << "\n"
         << "  },\n";
   }
   out << "  \"e2e\": {\n"

@@ -58,6 +58,7 @@ struct CliOptions {
   std::string metrics_path;
   std::string jobs_spec;
   std::uint32_t sim_threads = 1;
+  bool shard_audit = false;
   ssd::SsdConfig ssd{};
 };
 
@@ -135,11 +136,13 @@ CliOptions parse(int argc, char** argv) {
            });
   opts.opt("--seed", &o.seed, "N", "RNG seed (default 42)");
   opts.opt("--sim-threads", &o.sim_threads, "N",
-           "parallel-DES shard validation: N > 1 tags\n"
-           "events with per-channel home shards and\n"
-           "audits cross-shard traffic against the\n"
-           "conservative lookahead (run stays serial\n"
-           "and bit-identical; FlashWalker only)");
+           "parallel-DES worker threads: channel\n"
+           "shards execute concurrently, bit-identical\n"
+           "to N=1 for any N (FlashWalker only;\n"
+           "incompatible with --trace-out)");
+  opts.flag("--shard-audit", &o.shard_audit,
+            "record the cross-shard traffic audit\n"
+            "(pure observation; printed after the run)");
   opts.opt("--json", &o.json_path, "PATH", "full FlashWalker run report as JSON");
   opts.opt("--trace-out", &o.trace_path, "PATH",
            "Chrome trace_event JSON of the FW run\n"
@@ -152,6 +155,11 @@ CliOptions parse(int argc, char** argv) {
            "multi-job mix through the WalkService\n(FlashWalker only)\n" +
                accel::service::jobs_help());
   opts.parse_or_exit(argc, argv, "FlashWalker vs. baseline random-walk simulation");
+  if (o.sim_threads > 1 && !o.trace_path.empty()) {
+    std::cerr << "--trace-out requires --sim-threads 1 (the trace recorder is a "
+                 "single shared sink)\n";
+    std::exit(2);
+  }
   return o;
 }
 
@@ -279,6 +287,7 @@ int main(int argc, char** argv) {
     cfg.accel.features = cli.features;
     cfg.record_visits = false;
     cfg.sim_threads = cli.sim_threads;
+    cfg.shard_audit = cli.shard_audit;
     return run_service(cli, pg, std::move(cfg));
   }
 
@@ -302,6 +311,7 @@ int main(int argc, char** argv) {
     cfg.spec = spec;
     cfg.record_visits = false;
     cfg.sim_threads = cli.sim_threads;
+    cfg.shard_audit = cli.shard_audit;
     obs::TraceRecorder trace;
     if (!cli.trace_path.empty()) cfg.trace = &trace;
     const auto r = accel::SimulationBuilder(pg).config(cfg).run();

@@ -135,6 +135,16 @@ class SimulationBuilder {
     cfg_.idle_gc_episodes = episodes;
     return *this;
   }
+  /// Worker threads for the parallel DES (bit-identical for any value).
+  SimulationBuilder& sim_threads(std::uint32_t n) {
+    cfg_.sim_threads = n;
+    return *this;
+  }
+  /// Record the shard audit (pure observation) on the run.
+  SimulationBuilder& shard_audit(bool on) {
+    cfg_.shard_audit = on;
+    return *this;
+  }
 
   /// Assemble the simulation (partitions the graph if built from a raw CSR
   /// graph). Validation errors (biased walk on an unweighted graph,

@@ -123,7 +123,15 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
     c.slots.resize(chip_slots);
   }
   channels_.resize(topo.channels);
-  for (std::uint32_t i = 0; i < channels_.size(); ++i) channels_[i].index = i;
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    channels_[i].index = i;
+    // Channel-owned roving lane, same ONFI parameters as the FlashArray's
+    // per-channel links (see ChannelState::bus for why it is separate).
+    channels_[i].bus = sim::BandwidthLink(opt_.ssd.timing.channel_mb_per_s,
+                                          opt_.ssd.timing.channel_cmd_overhead);
+  }
+  chip_views_.resize(chips_.size());
+  for (auto& v : chip_views_) v.slots.resize(chip_slots);
 
   pwb_walks_.resize(pg.num_subgraphs());
   pwb_wc_bytes_.assign(pg.num_subgraphs(), 0);
@@ -149,6 +157,25 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
     board_.guider_track = opt_.trace->register_track("board", "guider");
     board_.updater_track = opt_.trace->register_track("board", "updater");
   }
+
+  // The sharded DES: board = shard 0, channel c (and its chips) = 1 + c.
+  // Cross-shard messages pay at least the conservative-lookahead window as
+  // their honest ONFI-command + DRAM-hop cost, so every send clears it.
+  track_job_visits_ = track_job_outputs_ && opt_.record_visits;
+  sinks_ = std::vector<ShardSink>(1 + channels_.size());
+  for (auto& sink : sinks_) {
+    sink.job_hops.assign(jobs_.size(), 0);
+    if (track_job_visits_) sink.job_visits.resize(jobs_.size());
+  }
+  handoff_ns_ = conservative_lookahead_ns(opt_.accel, opt_.ssd);
+  if (opt_.trace != nullptr && opt_.sim_threads > 1) {
+    throw std::invalid_argument(
+        "FlashWalkerEngine: tracing requires sim_threads == 1 (the trace "
+        "recorder is a single shared sink)");
+  }
+  psim_ = std::make_unique<sim::ParallelSimulator>(
+      1 + static_cast<std::uint32_t>(channels_.size()), handoff_ns_,
+      std::max<std::uint32_t>(1, opt_.sim_threads));
 }
 
 FlashWalkerEngine::~FlashWalkerEngine() = default;
@@ -161,6 +188,38 @@ std::uint32_t FlashWalkerEngine::chip_of_sg(SubgraphId sg) const {
 bool FlashWalkerEngine::walk_in_sg(const rw::Walk& w, const partition::Subgraph& sg) const {
   if (sg.dense) return w.prewalked_sg == sg.id;
   return w.prewalked_sg == kInvalidSubgraph && w.cur >= sg.low_vid && w.cur <= sg.high_vid;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-DES shard facade
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::sched(sim::ShardId s, Tick delay, sim::EventFn fn) {
+  if (opt_.shard_audit) ++sinks_[s].local_sends;
+  shard(s).schedule(delay, std::move(fn));
+}
+
+void FlashWalkerEngine::sched_at(sim::ShardId s, Tick at, sim::EventFn fn) {
+  if (opt_.shard_audit) ++sinks_[s].local_sends;
+  shard(s).schedule_at(at, std::move(fn));
+}
+
+void FlashWalkerEngine::xsend(sim::ShardId src, sim::ShardId dst, Tick at,
+                              sim::EventFn fn) {
+  const Tick now = shard(src).now();
+  Tick delay = at > now ? at - now : Tick{0};
+  // The honest handoff floor: any cross-shard interaction rides the ONFI
+  // command path and touches board DRAM, which is exactly what the
+  // conservative lookahead lower-bounds — so the floored delay always
+  // clears the window and the audit must report zero violations.
+  if (delay < handoff_ns_) delay = handoff_ns_;
+  if (opt_.shard_audit) {
+    ShardSink& sink = sinks_[src];
+    ++sink.cross_sends;
+    sink.min_cross_delay = std::min(sink.min_cross_delay, delay);
+    if (delay < psim_->lookahead()) ++sink.lookahead_violations;
+  }
+  shard(src).send(dst, delay, std::move(fn));
 }
 
 // ---------------------------------------------------------------------------
@@ -194,17 +253,18 @@ void FlashWalkerEngine::arrive_job(std::uint16_t j) {
 void FlashWalkerEngine::admit_job(std::uint16_t j) {
   JobRt& jc = jobs_[j];
   jc.admitted = true;
-  jc.admit_tick = sim_.now();
+  jc.admit_tick = bnow();
   ++admitted_jobs_;
   ++running_jobs_;
   if (!hot_loaded_) {
     load_hot_subgraphs();  // global hot sets, loaded once per run
     hot_loaded_ = true;
   }
-  if (track_job_outputs_) {
-    if (opt_.record_visits) jc.visits.assign(pg_->graph().num_vertices(), 0);
-    if (opt_.record_endpoints) jc.endpoints.assign(pg_->graph().num_vertices(), 0);
+  if (track_job_outputs_ && opt_.record_endpoints) {
+    jc.endpoints.assign(pg_->graph().num_vertices(), 0);
   }
+  // Per-job visit counts accumulate in the shard sinks and are merged after
+  // the run (merge_sinks), so no per-job vector is assigned here.
 
   const auto& spec = jc.job.spec;
   const VertexId n = pg_->graph().num_vertices();
@@ -226,7 +286,7 @@ void FlashWalkerEngine::admit_job(std::uint16_t j) {
     // jobs cannot change it.
     w.rng_state = spec.seed ^ (0x9E3779B97F4A7C15ull * (local + 1));
     ++local;
-    ++metrics_.walks_started;
+    ++sinks_[kBoardShard].metrics.walks_started;
     if (opt_.record_paths) paths_[w.id].push_back(v);
     const SubgraphId sg = pg_->subgraph_of(v);
     pending_[pg_->partition_of(sg)].push_back(w);
@@ -252,7 +312,10 @@ void FlashWalkerEngine::admit_job(std::uint16_t j) {
 }
 
 void FlashWalkerEngine::finish_job(JobRt& jc) {
-  jc.done_tick = sim_.now();
+  jc.done_tick = bnow();
+  // Board-visible lower bound for the completion callback; the exact
+  // all-shard total replaces it in merge_sinks after the run.
+  jc.hops = sinks_[kBoardShard].job_hops[static_cast<std::size_t>(&jc - jobs_.data())];
   --running_jobs_;
   if (jc.job.on_complete) jc.job.on_complete(job_stats(jc));
   // The freed slot admits queued jobs (FIFO) before anything else runs.
@@ -296,7 +359,6 @@ void FlashWalkerEngine::load_hot_subgraphs() {
   // they are selected and loaded once per run, and hot-subgraph walks are
   // updatable regardless of the current partition.
   board_.hot.clear();
-  for (auto& ch : channels_) ch.hot.clear();
   if (!opt_.accel.features.hot_subgraphs) return;
 
   const std::uint64_t block_cap = pg_->config().block_capacity_bytes;
@@ -308,23 +370,25 @@ void FlashWalkerEngine::load_hot_subgraphs() {
     if (!pg_->subgraph(sg).dense) part_sgs.push_back(sg);
   }
 
-  auto load_hot_set = [&](std::vector<LoadedSg>& hot, std::size_t k,
-                          std::span<const SubgraphId> candidates) {
-    const auto top = pg_->top_k_popular(candidates, k);
-    for (SubgraphId sg : top) {
-      LoadedSg slot;
-      slot.sg = sg;
-      hot.push_back(std::move(slot));
-      const auto& place = layout_->placement(sg);
-      flash_->read_chip_pages(sim_.now(), place.channel, place.chip, place.start_plane,
-                              place.num_pages, /*over_channel=*/true);
-      ++metrics_.hot_subgraph_loads;
-    }
+  // Every hot load's flash traffic is charged here on the board shard (the
+  // board orchestrates the loads); channel hot lists then cross to their
+  // home shards with the handoff floor. Roving walks that race ahead of
+  // the list simply pass through to the board — deterministic either way.
+  auto charge_load = [&](SubgraphId sg) {
+    const auto& place = layout_->placement(sg);
+    flash_->read_chip_pages(bnow(), place.channel, place.chip, place.start_plane,
+                            place.num_pages, /*over_channel=*/true);
+    ++sinks_[kBoardShard].metrics.hot_subgraph_loads;
   };
 
   const auto board_k = std::max<std::uint64_t>(
       1, opt_.accel.board.subgraph_buffer_bytes / block_cap);
-  load_hot_set(board_.hot, board_k, part_sgs);
+  for (SubgraphId sg : pg_->top_k_popular(part_sgs, board_k)) {
+    LoadedSg slot;
+    slot.sg = sg;
+    board_.hot.push_back(std::move(slot));
+    charge_load(sg);
+  }
 
   const auto chan_k = std::max<std::uint64_t>(
       1, opt_.accel.channel.subgraph_buffer_bytes / block_cap);
@@ -333,7 +397,17 @@ void FlashWalkerEngine::load_hot_subgraphs() {
     for (SubgraphId sg : part_sgs) {
       if (layout_->placement(sg).channel == ch.index) local.push_back(sg);
     }
-    load_hot_set(ch.hot, chan_k, local);
+    auto top = pg_->top_k_popular(local, chan_k);
+    if (top.empty()) continue;
+    for (SubgraphId sg : top) charge_load(sg);
+    xsend(kBoardShard, channel_shard(ch), bnow(),
+          [this, &ch, list = std::move(top)] {
+      for (SubgraphId sg : list) {
+        LoadedSg slot;
+        slot.sg = sg;
+        ch.hot.push_back(std::move(slot));
+      }
+    });
   }
 }
 
@@ -355,29 +429,34 @@ void FlashWalkerEngine::begin_partition(PartitionId p, bool charge_io) {
     const auto pages = static_cast<std::uint32_t>(
         (bytes + opt_.ssd.topo.page_bytes - 1) / opt_.ssd.topo.page_bytes);
     const std::uint32_t channel = p % opt_.ssd.topo.channels;
-    flash_->read_chip_pages(sim_.now(), channel, 0, 0, pages, /*over_channel=*/true);
+    flash_->read_chip_pages(bnow(), channel, 0, 0, pages, /*over_channel=*/true);
   }
   enqueue_board(std::move(walks));
 }
 
 void FlashWalkerEngine::schedule_heartbeats() {
   for (auto& ch : channels_) {
-    sim_.schedule_on(channel_shard(ch), opt_.accel.roving_poll_interval,
-                     [this, &ch] { poll_channel(ch); });
+    sched(channel_shard(ch), opt_.accel.roving_poll_interval,
+          [this, &ch] { poll_channel(ch); });
   }
   if (timeline_) {
+    // Samplers live on the board shard: they read board-owned models plus
+    // the board sink's progress counters. Channel-lane bus bytes are folded
+    // in post-run only, so mid-run channel-byte samples reflect the board's
+    // view of the FlashArray links.
     const Tick interval = timeline_->interval();
     auto tick = [this, interval](auto&& self) -> void {
-      timeline_->sample(sim_.now(), flash_->read_bytes(), flash_->programmed_bytes(),
+      timeline_->sample(bnow(), flash_->read_bytes(), flash_->programmed_bytes(),
                         flash_->channel_bytes(),
                         flash_->read_bytes() + flash_->programmed_bytes() +
                             flash_->channel_bytes() + dram_->bytes_moved(),
-                        metrics_.walks_completed, metrics_.walks_started);
+                        sinks_[kBoardShard].metrics.walks_completed,
+                        sinks_[kBoardShard].metrics.walks_started);
       if (!done_) {
-        sim_.schedule(interval, [self]() mutable { self(self); });
+        sched(kBoardShard, interval, [self]() mutable { self(self); });
       }
     };
-    sim_.schedule(interval, [tick]() mutable { tick(tick); });
+    sched(kBoardShard, interval, [tick]() mutable { tick(tick); });
   }
   if (opt_.trace != nullptr) {
     // Periodic counter samples give the trace its progress overlays. Reuse
@@ -387,16 +466,17 @@ void FlashWalkerEngine::schedule_heartbeats() {
                               ? opt_.timeline_interval
                               : opt_.accel.roving_poll_interval * 64;
     auto sample = [this, interval](auto&& self) -> void {
-      const Tick now = sim_.now();
-      opt_.trace->counter("engine.walks_completed", now, metrics_.walks_completed);
+      const Tick now = bnow();
+      opt_.trace->counter("engine.walks_completed", now,
+                          sinks_[kBoardShard].metrics.walks_completed);
       opt_.trace->counter("flash.read_bytes", now, flash_->read_bytes());
       opt_.trace->counter("flash.write_bytes", now, flash_->programmed_bytes());
       opt_.trace->counter("dram.bytes", now, dram_->bytes_moved());
       if (!done_) {
-        sim_.schedule(interval, [self]() mutable { self(self); });
+        sched(kBoardShard, interval, [self]() mutable { self(self); });
       }
     };
-    sim_.schedule(interval, [sample]() mutable { sample(sample); });
+    sched(kBoardShard, interval, [sample]() mutable { sample(sample); });
   }
 }
 
@@ -405,17 +485,17 @@ void FlashWalkerEngine::schedule_heartbeats() {
 // ---------------------------------------------------------------------------
 
 FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk(
-    rw::Walk& w, const partition::Subgraph& sg) {
+    rw::Walk& w, const partition::Subgraph& sg, ShardSink& sink) {
   Xoshiro256 wrng(w.rng_state);
   w.parked = false;  // the walk made progress; it may park again next hop
-  const HopOutcome out = update_walk_step(w, sg, wrng);
+  const HopOutcome out = update_walk_step(w, sg, sink, wrng);
   // One state derivation per hop, however many draws the hop consumed.
   w.rng_state = wrng.next();
   return out;
 }
 
 FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
-    rw::Walk& w, const partition::Subgraph& sg, Xoshiro256& rng) {
+    rw::Walk& w, const partition::Subgraph& sg, ShardSink& sink, Xoshiro256& rng) {
   HopOutcome out;
   // Walk-model parameters come from the walk's owning job, so co-scheduled
   // jobs each run their own model over the shared hierarchy.
@@ -459,7 +539,7 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
       out.completed = w.finished();
       return out;
     }
-    ++metrics_.dead_ends;
+    ++sink.metrics.dead_ends;
     out.completed = true;
     return out;
   }
@@ -468,17 +548,24 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
   w.prewalked_sg = kInvalidSubgraph;
   w.range_tag = rw::kNoRangeTag;
   --w.hops_left;
-  ++metrics_.total_hops;
-  ++jobs_[w.job].hops;
-  if (!visits_.empty()) ++visits_[s.next];
-  if (!jobs_[w.job].visits.empty()) ++jobs_[w.job].visits[s.next];
+  ++sink.metrics.total_hops;
+  ++sink.job_hops[w.job];
+  if (opt_.record_visits) {
+    if (sink.visits.empty()) sink.visits.assign(pg_->graph().num_vertices(), 0);
+    ++sink.visits[s.next];
+  }
+  if (track_job_visits_) {
+    auto& jv = sink.job_visits[w.job];
+    if (jv.empty()) jv.assign(pg_->graph().num_vertices(), 0);
+    ++jv[s.next];
+  }
   if (opt_.record_paths) paths_[w.id].push_back(s.next);
   out.completed = w.finished();
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// Shared routing helpers
+// Shared routing helpers (board shard)
 // ---------------------------------------------------------------------------
 
 void FlashWalkerEngine::flush_walk_pages(std::uint64_t bytes, std::uint64_t& counter) {
@@ -488,20 +575,20 @@ void FlashWalkerEngine::flush_walk_pages(std::uint64_t bytes, std::uint64_t& cou
     // Rolling LPN window (sized in the constructor from FTL capacity): later
     // flushes overwrite older (already consumed) walk pages, invalidating
     // them so FTL garbage collection has blocks to reclaim.
-    ftl_->write_page(sim_.now(), flush_lpn_);
+    ftl_->write_page(bnow(), flush_lpn_);
     flush_lpn_ = (flush_lpn_ + 1) % flush_window_;
     ++counter;
   }
 }
 
 void FlashWalkerEngine::complete_walk(const rw::Walk& w, std::uint64_t& completed_bytes,
-                                      std::uint64_t flush_cap, bool /*at_board*/) {
-  ++metrics_.walks_completed;
+                                      std::uint64_t flush_cap) {
+  ++sinks_[kBoardShard].metrics.walks_completed;
   if (!endpoints_.empty()) ++endpoints_[w.cur];
   --active_walks_;
   completed_bytes += wbytes();
   if (completed_bytes >= flush_cap) {
-    flush_walk_pages(completed_bytes, metrics_.completed_flush_pages);
+    flush_walk_pages(completed_bytes, sinks_[kBoardShard].metrics.completed_flush_pages);
     completed_bytes = 0;
   }
   JobRt& jc = jobs_[w.job];
@@ -513,9 +600,10 @@ void FlashWalkerEngine::complete_walk(const rw::Walk& w, std::uint64_t& complete
 
 void FlashWalkerEngine::insert_pwb(SubgraphId sg, rw::Walk w,
                                    std::vector<std::uint32_t>& touched_chips) {
+  ShardSink& bsink = sinks_[kBoardShard];
   pwb_walks_[sg].push_back(w);
   scheduler_->on_walk_insert(sg, w.job);
-  ++metrics_.pwb_inserts;
+  ++bsink.metrics.pwb_inserts;
   // Appends are write-combined through a board SRAM line buffer: DRAM sees
   // one (row-buffer-hostile, which the banked model charges for) 64 B line
   // write per ~6 walks, not one random access per walk.
@@ -524,7 +612,7 @@ void FlashWalkerEngine::insert_pwb(SubgraphId sg, rw::Walk w,
     pwb_wc_bytes_[sg] -= kDramLineBytes;
     const std::uint64_t addr = static_cast<std::uint64_t>(sg) * opt_.accel.pwb_entry_bytes +
                                pwb_walks_[sg].size() * wbytes();
-    dram_->access(sim_.now(), addr, kDramLineBytes);
+    dram_->access(bnow(), addr, kDramLineBytes);
   }
   touched_chips.push_back(chip_of_sg(sg));
 
@@ -539,14 +627,15 @@ void FlashWalkerEngine::insert_pwb(SubgraphId sg, rw::Walk w,
     fl.insert(fl.end(), pwb_walks_[sg].begin(), pwb_walks_[sg].end());
     pwb_walks_[sg].clear();
     scheduler_->on_entry_flushed(sg, n);
-    flush_walk_pages(n * wbytes(), metrics_.overflow_flush_pages);
-    ++metrics_.pwb_overflow_events;
-    metrics_.pwb_overflow_walks += n;
+    flush_walk_pages(n * wbytes(), bsink.metrics.overflow_flush_pages);
+    ++bsink.metrics.pwb_overflow_events;
+    bsink.metrics.pwb_overflow_walks += n;
   }
 }
 
 std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
                                                   std::vector<std::uint32_t>& touched_chips) {
+  ShardSink& bsink = sinks_[kBoardShard];
   std::uint32_t cycles = 0;
   SubgraphId target = w.prewalked_sg;
 
@@ -554,11 +643,11 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
     // Dense-vertex check runs first (paper: "looks up the dense vertices
     // mapping table before the subgraph mapping table").
     ++cycles;  // Bloom probe
-    ++metrics_.bloom_lookups;
+    ++bsink.metrics.bloom_lookups;
     const auto dres = dtab_->lookup(w.cur);
     if (dres.bloom_positive) {
       ++cycles;  // hash-table probe
-      if (dres.bloom_false_positive) ++metrics_.bloom_false_positives;
+      if (dres.bloom_false_positive) ++bsink.metrics.bloom_false_positives;
     }
     if (dres.meta) {
       // Pre-walking: choose the destination graph block before the hop. The
@@ -597,7 +686,7 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       target = meta.first_sgid + block;
       w.prewalked_sg = target;
       w.rng_state = wrng.next();
-      ++metrics_.dense_prewalks;
+      ++bsink.metrics.dense_prewalks;
     }
   }
 
@@ -632,12 +721,12 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       if (pid_lo == pid_hi && pid_lo != current_partition_) {
         pending_[pid_lo].push_back(w);
         --active_walks_;
-        ++metrics_.foreigner_walks;
-        ++metrics_.range_foreigner_hints;
+        ++bsink.metrics.foreigner_walks;
+        ++bsink.metrics.range_foreigner_hints;
         board_.foreigner_buffered_bytes += wbytes();
         if (board_.foreigner_buffered_bytes >= opt_.accel.foreigner_buffer_bytes) {
           flush_walk_pages(board_.foreigner_buffered_bytes,
-                           metrics_.foreigner_flush_pages);
+                           bsink.metrics.foreigner_flush_pages);
           board_.foreigner_buffered_bytes = 0;
         }
         return cycles;
@@ -652,16 +741,16 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       auto& cache = *query_caches_[cache_rr_++ % query_caches_.size()];
       if (cache.access(lookup.sgid)) {
         ++cycles;
-        ++metrics_.query_cache_hits;
+        ++bsink.metrics.query_cache_hits;
       } else {
         cycles += lookup.steps;
-        ++metrics_.query_cache_misses;
-        metrics_.mapping_search_steps += lookup.steps;
+        ++bsink.metrics.query_cache_misses;
+        bsink.metrics.mapping_search_steps += lookup.steps;
       }
     } else {
       lookup = mtab_->find(w.cur);
       cycles += lookup.steps;
-      metrics_.mapping_search_steps += lookup.steps;
+      bsink.metrics.mapping_search_steps += lookup.steps;
     }
     if (!lookup.found()) {
       throw std::logic_error("board_route_walk: mapping lookup failed");
@@ -677,10 +766,11 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
     // revisited when its partition becomes current.
     pending_[pid].push_back(w);
     --active_walks_;
-    ++metrics_.foreigner_walks;
+    ++bsink.metrics.foreigner_walks;
     board_.foreigner_buffered_bytes += wbytes();
     if (board_.foreigner_buffered_bytes >= opt_.accel.foreigner_buffer_bytes) {
-      flush_walk_pages(board_.foreigner_buffered_bytes, metrics_.foreigner_flush_pages);
+      flush_walk_pages(board_.foreigner_buffered_bytes,
+                       bsink.metrics.foreigner_flush_pages);
       board_.foreigner_buffered_bytes = 0;
     }
   }
@@ -688,57 +778,189 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
 }
 
 // ---------------------------------------------------------------------------
-// Chip level
+// Chip level (channel shard)
 // ---------------------------------------------------------------------------
 
 void FlashWalkerEngine::kick_chip(ChipState& c) {
-  if (c.processing || done_) return;
+  if (sinks_[chip_shard(c)].done) return;
+  report_drained_slots(c);
+  if (c.processing) return;
   const bool has_walks = std::any_of(c.slots.begin(), c.slots.end(),
                                      [](const LoadedSg& s) { return !s.queue.empty(); });
-  if (has_walks) {
-    c.processing = true;
-    sim_.schedule_at_on(chip_shard(c), std::max(sim_.now(), c.unit.busy_until()),
-                        [this, &c] { process_chip(c); });
-  } else {
-    request_loads(c);
+  if (!has_walks) return;
+  c.processing = true;
+  sched_at(chip_shard(c), std::max(shard(chip_shard(c)).now(), c.unit.busy_until()),
+           [this, &c] { process_chip(c); });
+}
+
+void FlashWalkerEngine::report_drained_slots(ChipState& c) {
+  if (sinks_[chip_shard(c)].done) return;
+  const std::uint32_t g = c.global;
+  for (std::size_t i = 0; i < c.slots.size(); ++i) {
+    LoadedSg& s = c.slots[i];
+    if (!s.queue.empty() || s.reported) continue;
+    s.reported = true;
+    xsend(chip_shard(c), kBoardShard, shard(chip_shard(c)).now(),
+          [this, g, i] { board_slot_drained(g, i); });
   }
 }
 
-void FlashWalkerEngine::request_loads(ChipState& c) {
+void FlashWalkerEngine::process_chip(ChipState& c) {
+  c.processing = false;
+  // Round-robin over slots with walks.
+  LoadedSg* slot = nullptr;
   for (std::size_t i = 0; i < c.slots.size(); ++i) {
-    LoadedSg& slot = c.slots[i];
-    if (slot.loading || !slot.queue.empty()) continue;
+    LoadedSg& s = c.slots[(c.rr + i) % c.slots.size()];
+    if (!s.queue.empty()) {
+      slot = &s;
+      c.rr = static_cast<std::uint32_t>((c.rr + i + 1) % c.slots.size());
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    report_drained_slots(c);
+    return;
+  }
+
+  ShardSink& sink = sinks_[chip_shard(c)];
+  const std::uint64_t roving_cap =
+      std::max<std::uint64_t>(1, opt_.accel.chip.roving_buffer_bytes / wbytes());
+  const auto& sg = pg_->subgraph(slot->sg);
+  const Tick ucycle = opt_.accel.chip.updater_cycle;
+  const Tick gcycle = opt_.accel.chip.guider_cycle;
+
+  Tick cost = 0;
+  std::uint32_t processed = 0;
+  bool stalled = false;
+  std::vector<rw::Walk> completed = sink.walk_pool.acquire();
+  while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
+    if (c.roving.size() >= roving_cap) {
+      stalled = true;  // roving buffer full: wait for the channel poll
+      break;
+    }
+    rw::Walk w = slot->queue.front();
+    slot->queue.pop_front();
+    ++processed;
+
+    const HopOutcome hop = update_walk(w, sg, sink);
+    cost += (5 + hop.extra_cycles) * ucycle;
+    ++sink.metrics.chip_updates;
+    ++c.updates;
+
+    if (hop.completed) {
+      completed.push_back(w);  // finishes at the board (shared FTL/DRAM path)
+      continue;
+    }
+
+    // Guider: compare against the chip's loaded subgraphs. Walks landing on
+    // a dense vertex always rove — the board must pre-walk them.
+    cost += match_cycles(c.slots.size()) * gcycle;
+    LoadedSg* dest = nullptr;
+    if (!pg_->is_dense_vertex(w.cur)) {
+      for (auto& s : c.slots) {
+        if (!s.reported && s.sg != kInvalidSubgraph && !pg_->subgraph(s.sg).dense &&
+            walk_in_sg(w, pg_->subgraph(s.sg))) {
+          dest = &s;
+          break;
+        }
+      }
+    }
+    if (dest != nullptr) {
+      dest->queue.push_back(w);
+    } else {
+      c.roving.push_back(w);
+    }
+  }
+
+  if (processed == 0) {
+    // Stalled before doing any work (roving buffer full): stay idle and let
+    // the next channel poll drain the buffer and re-kick us.
+    sink.walk_pool.release(std::move(completed));
+    return;
+  }
+  (void)stalled;
+  const Tick completion = c.unit.acquire(shard(chip_shard(c)).now(), cost);
+  if (opt_.trace != nullptr && cost > 0) {
+    opt_.trace->complete(c.trace_track, "update", completion - cost, completion,
+                         processed, "walks");
+  }
+  if (!completed.empty()) {
+    const std::uint32_t g = c.global;
+    xsend(chip_shard(c), kBoardShard, completion,
+          [this, g, ws = std::move(completed)]() mutable {
+      board_receive_completed(g, std::move(ws));
+    });
+  } else {
+    sink.walk_pool.release(std::move(completed));
+  }
+  c.processing = true;
+  sched_at(chip_shard(c), completion, [this, &c] {
+    c.processing = false;
+    kick_chip(c);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Board-side load path
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::board_slot_drained(std::uint32_t g, std::size_t slot_idx) {
+  // The chip consumed everything the board installed into this slot (and
+  // its guider will not refill it while the report is outstanding), so the
+  // slot is a safe load target. A grant dispatched before this report
+  // landed keeps the slot `loading`; the belief refreshes at install time.
+  SlotView& s = chip_views_[g].slots[slot_idx];
+  if (!s.loading) s.empty = true;
+  board_request_loads(g);
+}
+
+void FlashWalkerEngine::board_request_loads(std::uint32_t g) {
+  ChipView& cv = chip_views_[g];
+  for (std::size_t i = 0; i < cv.slots.size(); ++i) {
+    SlotView& slot = cv.slots[i];
+    if (slot.loading || !slot.empty) continue;
     auto eligible = [&](SubgraphId sg) {
-      for (const LoadedSg& s : c.slots) {
+      for (const SlotView& s : cv.slots) {
         if (s.loading && s.sg == sg) return false;
       }
       return true;
     };
-    const auto pick = scheduler_->pick_for_chip(c.global, eligible);
-    if (!pick) return;  // nothing pending for this chip
-    metrics_.scheduler_compare_ops += pick->compare_ops;
+    const auto pick = scheduler_->pick_for_chip(g, eligible);
+    if (!pick) break;  // nothing pending for this chip
+    sinks_[kBoardShard].metrics.scheduler_compare_ops += pick->compare_ops;
     // If the subgraph is already resident in another slot, refresh that
     // slot (walk fetch only, no flash page reads).
     std::size_t target = i;
-    for (std::size_t j = 0; j < c.slots.size(); ++j) {
-      if (!c.slots[j].loading && c.slots[j].sg == pick->sg) {
+    for (std::size_t j = 0; j < cv.slots.size(); ++j) {
+      if (!cv.slots[j].loading && cv.slots[j].sg == pick->sg) {
         target = j;
         break;
       }
     }
-    start_load(c, target, pick->sg, pick->compare_ops);
+    start_load(g, target, pick->sg, pick->compare_ops);
   }
 }
 
-void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphId sg,
+void FlashWalkerEngine::start_load(std::uint32_t g, std::size_t slot_idx, SubgraphId sg,
                                    std::uint32_t compare_ops) {
-  LoadedSg& slot = c.slots[slot_idx];
-  const bool refresh = slot.sg == sg;
-  slot.loading = true;
+  ChipState& c = chips_[g];  // topology + trace lane only; queues are chip-owned
+  SlotView& vslot = chip_views_[g].slots[slot_idx];
+  const bool refresh = vslot.sg == sg;
+  // `vslot.sg` keeps the *installed* subgraph until the install lands (set
+  // in the t_install callback below), mirroring the serial engine, where
+  // slot.sg changed only at install. The eligibility filter therefore
+  // excludes only (loading, installed-sg) pairs — an in-flight first load
+  // of `sg` does not hide it from later picks, and those picks load `sg`
+  // into further empty slots. These speculative duplicate loads are part
+  // of the reference dynamics (they are what makes plane reads dominate
+  // in small configs) and are preserved, not "fixed".
+  vslot.loading = true;
+  vslot.empty = false;
 
+  ShardSink& bsink = sinks_[kBoardShard];
   // Take the buffered walks now; new arrivals accumulate for the next load.
   std::vector<rw::Walk> walks = std::move(pwb_walks_[sg]);
-  pwb_walks_[sg] = walk_pool_.acquire();
+  pwb_walks_[sg] = bsink.walk_pool.acquire();
   const std::uint64_t fl_count = fl_walks_[sg].size();
   walks.insert(walks.end(), fl_walks_[sg].begin(), fl_walks_[sg].end());
   fl_walks_[sg].clear();
@@ -748,7 +970,7 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
   scheduler_->on_subgraph_loaded(sg,
                                  refresh ? 0 : layout_->placement(sg).num_pages);
 
-  const Tick now = sim_.now();
+  const Tick now = bnow();
   // Scheduling decision cost runs on the board guider pool.
   const Tick sched_ns = static_cast<Tick>(compare_ops) * opt_.accel.board.guider_cycle /
                         std::max<std::uint32_t>(1, opt_.accel.board.guiders);
@@ -787,15 +1009,15 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
           flash_->channel_transfer(rd.done, c.channel, bytes) +
           static_cast<Tick>(rd.uncorrectable_pages) * opt_.ssd.reliability.recovery_latency;
       sg_full = std::max(sg_full, rebuilt);
-      metrics_.recovered_pages += rd.uncorrectable_pages;
-      ++metrics_.degraded_loads;
+      bsink.metrics.recovered_pages += rd.uncorrectable_pages;
+      ++bsink.metrics.degraded_loads;
       if (opt_.trace != nullptr) {
         opt_.trace->complete(c.trace_track, "recover", rd.done, rebuilt,
                              rd.uncorrectable_pages, "pages");
       }
     }
-    ++metrics_.subgraph_loads;
-    metrics_.subgraph_load_pages += place.num_pages;
+    ++bsink.metrics.subgraph_loads;
+    bsink.metrics.subgraph_load_pages += place.num_pages;
   }
 
   // Walk fetch: pwb walks come from on-board DRAM over the channel bus;
@@ -813,7 +1035,7 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
     fetch_done = std::max(fetch_done,
                           flash_->read_chip_pages(t_cmd, c.channel, c.chip, 0, pages,
                                                   /*over_channel=*/true));
-    metrics_.walk_reload_pages += pages;
+    bsink.metrics.walk_reload_pages += pages;
   }
 
   const Tick t_install = std::max(fetch_done, sg_clean);
@@ -832,8 +1054,8 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
     const std::uint64_t npark =
         std::min<std::uint64_t>(walks.size(),
                                 (walks.size() * faulty_pages + sg_pages - 1) / sg_pages);
-    std::vector<rw::Walk> parked = walk_pool_.acquire();
-    std::vector<rw::Walk> ready = walk_pool_.acquire();
+    std::vector<rw::Walk> parked = bsink.walk_pool.acquire();
+    std::vector<rw::Walk> ready = bsink.walk_pool.acquire();
     for (auto& w : walks) {
       if (parked.size() < npark && !w.parked) {
         w.parked = true;
@@ -843,136 +1065,78 @@ void FlashWalkerEngine::start_load(ChipState& c, std::size_t slot_idx, SubgraphI
       }
     }
     walks.swap(ready);
-    walk_pool_.release(std::move(ready));
+    bsink.walk_pool.release(std::move(ready));
     if (!parked.empty()) {
-      metrics_.parked_walks += parked.size();
+      bsink.metrics.parked_walks += parked.size();
       for (const auto& w : parked) ++jobs_[w.job].parked;
       const Tick t_parked = t_full + opt_.ssd.reliability.retry_backoff;
       if (opt_.trace != nullptr) {
         opt_.trace->complete(c.trace_track, "parked", t_install, t_parked,
                              parked.size(), "walks");
       }
-      sim_.schedule_at_on(chip_shard(c), t_parked,
-                          [this, &c, slot_idx, sg, ws = std::move(parked)]() mutable {
-        LoadedSg& s = c.slots[slot_idx];
-        if (!s.loading && s.sg == sg) {
+      xsend(kBoardShard, chip_shard(c), t_parked,
+            [this, g, slot_idx, sg, ws = std::move(parked)]() mutable {
+        ChipState& cc = chips_[g];
+        LoadedSg& s = cc.slots[slot_idx];
+        if (s.sg == sg) {
           for (auto& w : ws) s.queue.push_back(w);
-          walk_pool_.release(std::move(ws));
-          kick_chip(c);
+          sinks_[chip_shard(cc)].walk_pool.release(std::move(ws));
+          kick_chip(cc);
         } else {
           // The slot moved on while these walks waited out the retries;
           // re-route them through the board instead of blocking the chip.
-          enqueue_board(std::move(ws));
+          xsend(chip_shard(cc), kBoardShard, shard(chip_shard(cc)).now(),
+                [this, back = std::move(ws)]() mutable {
+            enqueue_board(std::move(back));
+          });
         }
       });
     } else {
-      walk_pool_.release(std::move(parked));
+      bsink.walk_pool.release(std::move(parked));
     }
   }
 
-  sim_.schedule_at_on(chip_shard(c), t_install,
-                      [this, &c, slot_idx, sg, walks = std::move(walks)]() mutable {
-    LoadedSg& s = c.slots[slot_idx];
-    s.sg = sg;
-    s.loading = false;
-    for (auto& w : walks) s.queue.push_back(w);
-    walk_pool_.release(std::move(walks));
-    kick_chip(c);
+  // The board's view flips to the new subgraph exactly at t_install, so a
+  // later dispatch to the same slot can never overtake this one in flight.
+  sched_at(kBoardShard, t_install, [this, g, slot_idx, sg] {
+    SlotView& v = chip_views_[g].slots[slot_idx];
+    v.loading = false;
+    v.sg = sg;
   });
-}
-
-void FlashWalkerEngine::process_chip(ChipState& c) {
-  c.processing = false;
-  // Round-robin over slots with walks.
-  LoadedSg* slot = nullptr;
-  for (std::size_t i = 0; i < c.slots.size(); ++i) {
-    LoadedSg& s = c.slots[(c.rr + i) % c.slots.size()];
-    if (!s.queue.empty()) {
-      slot = &s;
-      c.rr = static_cast<std::uint32_t>((c.rr + i + 1) % c.slots.size());
-      break;
+  xsend(kBoardShard, chip_shard(c), t_install,
+        [this, g, slot_idx, sg, walks = std::move(walks)]() mutable {
+    ChipState& cc = chips_[g];
+    LoadedSg& s = cc.slots[slot_idx];
+    if (s.sg != sg && !s.queue.empty()) {
+      // Chip-side guider appends can land in a slot the board re-targeted
+      // while this load was in flight; send the stale queue back through
+      // the board (walk conservation — nothing is dropped).
+      ShardSink& sink = sinks_[chip_shard(cc)];
+      std::vector<rw::Walk> stale = sink.walk_pool.acquire();
+      stale.insert(stale.end(), s.queue.begin(), s.queue.end());
+      s.queue.clear();
+      xsend(chip_shard(cc), kBoardShard, shard(chip_shard(cc)).now(),
+            [this, back = std::move(stale)]() mutable {
+        enqueue_board(std::move(back));
+      });
     }
-  }
-  if (slot == nullptr) {
-    request_loads(c);
-    return;
-  }
-
-  const std::uint64_t roving_cap =
-      std::max<std::uint64_t>(1, opt_.accel.chip.roving_buffer_bytes / wbytes());
-  const auto& sg = pg_->subgraph(slot->sg);
-  const Tick ucycle = opt_.accel.chip.updater_cycle;
-  const Tick gcycle = opt_.accel.chip.guider_cycle;
-
-  Tick cost = 0;
-  std::uint32_t processed = 0;
-  bool stalled = false;
-  while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
-    if (c.roving.size() >= roving_cap) {
-      stalled = true;  // roving buffer full: wait for the channel poll
-      break;
-    }
-    rw::Walk w = slot->queue.front();
-    slot->queue.pop_front();
-    ++processed;
-
-    const HopOutcome hop = update_walk(w, sg);
-    cost += (5 + hop.extra_cycles) * ucycle;
-    ++metrics_.chip_updates;
-    ++c.updates;
-
-    if (hop.completed) {
-      complete_walk(w, c.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
-                    /*at_board=*/false);
-      continue;
-    }
-
-    // Guider: compare against the chip's loaded subgraphs. Walks landing on
-    // a dense vertex always rove — the board must pre-walk them.
-    cost += match_cycles(c.slots.size()) * gcycle;
-    LoadedSg* dest = nullptr;
-    if (!pg_->is_dense_vertex(w.cur)) {
-      for (auto& s : c.slots) {
-        if (!s.loading && s.sg != kInvalidSubgraph && !pg_->subgraph(s.sg).dense &&
-            walk_in_sg(w, pg_->subgraph(s.sg))) {
-          dest = &s;
-          break;
-        }
-      }
-    }
-    if (dest != nullptr) {
-      dest->queue.push_back(w);
-    } else {
-      c.roving.push_back(w);
-    }
-  }
-
-  if (processed == 0) {
-    // Stalled before doing any work (roving buffer full): stay idle and let
-    // the next channel poll drain the buffer and re-kick us.
-    return;
-  }
-  (void)stalled;
-  const Tick completion = c.unit.acquire(sim_.now(), cost);
-  if (opt_.trace != nullptr && cost > 0) {
-    opt_.trace->complete(c.trace_track, "update", completion - cost, completion,
-                         processed, "walks");
-  }
-  c.processing = true;
-  sim_.schedule_at_on(chip_shard(c), completion, [this, &c] {
-    c.processing = false;
-    kick_chip(c);
-    maybe_switch_partition();
+    s.sg = sg;
+    s.reported = false;
+    for (auto& w : walks) s.queue.push_back(w);
+    sinks_[chip_shard(cc)].walk_pool.release(std::move(walks));
+    kick_chip(cc);
   });
 }
 
 // ---------------------------------------------------------------------------
-// Channel level
+// Channel level (channel shard)
 // ---------------------------------------------------------------------------
 
 void FlashWalkerEngine::poll_channel(ChannelState& ch) {
-  if (done_) return;
-  std::vector<rw::Walk> pulled = walk_pool_.acquire();
+  const sim::ShardId cs = channel_shard(ch);
+  ShardSink& sink = sinks_[cs];
+  if (sink.done) return;
+  std::vector<rw::Walk> pulled = sink.walk_pool.acquire();
   const auto chips_per_channel = opt_.ssd.topo.chips_per_channel;
   for (std::uint32_t k = 0; k < chips_per_channel; ++k) {
     ChipState& c = chips_[ch.index * chips_per_channel + k];
@@ -982,27 +1146,25 @@ void FlashWalkerEngine::poll_channel(ChannelState& ch) {
     kick_chip(c);  // a stalled chip can resume
   }
   if (!pulled.empty()) {
-    metrics_.roving_walks += pulled.size();
-    const Tick done = flash_->channel_transfer(sim_.now(), ch.index,
-                                               pulled.size() * wbytes());
-    sim_.schedule_at_on(channel_shard(ch), done,
-                        [this, &ch, walks = std::move(pulled)]() mutable {
+    sink.metrics.roving_walks += pulled.size();
+    const Tick done = ch.bus.transfer(shard(cs).now(), pulled.size() * wbytes());
+    sched_at(cs, done, [this, &ch, walks = std::move(pulled)]() mutable {
       receive_roving(ch, std::move(walks));
     });
   } else {
-    walk_pool_.release(std::move(pulled));
+    sink.walk_pool.release(std::move(pulled));
   }
-  maybe_switch_partition();
-  sim_.schedule_on(channel_shard(ch), opt_.accel.roving_poll_interval,
-                   [this, &ch] { poll_channel(ch); });
+  sched(cs, opt_.accel.roving_poll_interval, [this, &ch] { poll_channel(ch); });
 }
 
 void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> walks) {
+  const sim::ShardId cs = channel_shard(ch);
+  ShardSink& sink = sinks_[cs];
   const Tick gcycle = opt_.accel.channel.guider_cycle;
   const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.channel.guiders);
 
   Tick cost = 0;
-  std::vector<rw::Walk> to_board = walk_pool_.acquire();
+  std::vector<rw::Walk> to_board = sink.walk_pool.acquire();
   for (auto& w : walks) {
     // Hot-subgraph check (HS) — dense-vertex walks always continue to the
     // board for pre-walking.
@@ -1030,41 +1192,41 @@ void FlashWalkerEngine::receive_roving(ChannelState& ch, std::vector<rw::Walk> w
     if (opt_.accel.features.walk_query) {
       const auto r = mtab_->find_range(w.cur);
       cost += static_cast<Tick>(r.steps) * gcycle / guiders;
-      ++metrics_.range_searches;
+      ++sink.metrics.range_searches;
       if (r.found()) {
         w.range_tag = r.range_id;
-        ++metrics_.range_tagged_walks;
+        ++sink.metrics.range_tagged_walks;
       }
     }
     to_board.push_back(w);
   }
 
-  const Tick completion = ch.unit.acquire(sim_.now(), cost);
+  const Tick completion = ch.unit.acquire(shard(cs).now(), cost);
   if (opt_.trace != nullptr && cost > 0) {
     opt_.trace->complete(ch.trace_track, "rove", completion - cost, completion,
                          walks.size(), "walks");
   }
   if (!to_board.empty()) {
-    metrics_.to_board_walks += to_board.size();
-    sim_.schedule_at_on(kBoardShard, completion,
-                        [this, walks2 = std::move(to_board)]() mutable {
-      enqueue_board(std::move(walks2));
+    sink.metrics.to_board_walks += to_board.size();
+    xsend(cs, kBoardShard, completion, [this, ws = std::move(to_board)]() mutable {
+      enqueue_board(std::move(ws));
     });
   } else {
-    walk_pool_.release(std::move(to_board));
+    sink.walk_pool.release(std::move(to_board));
   }
-  walk_pool_.release(std::move(walks));
+  sink.walk_pool.release(std::move(walks));
   kick_channel(ch);
 }
 
 void FlashWalkerEngine::kick_channel(ChannelState& ch) {
-  if (ch.processing || done_) return;
+  if (ch.processing || sinks_[channel_shard(ch)].done) return;
   const bool has_walks = std::any_of(ch.hot.begin(), ch.hot.end(),
                                      [](const LoadedSg& s) { return !s.queue.empty(); });
   if (!has_walks) return;
   ch.processing = true;
-  sim_.schedule_at_on(channel_shard(ch), std::max(sim_.now(), ch.unit.busy_until()),
-                      [this, &ch] { process_channel(ch); });
+  sched_at(channel_shard(ch),
+           std::max(shard(channel_shard(ch)).now(), ch.unit.busy_until()),
+           [this, &ch] { process_channel(ch); });
 }
 
 void FlashWalkerEngine::process_channel(ChannelState& ch) {
@@ -1080,6 +1242,8 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
   }
   if (slot == nullptr) return;
 
+  const sim::ShardId cs = channel_shard(ch);
+  ShardSink& sink = sinks_[cs];
   const auto& sg = pg_->subgraph(slot->sg);
   const Tick ucycle = opt_.accel.channel.updater_cycle;
   const Tick gcycle = opt_.accel.channel.guider_cycle;
@@ -1087,21 +1251,21 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
   const std::uint32_t guiders = std::max<std::uint32_t>(1, opt_.accel.channel.guiders);
 
   Tick cost = 0;
-  std::vector<rw::Walk> to_board = walk_pool_.acquire();
+  std::vector<rw::Walk> to_board = sink.walk_pool.acquire();
+  std::vector<rw::Walk> completed = sink.walk_pool.acquire();
   std::uint32_t processed = 0;
   while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
     rw::Walk w = slot->queue.front();
     slot->queue.pop_front();
     ++processed;
 
-    const HopOutcome hop = update_walk(w, sg);
+    const HopOutcome hop = update_walk(w, sg, sink);
     cost += (5 + hop.extra_cycles) * ucycle / updaters;
-    ++metrics_.channel_updates;
+    ++sink.metrics.channel_updates;
     ++ch.updates;
 
     if (hop.completed) {
-      complete_walk(w, board_.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
-                    /*at_board=*/true);
+      completed.push_back(w);  // finishes at the board (shared FTL/DRAM path)
       continue;
     }
 
@@ -1120,36 +1284,40 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
       if (opt_.accel.features.walk_query) {
         const auto r = mtab_->find_range(w.cur);
         cost += static_cast<Tick>(r.steps) * gcycle / guiders;
-        ++metrics_.range_searches;
+        ++sink.metrics.range_searches;
         if (r.found()) {
           w.range_tag = r.range_id;
-          ++metrics_.range_tagged_walks;
+          ++sink.metrics.range_tagged_walks;
         }
       }
       to_board.push_back(w);
     }
   }
 
-  const Tick completion = ch.unit.acquire(sim_.now(), cost);
+  const Tick completion = ch.unit.acquire(shard(cs).now(), cost);
   if (opt_.trace != nullptr && cost > 0) {
     opt_.trace->complete(ch.trace_track, "update", completion - cost, completion,
                          processed, "walks");
   }
+  if (!completed.empty()) {
+    xsend(cs, kBoardShard, completion, [this, ws = std::move(completed)]() mutable {
+      board_receive_completed(kBoardOrigin, std::move(ws));
+    });
+  } else {
+    sink.walk_pool.release(std::move(completed));
+  }
+  if (!to_board.empty()) {
+    sink.metrics.to_board_walks += to_board.size();
+    xsend(cs, kBoardShard, completion, [this, ws = std::move(to_board)]() mutable {
+      enqueue_board(std::move(ws));
+    });
+  } else {
+    sink.walk_pool.release(std::move(to_board));
+  }
   ch.processing = true;
-  // Home: channel. The handler hands `walks` to the board by direct call
-  // (enqueue_board), a zero-latency channel->board edge the shard audit
-  // reports via the board events it schedules — see MODELING.md.
-  sim_.schedule_at_on(channel_shard(ch), completion,
-                      [this, &ch, walks = std::move(to_board)]() mutable {
+  sched_at(cs, completion, [this, &ch] {
     ch.processing = false;
-    if (!walks.empty()) {
-      metrics_.to_board_walks += walks.size();
-      enqueue_board(std::move(walks));
-    } else {
-      walk_pool_.release(std::move(walks));
-    }
     kick_channel(ch);
-    maybe_switch_partition();
   });
 }
 
@@ -1159,15 +1327,30 @@ void FlashWalkerEngine::process_channel(ChannelState& ch) {
 
 void FlashWalkerEngine::enqueue_board(std::vector<rw::Walk> walks) {
   for (auto& w : walks) board_.guide.push_back(w);
-  walk_pool_.release(std::move(walks));
+  sinks_[kBoardShard].walk_pool.release(std::move(walks));
   kick_board_guider();
+}
+
+void FlashWalkerEngine::board_receive_completed(std::uint32_t origin,
+                                                std::vector<rw::Walk> walks) {
+  // Chip-level finishes buffer in the (board-tracked) per-chip completed
+  // buffer; channel-level finishes share the board's own buffer — the same
+  // accounting the serial engine used, now fed by explicit messages.
+  std::uint64_t& bytes = origin == kBoardOrigin
+                             ? board_.completed_buffered_bytes
+                             : chip_views_[origin].completed_buffered_bytes;
+  for (const rw::Walk& w : walks) {
+    complete_walk(w, bytes, opt_.accel.completed_buffer_bytes);
+  }
+  sinks_[kBoardShard].walk_pool.release(std::move(walks));
+  maybe_switch_partition();
 }
 
 void FlashWalkerEngine::kick_board_guider() {
   if (board_.guiding || board_.guide.empty() || done_) return;
   board_.guiding = true;
-  sim_.schedule_at_on(kBoardShard, std::max(sim_.now(), board_.guider_unit.busy_until()),
-                      [this] { process_board_guider(); });
+  sched_at(kBoardShard, std::max(bnow(), board_.guider_unit.busy_until()),
+           [this] { process_board_guider(); });
 }
 
 void FlashWalkerEngine::process_board_guider() {
@@ -1189,16 +1372,19 @@ void FlashWalkerEngine::process_board_guider() {
     cycles += board_route_walk(w, touched_chips);
   }
   const Tick cost = static_cast<Tick>(cycles) * gcycle / guiders;
-  const Tick completion = board_.guider_unit.acquire(sim_.now(), cost);
+  const Tick completion = board_.guider_unit.acquire(bnow(), cost);
   if (opt_.trace != nullptr && cost > 0) {
     opt_.trace->complete(board_.guider_track, "guide", completion - cost, completion,
                          processed, "walks");
   }
   board_.guiding = true;
-  sim_.schedule_at_on(kBoardShard, completion,
-                      [this, touched = std::move(touched_chips)]() mutable {
+  sched_at(kBoardShard, completion,
+           [this, touched = std::move(touched_chips)]() mutable {
     board_.guiding = false;
-    for (std::uint32_t g : touched) kick_chip(chips_[g]);
+    // Re-run the load granter for every chip this batch fed: chips holding
+    // walks are already processing (they kick themselves); idle chips get
+    // their loads granted from the board-side slot views.
+    for (std::uint32_t g : touched) board_request_loads(g);
     chip_list_pool_.release(std::move(touched));
     kick_board_guider();
     kick_board_updater();
@@ -1212,8 +1398,8 @@ void FlashWalkerEngine::kick_board_updater() {
                                      [](const LoadedSg& s) { return !s.queue.empty(); });
   if (!has_walks) return;
   board_.updating = true;
-  sim_.schedule_at_on(kBoardShard, std::max(sim_.now(), board_.updater_unit.busy_until()),
-                      [this] { process_board_updater(); });
+  sched_at(kBoardShard, std::max(bnow(), board_.updater_unit.busy_until()),
+           [this] { process_board_updater(); });
 }
 
 void FlashWalkerEngine::process_board_updater() {
@@ -1229,44 +1415,44 @@ void FlashWalkerEngine::process_board_updater() {
   }
   if (slot == nullptr) return;
 
+  ShardSink& bsink = sinks_[kBoardShard];
   const auto& sg = pg_->subgraph(slot->sg);
   const Tick ucycle = opt_.accel.board.updater_cycle;
   const std::uint32_t updaters = std::max<std::uint32_t>(1, opt_.accel.board.updaters);
 
   Tick cost = 0;
-  std::vector<rw::Walk> to_guide = walk_pool_.acquire();
+  std::vector<rw::Walk> to_guide = bsink.walk_pool.acquire();
   std::uint32_t processed = 0;
   while (processed < opt_.accel.batch_walks && !slot->queue.empty()) {
     rw::Walk w = slot->queue.front();
     slot->queue.pop_front();
     ++processed;
 
-    const HopOutcome hop = update_walk(w, sg);
+    const HopOutcome hop = update_walk(w, sg, bsink);
     cost += (5 + hop.extra_cycles) * ucycle / updaters;
-    ++metrics_.board_updates;
+    ++bsink.metrics.board_updates;
     ++board_.updates;
 
     if (hop.completed) {
-      complete_walk(w, board_.completed_buffered_bytes, opt_.accel.completed_buffer_bytes,
-                    /*at_board=*/true);
+      complete_walk(w, board_.completed_buffered_bytes,
+                    opt_.accel.completed_buffer_bytes);
       continue;
     }
     to_guide.push_back(w);  // updated walks re-enter the board guide buffer
   }
 
-  const Tick completion = board_.updater_unit.acquire(sim_.now(), cost);
+  const Tick completion = board_.updater_unit.acquire(bnow(), cost);
   if (opt_.trace != nullptr && cost > 0) {
     opt_.trace->complete(board_.updater_track, "update", completion - cost, completion,
                          processed, "walks");
   }
   board_.updating = true;
-  sim_.schedule_at_on(kBoardShard, completion,
-                      [this, walks = std::move(to_guide)]() mutable {
+  sched_at(kBoardShard, completion, [this, walks = std::move(to_guide)]() mutable {
     board_.updating = false;
     if (!walks.empty()) {
       enqueue_board(std::move(walks));
     } else {
-      walk_pool_.release(std::move(walks));
+      sinks_[kBoardShard].walk_pool.release(std::move(walks));
     }
     kick_board_updater();
     maybe_switch_partition();
@@ -1278,9 +1464,22 @@ void FlashWalkerEngine::process_board_updater() {
 // ---------------------------------------------------------------------------
 
 void FlashWalkerEngine::check_done() {
-  if (!done_ && metrics_.walks_completed == total_expected_) {
+  if (!done_ && sinks_[kBoardShard].metrics.walks_completed == total_expected_) {
     done_ = true;
-    done_tick_ = sim_.now();
+    done_tick_ = bnow();
+    if (total_expected_ > 0) broadcast_done();
+  }
+}
+
+void FlashWalkerEngine::broadcast_done() {
+  // Quiesce: channel shards keep polling until they observe their done
+  // flag, then stop rescheduling — the queues drain and the run ends. No
+  // walk-carrying event can still be in flight here (every walk has
+  // completed at the board), so dropping future kicks loses nothing.
+  const Tick at = bnow();
+  for (auto& ch : channels_) {
+    const sim::ShardId cs = channel_shard(ch);
+    xsend(kBoardShard, cs, at, [this, cs] { sinks_[cs].done = true; });
   }
 }
 
@@ -1295,7 +1494,7 @@ void FlashWalkerEngine::maybe_switch_partition() {
   for (std::uint32_t step = 1; step <= parts; ++step) {
     const PartitionId p = (current_partition_ + step) % parts;
     if (!pending_[p].empty()) {
-      ++metrics_.partition_switches;
+      ++sinks_[kBoardShard].metrics.partition_switches;
       begin_partition(p, /*charge_io=*/true);
       return;
     }
@@ -1305,7 +1504,8 @@ void FlashWalkerEngine::maybe_switch_partition() {
     // new walks; the pending arrival events keep the simulation alive.
     return;
   }
-  if (metrics_.walks_completed != metrics_.walks_started) {
+  if (sinks_[kBoardShard].metrics.walks_completed !=
+      sinks_[kBoardShard].metrics.walks_started) {
     throw std::logic_error("FlashWalkerEngine: walks lost (conservation violated)");
   }
 }
@@ -1314,7 +1514,31 @@ void FlashWalkerEngine::maybe_switch_partition() {
 // Top level
 // ---------------------------------------------------------------------------
 
-void FlashWalkerEngine::publish_counters() {
+void FlashWalkerEngine::merge_sinks() {
+  const VertexId nv = pg_->graph().num_vertices();
+  for (auto& jc : jobs_) jc.hops = 0;
+  for (const ShardSink& sink : sinks_) {
+    metrics_ += sink.metrics;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) jobs_[j].hops += sink.job_hops[j];
+    if (!sink.visits.empty()) {
+      for (VertexId v = 0; v < nv; ++v) visits_[v] += sink.visits[v];
+    }
+  }
+  if (track_job_visits_) {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      JobRt& jc = jobs_[j];
+      if (!jc.admitted) continue;  // never-admitted jobs report no vectors
+      jc.visits.assign(nv, 0);
+      for (const ShardSink& sink : sinks_) {
+        const auto& jv = sink.job_visits[j];
+        if (jv.empty()) continue;
+        for (VertexId v = 0; v < nv; ++v) jc.visits[v] += jv[v];
+      }
+    }
+  }
+}
+
+void FlashWalkerEngine::publish_counters(const ShardAuditReport& audit) {
   auto set = [this](const std::string& name, std::uint64_t v) {
     registry_.counter(name).set(v);
   };
@@ -1329,7 +1553,9 @@ void FlashWalkerEngine::publish_counters() {
   set("sched.subgraph_load_pages", metrics_.subgraph_load_pages);
   set("flash.read_bytes", flash_->read_bytes());
   set("flash.write_bytes", flash_->programmed_bytes());
-  set("flash.channel_bytes", flash_->channel_bytes());
+  std::uint64_t bus_bytes = 0;
+  for (const ChannelState& ch : channels_) bus_bytes += ch.bus.bytes_moved();
+  set("flash.channel_bytes", flash_->channel_bytes() + bus_bytes);
   set("dram.bytes", dram_->bytes_moved());
   for (const ChipState& c : chips_) {
     const std::string prefix = "chip." + std::to_string(c.global);
@@ -1375,44 +1601,34 @@ void FlashWalkerEngine::publish_counters() {
     set("service.latency_p99_ns",
         static_cast<std::uint64_t>(percentile_nearest_rank(latencies, 99)));
   }
-  if (audit_) {
-    // The parallel.* family exists only in shard-audit runs, so serial runs
-    // keep their pre-audit counter sets byte-for-byte.
-    set("parallel.shards", audit_->num_shards());
-    set("parallel.lookahead_ns", audit_->lookahead());
-    set("parallel.events", audit_->total_events());
-    set("parallel.max_shard_events", audit_->max_shard_events());
-    set("parallel.local_sends", audit_->local_sends());
-    set("parallel.cross_sends", audit_->cross_sends());
-    set("parallel.lookahead_violations", audit_->lookahead_violations());
+  if (audit.enabled) {
+    // The parallel.* family exists only in shard-audit runs, so default
+    // runs keep their pre-audit counter sets byte-for-byte.
+    set("parallel.shards", audit.shards);
+    set("parallel.lookahead_ns", audit.lookahead_ns);
+    set("parallel.events", audit.events);
+    set("parallel.max_shard_events", audit.max_shard_events);
+    set("parallel.local_sends", audit.local_sends);
+    set("parallel.cross_sends", audit.cross_sends);
+    set("parallel.lookahead_violations", audit.lookahead_violations);
   }
 }
 
 EngineResult FlashWalkerEngine::run() {
   check_done();  // zero-walk workloads finish immediately
 
-  if (opt_.sim_threads > 1) {
-    // Shard-audit mode: tag + measure, attached before the first schedule
-    // so every event of the run is covered. Execution stays serial.
-    audit_ = std::make_unique<sim::ShardAudit>(
-        1 + static_cast<std::uint32_t>(channels_.size()),
-        conservative_lookahead_ns(opt_.accel, opt_.ssd));
-    sim_.attach_audit(audit_.get());
-  }
-
   if (!done_) {
     // Jobs enter the simulation at their arrival ticks; the implicit
     // single-workload job arrives at tick 0, reproducing the pre-service
     // event sequence exactly. Job control lives on the board shard.
     for (std::uint16_t j = 0; j < jobs_.size(); ++j) {
-      sim_.schedule_at_on(kBoardShard, jobs_[j].job.arrival,
-                          [this, j] { arrive_job(j); });
+      sched_at(kBoardShard, jobs_[j].job.arrival, [this, j] { arrive_job(j); });
     }
     schedule_heartbeats();
   }
 
-  sim_.run();
-  sim_.attach_audit(nullptr);  // queue is drained; nothing left to tag
+  psim_->run();
+  merge_sinks();
 
   if (metrics_.walks_completed != total_expected_) {
     throw std::logic_error("FlashWalkerEngine: run ended with unfinished walks");
@@ -1421,34 +1637,45 @@ EngineResult FlashWalkerEngine::run() {
   EngineResult result;
   // The run ends when the final walk completes. Heartbeat timers (channel
   // polls, timeline/trace samplers) already queued at that point still fire
-  // and advance the sim clock, so sim_.now() would overstate the run by up
-  // to one sampling interval — and would make attaching a tracer perturb
-  // the measurement.
+  // and advance the shard clocks, so psim_->now() would overstate the run
+  // by up to one sampling interval — and would make attaching a tracer
+  // perturb the measurement.
   result.exec_time = done_tick_;
   result.metrics = metrics_;
-  if (audit_) {
+  if (opt_.shard_audit) {
     ShardAuditReport& r = result.shard_audit;
     r.enabled = true;
-    r.shards = audit_->num_shards();
-    r.lookahead_ns = audit_->lookahead();
-    r.events = audit_->total_events();
-    r.max_shard_events = audit_->max_shard_events();
-    r.local_sends = audit_->local_sends();
-    r.cross_sends = audit_->cross_sends();
-    r.min_cross_delay_ns =
-        r.cross_sends > 0 ? audit_->min_cross_delay() : Tick{0};
-    r.lookahead_violations = audit_->lookahead_violations();
+    r.shards = psim_->num_shards();
+    r.lookahead_ns = psim_->lookahead();
+    r.events = psim_->events_executed();
+    Tick min_cross = std::numeric_limits<Tick>::max();
+    for (sim::ShardId s = 0; s < psim_->num_shards(); ++s) {
+      r.max_shard_events =
+          std::max(r.max_shard_events, psim_->shard(s).events_executed());
+      const ShardSink& sink = sinks_[s];
+      r.local_sends += sink.local_sends;
+      r.cross_sends += sink.cross_sends;
+      r.lookahead_violations += sink.lookahead_violations;
+      min_cross = std::min(min_cross, sink.min_cross_delay);
+    }
+    r.min_cross_delay_ns = r.cross_sends > 0 ? min_cross : Tick{0};
   }
   result.flash_read_bytes = flash_->read_bytes();
   result.flash_write_bytes = flash_->programmed_bytes();
-  result.channel_bytes = flash_->channel_bytes();
+  // Channel traffic = the FlashArray's per-channel links (loads, walk
+  // fetches, foreigner reloads) plus the channel accelerators' own roving
+  // lanes — the concurrent split of what the serial engine charged to one
+  // set of links.
+  std::uint64_t bus_bytes = 0;
+  for (const ChannelState& ch : channels_) bus_bytes += ch.bus.bytes_moved();
+  result.channel_bytes = flash_->channel_bytes() + bus_bytes;
   result.dram_bytes = dram_->bytes_moved();
   // Run totals (exec time, bandwidth numerators) are captured above; the
   // idle-GC pass below models background compaction after the workload
   // drains, so its flash traffic must not count against the run.
-  publish_counters();
+  publish_counters(result.shard_audit);
   if (opt_.idle_gc_episodes > 0) {
-    ftl_->idle_gc(sim_.now(), opt_.idle_gc_episodes);
+    ftl_->idle_gc(psim_->now(), opt_.idle_gc_episodes);
   }
   result.ftl = ftl_->stats();
   result.reliability = flash_->reliability_stats();

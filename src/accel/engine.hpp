@@ -19,11 +19,22 @@
 // Walks execute *real* hops over the real CSR, so visit statistics are
 // checkable against the host reference (rw::run_walks); the DES charges
 // every hop the cycle/bus/flash costs of Table II/III.
+//
+// Execution model: the engine always runs on the conservative-lookahead
+// parallel DES (sim/parallel_sim). The board (plus every shared model —
+// DRAM, FTL, scheduler, mapping tables, job control) lives on shard 0;
+// channel c and its chips live on shard 1 + c. Every cross-shard message
+// pays at least the lookahead window (accel/lookahead.hpp) as its honest
+// ONFI-command + DRAM-hop floor, shard-crossing state is split into
+// per-shard sinks merged after the run, and the window/merge schedule is a
+// pure function of queue state — so any worker count (sim_threads) yields
+// bit-identical results. See docs/MODELING.md "Parallel DES".
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -42,7 +53,8 @@
 #include "rw/sampler.hpp"
 #include "rw/spec.hpp"
 #include "rw/walk.hpp"
-#include "sim/simulator.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/resource.hpp"
 #include "sim/timeline.hpp"
 #include "ssd/dram_banked.hpp"
 #include "ssd/flash_array.hpp"
@@ -75,26 +87,30 @@ struct EngineOptions {
   /// board unit activity, subgraph loads, FTL GC episodes) and periodic
   /// counter samples into this recorder. Null disables tracing entirely:
   /// every hook is a single pointer test on the hot path. The recorder must
-  /// outlive the engine.
+  /// outlive the engine. Tracing requires sim_threads == 1 (the recorder is
+  /// a single shared sink); combining it with a concurrent run throws.
   obs::TraceRecorder* trace = nullptr;
   /// Post-run idle-time GC budget (block collections). The FTL compacts
   /// fragmented planes while the device would otherwise sit idle after the
   /// walk workload drains; 0 disables the pass.
   std::uint32_t idle_gc_episodes = 256;
-  /// Parallel-DES shard validation (the `--sim-threads` CLI knob). 1 runs
-  /// the serial reference engine untouched. > 1 keeps execution serial and
-  /// bit-exact but tags every event with its home shard (board = 0,
-  /// channel c = 1 + c) and audits the event stream against the
-  /// conservative-lookahead window (accel/lookahead.hpp): the result's
-  /// `shard_audit` reports per-shard balance, cross-shard traffic, and any
-  /// sends that land inside the window — the paths a true multi-threaded
-  /// engine run would need to fix first (see docs/MODELING.md
-  /// "Parallel DES").
+  /// Worker threads for the parallel DES (the `--sim-threads` CLI knob).
+  /// The engine always executes on the sharded conservative-lookahead
+  /// simulator (board = shard 0, channel c = shard 1 + c); this selects how
+  /// many OS threads drain the shards. 1 runs the identical window/merge
+  /// schedule inline on the caller's thread; N > 1 runs shards concurrently
+  /// between barriers. Results are bit-identical for any value (clamped to
+  /// the shard count) — see docs/MODELING.md "Parallel DES".
   std::uint32_t sim_threads = 1;
+  /// Record the shard audit (per-shard balance, cross-shard traffic,
+  /// lookahead-window margins) on the same run and publish it via the
+  /// result's `shard_audit` plus the `parallel.*` counters. Pure
+  /// observation: execution and all other outputs stay byte-identical.
+  bool shard_audit = false;
 };
 
-/// What a conservative-lookahead partitioning of the engine's event stream
-/// looks like; populated when EngineOptions::sim_threads > 1.
+/// How the engine's event stream maps onto the conservative-lookahead
+/// shards; populated when EngineOptions::shard_audit is set.
 struct ShardAuditReport {
   bool enabled = false;
   std::uint32_t shards = 0;
@@ -157,7 +173,7 @@ struct EngineResult {
   /// per-job output vectors only for explicit multi-job runs.
   std::vector<service::JobResult> jobs;
 
-  /// Shard-audit report (enabled only when sim_threads > 1).
+  /// Shard-audit report (enabled only when EngineOptions::shard_audit).
   ShardAuditReport shard_audit;
 };
 
@@ -196,7 +212,12 @@ class FlashWalkerEngine {
   struct LoadedSg {
     SubgraphId sg = kInvalidSubgraph;
     std::deque<rw::Walk> queue;
-    bool loading = false;
+    /// Chip-side: a drain report for this slot is in flight (the board may
+    /// already be loading into it). The chip guider skips reported slots —
+    /// the concurrent mirror of the serial engine skipping `loading` slots
+    /// — so an install can never evict guider-fed walks. Cleared when the
+    /// install lands.
+    bool reported = false;
   };
 
   struct ChipState {
@@ -205,7 +226,6 @@ class FlashWalkerEngine {
     std::uint32_t global = 0;
     std::vector<LoadedSg> slots;
     std::vector<rw::Walk> roving;
-    std::uint64_t completed_buffered_bytes = 0;
     sim::SerialResource unit;
     bool processing = false;
     std::uint32_t rr = 0;
@@ -217,6 +237,12 @@ class FlashWalkerEngine {
     std::uint32_t index = 0;
     std::vector<LoadedSg> hot;
     sim::SerialResource unit;
+    /// Channel-owned ONFI lane charging the roving pulls this channel's
+    /// accelerator issues itself. Board-issued traffic (loads, walk
+    /// fetches) stays on the FlashArray's per-channel links; the two are
+    /// separate FIFOs, a deliberate concession so no bus model is written
+    /// from two shards (docs/MODELING.md "Parallel DES").
+    sim::BandwidthLink bus{0, 0};
     bool processing = false;
     std::uint32_t rr = 0;
     std::uint64_t updates = 0;
@@ -236,6 +262,43 @@ class FlashWalkerEngine {
     std::uint64_t updates = 0;
     std::uint32_t guider_track = 0;
     std::uint32_t updater_track = 0;
+  };
+
+  /// Board-side replica of one chip slot: the scheduler grants loads
+  /// against this view because it cannot read chip-owned queue state
+  /// across the shard boundary. `loading` covers dispatch → install;
+  /// `empty` is the board's belief that the slot holds no queued walks
+  /// (refreshed by chip idle reports).
+  struct SlotView {
+    SubgraphId sg = kInvalidSubgraph;
+    bool loading = false;
+    bool empty = true;
+  };
+  struct ChipView {
+    std::vector<SlotView> slots;
+    std::uint64_t completed_buffered_bytes = 0;
+  };
+
+  /// Per-shard accumulation state: every counter or pool an event handler
+  /// mutates that is not owned by exactly one shard's model objects. One
+  /// instance per shard (board = 0, channel c = 1 + c), written only by
+  /// that shard's handlers, folded into the run totals by merge_sinks().
+  /// Cache-line aligned so neighbouring shards don't false-share.
+  struct alignas(64) ShardSink {
+    EngineMetrics metrics;
+    /// Per-vertex visit counts (lazily sized on first hop, merged into the
+    /// global vector post-run); only filled when record_visits is on.
+    std::vector<std::uint64_t> visits;
+    std::vector<std::uint64_t> job_hops;  ///< per job, sized up front
+    /// Per-job visit counts (explicit-jobs runs with record_visits only).
+    std::vector<std::vector<std::uint64_t>> job_visits;
+    VectorPool<rw::Walk> walk_pool;
+    bool done = false;  ///< quiesce flag, set by the board's broadcast
+    // Shard-audit tallies (written only when EngineOptions::shard_audit).
+    std::uint64_t local_sends = 0;
+    std::uint64_t cross_sends = 0;
+    std::uint64_t lookahead_violations = 0;
+    Tick min_cross_delay = std::numeric_limits<Tick>::max();
   };
 
   /// Result of updating one walk (shared by all three levels).
@@ -276,67 +339,99 @@ class FlashWalkerEngine {
   // --- walk updating -----------------------------------------------------
   /// Advance `w` one hop. Sampling draws come from the walk's own RNG
   /// stream (`w.rng_state`), so the resulting path is independent of the
-  /// order in which the DES interleaves walks.
-  HopOutcome update_walk(rw::Walk& w, const partition::Subgraph& sg);
+  /// order in which the DES interleaves walks. Progress counters go into
+  /// the executing shard's sink.
+  HopOutcome update_walk(rw::Walk& w, const partition::Subgraph& sg, ShardSink& sink);
   HopOutcome update_walk_step(rw::Walk& w, const partition::Subgraph& sg,
-                              Xoshiro256& rng);
+                              ShardSink& sink, Xoshiro256& rng);
 
-  // --- chip level ----------------------------------------------------------
+  // --- chip level (channel shard) ----------------------------------------
   void kick_chip(ChipState& c);
   void process_chip(ChipState& c);
-  void request_loads(ChipState& c);
-  void start_load(ChipState& c, std::size_t slot_idx, SubgraphId sg,
+  /// Chip → board: send a drain report for every empty, not-yet-reported
+  /// slot so the board can grant loads into it. Per-slot reporting keeps
+  /// the load cadence close to the serial engine's (a slot becomes
+  /// grantable the moment it drains, one handoff later), instead of
+  /// batching everything behind whole-chip idle.
+  void report_drained_slots(ChipState& c);
+
+  // --- board-side load path ----------------------------------------------
+  void board_slot_drained(std::uint32_t g, std::size_t slot_idx);
+  void board_request_loads(std::uint32_t g);
+  void start_load(std::uint32_t g, std::size_t slot_idx, SubgraphId sg,
                   std::uint32_t compare_ops);
 
-  // --- channel level ---------------------------------------------------------
+  // --- channel level (channel shard) -------------------------------------
   void poll_channel(ChannelState& ch);
   void receive_roving(ChannelState& ch, std::vector<rw::Walk> walks);
   void kick_channel(ChannelState& ch);
   void process_channel(ChannelState& ch);
 
-  // --- board level ------------------------------------------------------------
+  // --- board level (board shard) -----------------------------------------
   void enqueue_board(std::vector<rw::Walk> walks);
   void kick_board_guider();
   void process_board_guider();
   void kick_board_updater();
   void process_board_updater();
+  /// Channel/chip → board: a batch of walks finished at `origin` (a global
+  /// chip id, or kBoardOrigin for channel-level completions).
+  void board_receive_completed(std::uint32_t origin, std::vector<rw::Walk> walks);
 
   /// Route one updated/ingested walk at the board: dense pre-walk, hot
   /// check, mapping lookup, then pwb / foreigner placement. Returns guider
   /// cycles spent; appends affected chips to `touched_chips`.
   std::uint32_t board_route_walk(rw::Walk w, std::vector<std::uint32_t>& touched_chips);
 
-  // --- shared helpers ---------------------------------------------------------
+  // --- shared helpers ----------------------------------------------------
   void complete_walk(const rw::Walk& w, std::uint64_t& completed_bytes,
-                     std::uint64_t flush_cap, bool at_board);
+                     std::uint64_t flush_cap);
   void flush_walk_pages(std::uint64_t bytes, std::uint64_t& counter);
   void insert_pwb(SubgraphId sg, rw::Walk w, std::vector<std::uint32_t>& touched_chips);
   void maybe_switch_partition();
   void check_done();
+  /// Board → all channel shards: the run is over; stop polling and kicking.
+  void broadcast_done();
+  /// Fold every shard sink into the global totals (metrics_, job hops and
+  /// visit vectors). Deterministic: plain sums in shard order.
+  void merge_sinks();
   [[nodiscard]] std::uint32_t chip_of_sg(SubgraphId sg) const;
   [[nodiscard]] bool walk_in_sg(const rw::Walk& w, const partition::Subgraph& sg) const;
   [[nodiscard]] std::uint64_t wbytes() const { return walk_bytes_; }
 
   /// Fold run totals (per-unit update counts, busy times, byte counters,
   /// scheduler work) into the counter registry; called once at end of run.
-  void publish_counters();
+  void publish_counters(const ShardAuditReport& audit);
 
-  // --- parallel-DES shard model -----------------------------------------------
+  // --- parallel-DES shard facade -----------------------------------------
   /// Home shards: the board (plus every other shared resource — DRAM, FTL,
   /// host link, job control) is shard 0; channel c and its chips are 1 + c.
   static constexpr sim::ShardId kBoardShard = 0;
+  /// `origin` sentinel for board_receive_completed: channel-level finish.
+  static constexpr std::uint32_t kBoardOrigin =
+      std::numeric_limits<std::uint32_t>::max();
   [[nodiscard]] static sim::ShardId chip_shard(const ChipState& c) {
     return 1 + c.channel;
   }
   [[nodiscard]] static sim::ShardId channel_shard(const ChannelState& ch) {
     return 1 + ch.index;
   }
+  [[nodiscard]] sim::Shard& shard(sim::ShardId s) { return psim_->shard(s); }
+  /// Board clock — the timeline every board-owned model charges against.
+  [[nodiscard]] Tick bnow() const { return psim_->shard(kBoardShard).now(); }
+  /// Same-shard schedule, `delay` ns from the shard clock.
+  void sched(sim::ShardId s, Tick delay, sim::EventFn fn);
+  /// Same-shard schedule at absolute tick `at` (clamped to the shard clock).
+  void sched_at(sim::ShardId s, Tick at, sim::EventFn fn);
+  /// Cross-shard send targeting absolute tick `at`, floored to the honest
+  /// handoff cost (>= the lookahead window) so it always clears the
+  /// conservative window — the shard audit must report zero violations.
+  void xsend(sim::ShardId src, sim::ShardId dst, Tick at, sim::EventFn fn);
 
-  // --- members ----------------------------------------------------------------
+  // --- members -----------------------------------------------------------
   const partition::PartitionedGraph* pg_;
   EngineOptions opt_;
-  sim::Simulator sim_;
-  std::unique_ptr<sim::ShardAudit> audit_;  ///< attached when sim_threads > 1
+  Tick handoff_ns_ = 0;  ///< cross-shard floor == conservative lookahead
+  std::unique_ptr<sim::ParallelSimulator> psim_;
   std::unique_ptr<ssd::FlashArray> flash_;
   std::unique_ptr<ssd::GraphLayout> layout_;
   std::unique_ptr<ssd::Ftl> ftl_;
@@ -350,12 +445,12 @@ class FlashWalkerEngine {
   std::vector<ChipState> chips_;
   std::vector<ChannelState> channels_;
   BoardState board_;
+  std::vector<ChipView> chip_views_;  ///< board-side slot residency replica
+  std::vector<ShardSink> sinks_;      ///< one per shard, single writer each
 
   static constexpr std::uint64_t kDramLineBytes = 64;
-  /// Free lists for the walk batches (and per-batch chip lists) that ride
-  /// through scheduled events: in-flight buffers return here once drained,
-  /// so steady-state event traffic allocates nothing.
-  VectorPool<rw::Walk> walk_pool_;
+  /// Free list for the per-batch chip lists the board guider emits
+  /// (board-shard only; walk batches use the per-shard sink pools).
   VectorPool<std::uint32_t> chip_list_pool_;
   std::vector<std::vector<rw::Walk>> pwb_walks_;   // per subgraph (current partition)
   std::vector<std::uint32_t> pwb_wc_bytes_;        // write-combining residue per entry
@@ -366,6 +461,7 @@ class FlashWalkerEngine {
   std::vector<JobRt> jobs_;
   bool explicit_jobs_ = false;     ///< EngineOptions::jobs was non-empty
   bool track_job_outputs_ = false; ///< record per-job visits/endpoints/paths
+  bool track_job_visits_ = false;  ///< track_job_outputs_ && record_visits
   std::uint64_t total_expected_ = 0;
   std::uint32_t admitted_jobs_ = 0;
   std::uint32_t running_jobs_ = 0;
@@ -373,7 +469,7 @@ class FlashWalkerEngine {
   bool partition_started_ = false;
   bool hot_loaded_ = false;
 
-  EngineMetrics metrics_;
+  EngineMetrics metrics_;  ///< run totals, valid after merge_sinks()
   obs::CounterRegistry registry_;
   std::vector<std::uint64_t> visits_;
   std::vector<std::uint64_t> endpoints_;

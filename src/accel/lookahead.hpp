@@ -12,10 +12,10 @@
 // 65-bucket span of the 4 ns calendar ring, comfortably above the
 // cycle-scale traffic that dominates each shard's local work.
 //
-// See docs/MODELING.md "Parallel DES" for the full argument, including the
-// paths this deliberately does NOT cover (the engine's zero-latency
-// channel->board handoffs, which the shard audit reports as lookahead
-// violations).
+// See docs/MODELING.md "Parallel DES" for the full argument. The engine
+// floors every cross-shard handoff to this window (the honest ONFI-command
+// + DRAM-hop cost the old zero-latency completions skipped), so the shard
+// audit reports zero lookahead violations by construction.
 #pragma once
 
 #include "accel/config.hpp"

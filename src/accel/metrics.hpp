@@ -58,6 +58,47 @@ struct EngineMetrics {
   std::uint64_t parked_walks = 0;     ///< walks parked behind retrying loads
   std::uint64_t recovered_pages = 0;  ///< uncorrectable pages rebuilt at board
   std::uint64_t degraded_loads = 0;   ///< subgraph loads with >= 1 lost page
+
+  /// Field-wise accumulate: the concurrent engine keeps one EngineMetrics
+  /// per shard (single writer each) and folds them into the run totals at
+  /// the end of the run. Every counter is a sum, so the merge is exact.
+  EngineMetrics& operator+=(const EngineMetrics& o) {
+    walks_started += o.walks_started;
+    walks_completed += o.walks_completed;
+    dead_ends += o.dead_ends;
+    total_hops += o.total_hops;
+    chip_updates += o.chip_updates;
+    channel_updates += o.channel_updates;
+    board_updates += o.board_updates;
+    roving_walks += o.roving_walks;
+    to_board_walks += o.to_board_walks;
+    foreigner_walks += o.foreigner_walks;
+    pwb_inserts += o.pwb_inserts;
+    subgraph_loads += o.subgraph_loads;
+    subgraph_load_pages += o.subgraph_load_pages;
+    hot_subgraph_loads += o.hot_subgraph_loads;
+    query_cache_hits += o.query_cache_hits;
+    query_cache_misses += o.query_cache_misses;
+    mapping_search_steps += o.mapping_search_steps;
+    range_searches += o.range_searches;
+    range_tagged_walks += o.range_tagged_walks;
+    range_foreigner_hints += o.range_foreigner_hints;
+    bloom_lookups += o.bloom_lookups;
+    bloom_false_positives += o.bloom_false_positives;
+    dense_prewalks += o.dense_prewalks;
+    pwb_overflow_events += o.pwb_overflow_events;
+    pwb_overflow_walks += o.pwb_overflow_walks;
+    completed_flush_pages += o.completed_flush_pages;
+    foreigner_flush_pages += o.foreigner_flush_pages;
+    overflow_flush_pages += o.overflow_flush_pages;
+    walk_reload_pages += o.walk_reload_pages;
+    partition_switches += o.partition_switches;
+    scheduler_compare_ops += o.scheduler_compare_ops;
+    parked_walks += o.parked_walks;
+    recovered_pages += o.recovered_pages;
+    degraded_loads += o.degraded_loads;
+    return *this;
+  }
 };
 
 }  // namespace fw::accel

@@ -7,8 +7,9 @@
 // vector that keeps its previous capacity, release() returns it — so
 // steady-state simulation performs no allocator traffic for batch vectors.
 //
-// Not thread-safe by design: each engine owns its pools, and the DES is
-// single-threaded (see docs/MODELING.md).
+// Not thread-safe by design: pools are owned per shard — each DES shard
+// keeps its own VectorPool and only that shard's worker touches it (see
+// docs/MODELING.md "Parallel DES").
 #pragma once
 
 #include <cstddef>
