@@ -46,6 +46,17 @@ What is gated, and why
    (--engine-floor, default 2.5x over the 1-worker run) is gated only
    when `hw_threads >= 8`, like the raw-DES floor.
 
+7. `array_scaling` (multi-SSD array): `determinism_ok` (byte-identical
+   array reports across --sim-threads 1/8 at every device count) is gated
+   unconditionally. The 4-device aggregate walks/sec ratio over the
+   single-device run (--array-floor, default 2.0) is gated only when
+   `hw_threads >= 8`, like the other scaling floors.
+
+Missing-section rule: a section the BASELINE carries is a promise — if
+the candidate report lacks it, that is a FAILURE (a silently skipped
+gate), not a skip. Sections absent from both reports are skipped with a
+notice.
+
 Reports must declare `"schema": "fw-bench-sim/2"`; unknown or missing
 versions are rejected (exit 2) instead of silently parsed.
 """
@@ -83,11 +94,24 @@ def mix_config(report):
     return (sm.get("dataset"), sm.get("scale"), sm.get("seed"))
 
 
+def section_or_fail(name, base, cur, failures):
+    """Missing-section rule: a section the baseline carries must exist in the
+    candidate (else a gate silently vanishes — that is a failure, not a
+    skip). Returns the candidate section, or None when checks should stop."""
+    if name not in base:
+        print(f"{name}: no section in baseline report, checks skipped")
+        return None
+    if name not in cur:
+        print(f"{name}: baseline has the section but the current report "
+              f"does not [MISSING]")
+        failures.append(f"{name}.missing")
+        return None
+    return cur[name]
+
+
 def check_service_mix(base, cur, failures):
     """Gate the walk-service section: deterministic makespans + fairness."""
-    if "service_mix" not in base or "service_mix" not in cur:
-        missing = "baseline" if "service_mix" not in base else "current"
-        print(f"service_mix: no section in {missing} report, checks skipped")
+    if section_or_fail("service_mix", base, cur, failures) is None:
         return
     cur_mixes = {m["name"]: m for m in cur["service_mix"].get("mixes", [])}
     configs_match = mix_config(base) == mix_config(cur)
@@ -117,11 +141,10 @@ def check_service_mix(base, cur, failures):
                 failures.append(f"service_mix.{name}.fairness_ratio")
 
 
-def check_parallel(cur, floor, failures):
+def check_parallel(base, cur, floor, failures):
     """Gate the parallel-DES section: hard determinism, conditional speedup."""
-    par = cur.get("parallel")
+    par = section_or_fail("parallel", base, cur, failures)
     if par is None:
-        print("parallel: no section in current report, checks skipped")
         return
     ok = par.get("determinism_ok")
     verdict = "ok" if ok else "NONDETERMINISTIC"
@@ -144,11 +167,10 @@ def check_parallel(cur, floor, failures):
               "[informational]")
 
 
-def check_engine_parallel(cur, floor, failures):
+def check_engine_parallel(base, cur, floor, failures):
     """Gate the concurrent-engine section: hard determinism, conditional speedup."""
-    par = cur.get("engine_parallel")
+    par = section_or_fail("engine_parallel", base, cur, failures)
     if par is None:
-        print("engine_parallel: no section in current report, checks skipped")
         return
     ok = par.get("determinism_ok")
     verdict = "ok" if ok else "NONDETERMINISTIC"
@@ -169,6 +191,30 @@ def check_engine_parallel(cur, floor, failures):
               "[informational]")
 
 
+def check_array(base, cur, floor, failures):
+    """Gate the multi-SSD array section: hard determinism, conditional scaling."""
+    arr = section_or_fail("array_scaling", base, cur, failures)
+    if arr is None:
+        return
+    ok = arr.get("determinism_ok")
+    verdict = "ok" if ok else "NONDETERMINISTIC"
+    print(f"array_scaling.determinism_ok: {ok}  [{verdict}]")
+    if not ok:
+        failures.append("array_scaling.determinism_ok")
+
+    scaling = arr.get("scaling_4dev", 0.0)
+    hw = arr.get("hw_threads", 0)
+    if hw >= 8:
+        verdict = "ok" if scaling >= floor else "REGRESSION"
+        print(f"array_scaling.scaling_4dev: {scaling:.3g} (floor {floor}, "
+              f"hw_threads {hw}) [{verdict}]")
+        if scaling < floor:
+            failures.append("array_scaling.scaling_4dev")
+    else:
+        print(f"array_scaling.scaling_4dev: {scaling:.3g} (hw_threads {hw} < 8) "
+              "[informational]")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -185,6 +231,10 @@ def main():
                     help="minimum 8-worker concurrent-engine walks/sec speedup "
                          "over the 1-worker run, gated only on hosts with >= 8 "
                          "hardware threads (default 2.5)")
+    ap.add_argument("--array-floor", type=float, default=2.0,
+                    help="minimum 4-device array walks/sec ratio over the "
+                         "single-device run, gated only on hosts with >= 8 "
+                         "hardware threads (default 2.0)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -224,8 +274,9 @@ def main():
               "determinism check skipped")
 
     check_service_mix(base, cur, failures)
-    check_parallel(cur, args.parallel_floor, failures)
-    check_engine_parallel(cur, args.engine_floor, failures)
+    check_parallel(base, cur, args.parallel_floor, failures)
+    check_engine_parallel(base, cur, args.engine_floor, failures)
+    check_array(base, cur, args.array_floor, failures)
 
     if failures:
         print(f"regression: FAILED ({', '.join(failures)})", file=sys.stderr)

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "accel/array/board_array.hpp"
 #include "accel/builder.hpp"
 #include "accel/energy_model.hpp"
 #include "accel/engine.hpp"
@@ -59,6 +60,9 @@ struct CliOptions {
   std::string jobs_spec;
   std::uint32_t sim_threads = 1;
   bool shard_audit = false;
+  std::uint32_t devices = 1;
+  Tick link_ns = accel::array::ArrayConfig{}.link_ns;
+  std::uint32_t forward_batch = accel::array::ArrayConfig{}.forward_batch;
   ssd::SsdConfig ssd{};
 };
 
@@ -143,6 +147,16 @@ CliOptions parse(int argc, char** argv) {
   opts.flag("--shard-audit", &o.shard_audit,
             "record the cross-shard traffic audit\n"
             "(pure observation; printed after the run)");
+  opts.opt("--devices", &o.devices, "N",
+           "multi-SSD array: shard the graph across N\n"
+           "FlashWalker boards behind a host fabric\n"
+           "(default 1; FlashWalker only, incompatible\n"
+           "with --trace-out)");
+  opts.opt("--link-ns", &o.link_ns, "NS",
+           "array fabric per-hop latency (default 600;\nfloored to the DES lookahead)");
+  opts.opt("--forward-batch", &o.forward_batch, "N",
+           "walks buffered per destination board before\n"
+           "a cross-device forward ships (default 32)");
   opts.opt("--json", &o.json_path, "PATH", "full FlashWalker run report as JSON");
   opts.opt("--trace-out", &o.trace_path, "PATH",
            "Chrome trace_event JSON of the FW run\n"
@@ -158,6 +172,20 @@ CliOptions parse(int argc, char** argv) {
   if (o.sim_threads > 1 && !o.trace_path.empty()) {
     std::cerr << "--trace-out requires --sim-threads 1 (the trace recorder is a "
                  "single shared sink)\n";
+    std::exit(2);
+  }
+  if (o.devices == 0) {
+    std::cerr << "--devices must be >= 1\n";
+    std::exit(2);
+  }
+  if (o.devices > 1 && !o.trace_path.empty()) {
+    std::cerr << "--trace-out requires --devices 1 (a forwarded walk's spans would "
+                 "split across boards)\n";
+    std::exit(2);
+  }
+  if (o.devices > 1 && !o.run_fw) {
+    std::cerr << "--devices applies to the FlashWalker engine; include fw in "
+                 "--engines\n";
     std::exit(2);
   }
   return o;
@@ -233,6 +261,77 @@ int run_service(const CliOptions& cli, const partition::PartitionedGraph& pg,
   return 0;
 }
 
+/// Multi-SSD array run (--devices > 1, FlashWalker only): shard the graph
+/// across N boards, print the fabric/per-board summary, honor
+/// --json/--metrics-out. With --jobs the mix runs directly as the array's
+/// job list (every board admits the same jobs; walks split by ownership).
+int run_array(const CliOptions& cli, const partition::PartitionedGraph& pg,
+              accel::SimulationConfig cfg) {
+  cfg.array.devices = cli.devices;
+  cfg.array.link_ns = cli.link_ns;
+  cfg.array.forward_batch = cli.forward_batch;
+  if (!cli.jobs_spec.empty()) {
+    accel::service::JobSpecDefaults defaults;
+    defaults.base_seed = cli.seed;
+    defaults.length = cli.length;
+    if (cli.walks > 0) defaults.walks = cli.walks;
+    cfg.jobs = accel::service::parse_jobs(cli.jobs_spec, defaults);
+  }
+  accel::array::BoardArray arr(pg, std::move(cfg));
+  const auto res = arr.run();
+
+  std::cout << "array: " << res.devices << " devices, exec "
+            << TextTable::time_ns(res.exec_time) << ", aggregate "
+            << TextTable::num(res.walks_per_sec(), 0) << " walks/s\n"
+            << "fabric: " << res.fabric.batches << " batches / " << res.fabric.walks
+            << " walks / " << TextTable::bytes(res.fabric.bytes) << " forwarded, "
+            << res.fabric.job_notifications << " completion notices, hop "
+            << res.fabric.link_ns << " ns\n\n";
+  TextTable table({"board", "hops", "fwd out", "fwd in", "batches", "timeouts"});
+  for (std::size_t d = 0; d < res.boards.size(); ++d) {
+    const auto& m = res.boards[d].metrics;
+    table.add_row({"board" + std::to_string(d), std::to_string(m.total_hops),
+                   std::to_string(m.forwarded_out_walks),
+                   std::to_string(m.forwarded_in_walks),
+                   std::to_string(m.forward_batches),
+                   std::to_string(m.forward_timeout_flushes)});
+  }
+  table.print(std::cout);
+  if (!cli.jobs_spec.empty()) {
+    TextTable jt({"job", "qos", "weight", "walks", "steps", "latency"});
+    for (const auto& s : res.jobs) {
+      jt.add_row({s.name, std::string(accel::service::qos_name(s.qos)),
+                  std::to_string(s.weight), std::to_string(s.walks),
+                  std::to_string(s.steps), TextTable::time_ns(s.latency_ns())});
+    }
+    std::cout << "\n";
+    jt.print(std::cout);
+  }
+
+  if (!cli.json_path.empty()) {
+    std::ofstream json(cli.json_path);
+    accel::write_json(json, "flashwalker-array", res);
+    json << "\n";
+    std::cout << "wrote JSON report to " << cli.json_path << "\n";
+  }
+  if (!cli.metrics_path.empty()) {
+    std::ofstream out(cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli.metrics_path << "\n";
+      return 1;
+    }
+    out << "{\"schema_version\":" << accel::kReportSchemaVersion << ",\"engines\":{";
+    for (std::size_t d = 0; d < res.boards.size(); ++d) {
+      if (d > 0) out << ',';
+      out << "\"board" << d << "\":";
+      accel::write_counters_json(out, res.boards[d]);
+    }
+    out << "}}\n";
+    std::cout << "wrote metrics JSON to " << cli.metrics_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,6 +377,27 @@ int main(int argc, char** argv) {
   pc.subgraphs_per_partition = 2048;
   pc.subgraphs_per_range = 64;
   pc.weighted = spec.biased;
+
+  if (cli.devices > 1) {
+    // Stripe grain: aim for ~4 partitions per board so the round-robin
+    // device assignment gives every board work and walks actually cross the
+    // fabric; a single monolithic partition would pin the whole graph to
+    // board 0. Derived from the CSR size, so it stays deterministic.
+    const std::uint64_t est_subgraphs =
+        std::max<std::uint64_t>(1, stats.csr_size_bytes / pc.block_capacity_bytes);
+    pc.subgraphs_per_partition = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        est_subgraphs / (4ull * cli.devices), 1, pc.subgraphs_per_partition));
+    const partition::PartitionedGraph pg(g, pc);
+    accel::SimulationConfig cfg;
+    cfg.ssd = ssd_cfg;
+    cfg.accel = accel::bench_accel_config();
+    cfg.accel.features = cli.features;
+    cfg.spec = spec;
+    cfg.record_visits = false;
+    cfg.sim_threads = cli.sim_threads;
+    cfg.shard_audit = cli.shard_audit;
+    return run_array(cli, pg, std::move(cfg));
+  }
 
   if (!cli.jobs_spec.empty()) {
     const partition::PartitionedGraph pg(g, pc);

@@ -1,0 +1,31 @@
+// Multi-SSD array configuration: how many FlashWalker boards the host
+// fabric spans and how the fabric moves forwarded walks between them.
+// Dependency-free so SimulationConfig can embed it without pulling the
+// array implementation into every builder include.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fw::accel::array {
+
+struct ArrayConfig {
+  /// Boards in the array. 1 = plain single-device run (no fabric shard, no
+  /// forwarding; byte-identical to the pre-array engine).
+  std::uint32_t devices = 1;
+  /// One-way per-hop fabric latency (board → switch or switch → board), a
+  /// PCIe/NVMe-oF-style round figure. Floored to the DES lookahead window,
+  /// since fabric messages are cross-shard events.
+  Tick link_ns = 600;
+  /// Per-direction, per-device link bandwidth; forwarded batches serialize
+  /// up the source board's link and down the destination's.
+  std::uint64_t link_mb_per_s = 3200;
+  /// Walks buffered per destination board before a forwarding batch ships.
+  std::uint32_t forward_batch = 32;
+  /// Straggler bound: a non-empty forwarding buffer flushes after this many
+  /// ns even if the batch never fills.
+  Tick forward_timeout_ns = 20'000;
+};
+
+}  // namespace fw::accel::array

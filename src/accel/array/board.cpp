@@ -1,0 +1,13 @@
+#include "accel/array/board.hpp"
+
+#include <utility>
+
+namespace fw::accel::array {
+
+Board::Board(const partition::PartitionedGraph& pg, EngineOptions options,
+             ArrayAttachment attachment)
+    : attach_(std::move(attachment)),
+      engine_(std::make_unique<FlashWalkerEngine>(pg, std::move(options), &attach_,
+                                                  FlashWalkerEngine::BuildAccess{})) {}
+
+}  // namespace fw::accel::array

@@ -1,0 +1,37 @@
+// Board: one FlashWalker device of a multi-SSD array.
+//
+// The single-device engine stays the unit of reuse — a Board is the engine
+// plus the ArrayAttachment that binds it to the array's shared simulator and
+// fabric callbacks. The attachment is a member declared before the engine
+// (the engine holds a pointer to it for its whole lifetime), which is why a
+// Board is pinned in memory: BoardArray stores unique_ptr<Board>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "accel/engine.hpp"
+
+namespace fw::accel::array {
+
+class Board {
+ public:
+  /// Constructs the engine attached as board `attachment.device`; the
+  /// attachment's simulator and callbacks must already be populated.
+  Board(const partition::PartitionedGraph& pg, EngineOptions options,
+        ArrayAttachment attachment);
+
+  Board(const Board&) = delete;
+  Board& operator=(const Board&) = delete;
+
+  [[nodiscard]] FlashWalkerEngine& engine() { return *engine_; }
+  [[nodiscard]] const FlashWalkerEngine& engine() const { return *engine_; }
+  [[nodiscard]] std::uint32_t device() const { return attach_.device; }
+  [[nodiscard]] sim::ShardId shard_base() const { return attach_.shard_base; }
+
+ private:
+  ArrayAttachment attach_;  // must outlive engine_ (the engine points at it)
+  std::unique_ptr<FlashWalkerEngine> engine_;
+};
+
+}  // namespace fw::accel::array

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "accel/array/array_config.hpp"
 #include "accel/engine.hpp"
 #include "accel/service/job.hpp"
 #include "graph/csr.hpp"
@@ -28,6 +29,10 @@ namespace fw::accel {
 /// partitioning used when building from a raw CSR graph.
 struct SimulationConfig : EngineOptions {
   partition::PartitionConfig partition;
+  /// Multi-SSD array scale-out (devices == 1 = plain single-device run).
+  /// Consumed by accel::array::BoardArray; the single-device build path
+  /// ignores it entirely.
+  array::ArrayConfig array;
 };
 
 /// An assembled simulation: the engine plus (when built from a raw graph)
@@ -145,6 +150,18 @@ class SimulationBuilder {
     cfg_.shard_audit = on;
     return *this;
   }
+  /// Multi-SSD array scale-out config (see accel/array/board_array.hpp).
+  /// The builder itself always assembles a single-device Simulation; array
+  /// runs construct accel::array::BoardArray with the same SimulationConfig.
+  SimulationBuilder& array(array::ArrayConfig a) {
+    cfg_.array = a;
+    return *this;
+  }
+  SimulationBuilder& devices(std::uint32_t n) {
+    cfg_.array.devices = n;
+    return *this;
+  }
+  [[nodiscard]] const SimulationConfig& config() const { return cfg_; }
 
   /// Assemble the simulation (partitions the graph if built from a raw CSR
   /// graph). Validation errors (biased walk on an unweighted graph,

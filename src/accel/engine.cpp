@@ -26,8 +26,13 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
     : FlashWalkerEngine(pg, std::move(options), BuildAccess{}) {}
 
 FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
-                                     EngineOptions options, BuildAccess /*access*/)
-    : pg_(&pg), opt_(std::move(options)) {
+                                     EngineOptions options, BuildAccess access)
+    : FlashWalkerEngine(pg, std::move(options), nullptr, access) {}
+
+FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
+                                     EngineOptions options, const ArrayAttachment* array,
+                                     BuildAccess /*access*/)
+    : pg_(&pg), opt_(std::move(options)), array_(array) {
   // Build the job table: the explicit job list, or `spec` as implicit job 0.
   explicit_jobs_ = !opt_.jobs.empty();
   track_job_outputs_ = explicit_jobs_;
@@ -173,9 +178,51 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
         "FlashWalkerEngine: tracing requires sim_threads == 1 (the trace "
         "recorder is a single shared sink)");
   }
-  psim_ = std::make_unique<sim::ParallelSimulator>(
-      1 + static_cast<std::uint32_t>(channels_.size()), handoff_ns_,
-      std::max<std::uint32_t>(1, opt_.sim_threads));
+  if (array_ == nullptr) {
+    owned_psim_ = std::make_unique<sim::ParallelSimulator>(
+        1 + static_cast<std::uint32_t>(channels_.size()), handoff_ns_,
+        std::max<std::uint32_t>(1, opt_.sim_threads));
+    psim_ = owned_psim_.get();
+  } else {
+    // Array-attached board: run on the array's shared simulator inside the
+    // shard slice it assigned us. The board keeps full walk/visit tables
+    // (walk ids are global across the array) but only ever starts, loads,
+    // and schedules partitions it owns.
+    if (array_->psim == nullptr || !array_->forward || !array_->notify_completed) {
+      throw std::invalid_argument(
+          "FlashWalkerEngine: array attachment needs a simulator and fabric "
+          "callbacks");
+    }
+    if (array_->device >= array_->devices) {
+      throw std::invalid_argument("FlashWalkerEngine: array device out of range");
+    }
+    if (opt_.trace != nullptr) {
+      throw std::invalid_argument(
+          "FlashWalkerEngine: tracing is limited to single-device runs");
+    }
+    if (opt_.record_paths) {
+      throw std::invalid_argument(
+          "FlashWalkerEngine: record_paths is limited to single-device runs "
+          "(a forwarded walk's path would be split across boards)");
+    }
+    psim_ = array_->psim;
+    shard_base_ = array_->shard_base;
+    if (psim_->num_shards() < shard_base_ + num_local_shards()) {
+      throw std::invalid_argument(
+          "FlashWalkerEngine: array shard slice exceeds the shared simulator");
+    }
+    if (psim_->lookahead() > handoff_ns_) {
+      throw std::invalid_argument(
+          "FlashWalkerEngine: array lookahead exceeds the board handoff floor");
+    }
+    fwd_buf_.resize(array_->devices);
+    fwd_epoch_.assign(array_->devices, 0);
+    completion_delta_.assign(jobs_.size(), 0);
+    // Annotate the mapping table with the array's device column so lookups,
+    // the routing filter, and the SRAM area accounting all share one
+    // device-assignment source of truth.
+    mtab_->assign_devices(pg, array_->devices);
+  }
 }
 
 FlashWalkerEngine::~FlashWalkerEngine() = default;
@@ -219,7 +266,7 @@ void FlashWalkerEngine::xsend(sim::ShardId src, sim::ShardId dst, Tick at,
     sink.min_cross_delay = std::min(sink.min_cross_delay, delay);
     if (delay < psim_->lookahead()) ++sink.lookahead_violations;
   }
-  shard(src).send(dst, delay, std::move(fn));
+  shard(src).send(shard_base_ + dst, delay, std::move(fn));
 }
 
 // ---------------------------------------------------------------------------
@@ -274,8 +321,16 @@ void FlashWalkerEngine::admit_job(std::uint16_t j) {
   Xoshiro256 job_rng(spec.seed);
   std::uint32_t local = 0;
   auto start_walk = [&](VertexId v) {
+    const std::uint32_t idx = local++;
+    // Every board of an array enumerates every walk in the same global
+    // order (ids and RNG streams are array-wide invariants), but a walk
+    // starts only on the board that owns its start partition; the rest of
+    // the array sees it later, if ever, as forwarded traffic.
+    const SubgraphId sg = pg_->subgraph_of(v);
+    const PartitionId part = pg_->partition_of(sg);
+    if (!owns_partition(part)) return;
     rw::Walk w;
-    w.id = jc.walk_base + local;
+    w.id = jc.walk_base + idx;
     w.job = j;
     w.src = v;
     w.cur = v;
@@ -284,12 +339,10 @@ void FlashWalkerEngine::admit_job(std::uint16_t j) {
     // walk's path is a pure function of (seed, id), independent of how the
     // DES interleaves updates — fault-induced reordering and co-scheduled
     // jobs cannot change it.
-    w.rng_state = spec.seed ^ (0x9E3779B97F4A7C15ull * (local + 1));
-    ++local;
+    w.rng_state = spec.seed ^ (0x9E3779B97F4A7C15ull * (idx + 1));
     ++sinks_[kBoardShard].metrics.walks_started;
     if (opt_.record_paths) paths_[w.id].push_back(v);
-    const SubgraphId sg = pg_->subgraph_of(v);
-    pending_[pg_->partition_of(sg)].push_back(w);
+    pending_[part].push_back(w);
   };
 
   switch (spec.start_mode) {
@@ -305,7 +358,10 @@ void FlashWalkerEngine::admit_job(std::uint16_t j) {
   }
   jc.started = local;
   if (jc.expected == 0) {
-    finish_job(jc);
+    // Standalone: the empty job completes on the spot. Array-attached: the
+    // coordinator observes the zero expected count and broadcasts the
+    // finish, keeping every board's admission bookkeeping in lockstep.
+    if (array_ == nullptr) finish_job(jc);
     return;
   }
   inject_admitted_walks();
@@ -318,7 +374,11 @@ void FlashWalkerEngine::finish_job(JobRt& jc) {
   jc.hops = sinks_[kBoardShard].job_hops[static_cast<std::size_t>(&jc - jobs_.data())];
   --running_jobs_;
   if (jc.job.on_complete) jc.job.on_complete(job_stats(jc));
-  // The freed slot admits queued jobs (FIFO) before anything else runs.
+  drain_admit_queue();
+}
+
+void FlashWalkerEngine::drain_admit_queue() {
+  // A freed slot admits queued jobs (FIFO) before anything else runs.
   while (!admit_queue_.empty() &&
          (opt_.policy.max_concurrent_jobs == 0 ||
           running_jobs_ < opt_.policy.max_concurrent_jobs)) {
@@ -326,6 +386,26 @@ void FlashWalkerEngine::finish_job(JobRt& jc) {
     admit_queue_.pop_front();
     admit_job(next);
   }
+}
+
+void FlashWalkerEngine::array_finish_job(std::uint16_t j, Tick at) {
+  // Coordinator broadcast: job `j`'s final walk completed somewhere in the
+  // array at tick `at`. Every board records the same completion tick and
+  // frees the admission slot at the same local tick, so queued-job admission
+  // stays in lockstep across boards. on_complete fires at the coordinator
+  // (it alone sees array-wide stats), not here.
+  JobRt& jc = jobs_[j];
+  jc.done_tick = at;
+  jc.hops = sinks_[kBoardShard].job_hops[j];
+  --running_jobs_;
+  drain_admit_queue();
+}
+
+void FlashWalkerEngine::array_finish_run(Tick at) {
+  if (done_) return;
+  done_ = true;
+  done_tick_ = at;
+  broadcast_done();
 }
 
 void FlashWalkerEngine::inject_admitted_walks() {
@@ -364,10 +444,15 @@ void FlashWalkerEngine::load_hot_subgraphs() {
   const std::uint64_t block_cap = pg_->config().block_capacity_bytes;
 
   // Non-dense candidates only: dense blocks are routed via pre-walking and
-  // must be loaded where the chosen block lives.
+  // must be loaded where the chosen block lives. An array-attached board
+  // restricts the candidate set to partitions it owns — a foreign hot
+  // subgraph would swallow walks that must instead cross the fabric to
+  // their home board.
   std::vector<SubgraphId> part_sgs;
   for (SubgraphId sg = 0; sg < pg_->num_subgraphs(); ++sg) {
-    if (!pg_->subgraph(sg).dense) part_sgs.push_back(sg);
+    if (pg_->subgraph(sg).dense) continue;
+    if (!owns_partition(pg_->partition_of(sg))) continue;
+    part_sgs.push_back(sg);
   }
 
   // Every hot load's flash traffic is charged here on the board shard (the
@@ -594,6 +679,14 @@ void FlashWalkerEngine::complete_walk(const rw::Walk& w, std::uint64_t& complete
   JobRt& jc = jobs_[w.job];
   if (!jc.endpoints.empty()) ++jc.endpoints[w.cur];
   ++jc.completed;
+  if (array_ != nullptr) {
+    // Array-attached: a board sees only its slice of the job, so completion
+    // decisions belong to the coordinator. Deltas batch up per caller (see
+    // array_flush_completions call sites) to keep fabric chatter bounded.
+    completion_delta_[w.job] += 1;
+    completion_dirty_ = true;
+    return;
+  }
   if (jc.completed == jc.expected) finish_job(jc);
   check_done();
 }
@@ -719,10 +812,16 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       const PartitionId pid_hi =
           pg_->partition_of(mtab_->entries()[first + count - 1].sgid);
       if (pid_lo == pid_hi && pid_lo != current_partition_) {
+        ++bsink.metrics.range_foreigner_hints;
+        if (!owns_partition(pid_lo)) {
+          // Whole tagged range lives on another board: straight to the
+          // cross-device forwarding buffer, no mapping search.
+          forward_walk(pid_lo, w);
+          return cycles;
+        }
         pending_[pid_lo].push_back(w);
         --active_walks_;
         ++bsink.metrics.foreigner_walks;
-        ++bsink.metrics.range_foreigner_hints;
         board_.foreigner_buffered_bytes += wbytes();
         if (board_.foreigner_buffered_bytes >= opt_.accel.foreigner_buffer_bytes) {
           flush_walk_pages(board_.foreigner_buffered_bytes,
@@ -761,6 +860,10 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
   const PartitionId pid = pg_->partition_of(target);
   if (pid == current_partition_) {
     insert_pwb(target, w, touched_chips);
+  } else if (!owns_partition(pid)) {
+    // The walk's next subgraph lives on another board: stage it for the
+    // host fabric instead of the local foreigner buffer.
+    forward_walk(pid, w);
   } else {
     // Foreigner: buffered, flushed to flash when the buffer fills, and
     // revisited when its partition becomes current.
@@ -775,6 +878,83 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
     }
   }
   return cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-device forwarding (board shard, array-attached only)
+// ---------------------------------------------------------------------------
+
+void FlashWalkerEngine::forward_walk(PartitionId pid, const rw::Walk& w) {
+  ShardSink& bsink = sinks_[kBoardShard];
+  const std::uint32_t dst = partition::device_of_partition(pid, array_->devices);
+  --active_walks_;
+  ++bsink.metrics.forwarded_out_walks;
+  bsink.metrics.forwarded_bytes += wbytes();
+  auto& buf = fwd_buf_[dst];
+  buf.push_back(w);
+  if (buf.size() >= array_->forward_batch) {
+    flush_forward(dst);
+    return;
+  }
+  if (buf.size() == 1) {
+    // First walk in an empty buffer arms the flush timeout, so a straggler
+    // that never fills a batch still leaves within forward_timeout_ns. The
+    // epoch stamp stales the timer if a size-triggered flush beats it.
+    const std::uint64_t epoch = fwd_epoch_[dst];
+    sched(kBoardShard, array_->forward_timeout_ns, [this, dst, epoch] {
+      if (fwd_epoch_[dst] == epoch && !fwd_buf_[dst].empty()) {
+        ++sinks_[kBoardShard].metrics.forward_timeout_flushes;
+        flush_forward(dst);
+      }
+    });
+  }
+}
+
+void FlashWalkerEngine::flush_forward(std::uint32_t dst) {
+  ++fwd_epoch_[dst];
+  auto batch = std::move(fwd_buf_[dst]);
+  fwd_buf_[dst].clear();
+  ++sinks_[kBoardShard].metrics.forward_batches;
+  // Serializing the batch out of board DRAM before it crosses the host link.
+  dram_->access(bnow(), static_cast<std::uint64_t>(dst) * opt_.accel.pwb_entry_bytes,
+                batch.size() * wbytes());
+  array_->forward(dst, std::move(batch));
+}
+
+void FlashWalkerEngine::array_flush_completions() {
+  if (array_ == nullptr || !completion_dirty_) return;
+  completion_dirty_ = false;
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> deltas;
+  for (std::size_t j = 0; j < completion_delta_.size(); ++j) {
+    if (completion_delta_[j] == 0) continue;
+    deltas.emplace_back(static_cast<std::uint16_t>(j), completion_delta_[j]);
+    completion_delta_[j] = 0;
+  }
+  array_->notify_completed(std::move(deltas));
+}
+
+void FlashWalkerEngine::receive_forwarded(std::vector<rw::Walk> walks) {
+  ShardSink& bsink = sinks_[kBoardShard];
+  bsink.metrics.forwarded_in_walks += walks.size();
+  for (const rw::Walk& w : walks) {
+    // Re-admission with foreigner-buffer semantics: the walk lands in its
+    // partition's pending list and, unless that partition is being worked
+    // on right now, charges the board's foreigner buffer like any other
+    // out-of-partition walk.
+    const SubgraphId sg =
+        w.prewalked_sg != kInvalidSubgraph ? w.prewalked_sg : pg_->subgraph_of(w.cur);
+    const PartitionId pid = pg_->partition_of(sg);
+    pending_[pid].push_back(w);
+    if (!partition_started_ || pid != current_partition_) {
+      board_.foreigner_buffered_bytes += wbytes();
+      if (board_.foreigner_buffered_bytes >= opt_.accel.foreigner_buffer_bytes) {
+        flush_walk_pages(board_.foreigner_buffered_bytes,
+                         bsink.metrics.foreigner_flush_pages);
+        board_.foreigner_buffered_bytes = 0;
+      }
+    }
+  }
+  inject_admitted_walks();
 }
 
 // ---------------------------------------------------------------------------
@@ -1343,6 +1523,7 @@ void FlashWalkerEngine::board_receive_completed(std::uint32_t origin,
     complete_walk(w, bytes, opt_.accel.completed_buffer_bytes);
   }
   sinks_[kBoardShard].walk_pool.release(std::move(walks));
+  array_flush_completions();  // one fabric notification per completed batch
   maybe_switch_partition();
 }
 
@@ -1440,6 +1621,7 @@ void FlashWalkerEngine::process_board_updater() {
     }
     to_guide.push_back(w);  // updated walks re-enter the board guide buffer
   }
+  array_flush_completions();  // hot-subgraph completions notify per batch too
 
   const Tick completion = board_.updater_unit.acquire(bnow(), cost);
   if (opt_.trace != nullptr && cost > 0) {
@@ -1464,6 +1646,9 @@ void FlashWalkerEngine::process_board_updater() {
 // ---------------------------------------------------------------------------
 
 void FlashWalkerEngine::check_done() {
+  // Array-attached boards never self-terminate: only the coordinator sees
+  // array-wide completion, and it calls array_finish_run on every board.
+  if (array_ != nullptr) return;
   if (!done_ && sinks_[kBoardShard].metrics.walks_completed == total_expected_) {
     done_ = true;
     done_tick_ = bnow();
@@ -1502,6 +1687,12 @@ void FlashWalkerEngine::maybe_switch_partition() {
   if (admitted_jobs_ < jobs_.size()) {
     // The device idles until a future arrival (or a queued admission) brings
     // new walks; the pending arrival events keep the simulation alive.
+    return;
+  }
+  if (array_ != nullptr) {
+    // An idle array board is normal mid-run: its walks may all be executing
+    // on other boards right now. Conservation (started + forwarded_in ==
+    // completed + forwarded_out) is checked board-wide in finalize().
     return;
   }
   if (sinks_[kBoardShard].metrics.walks_completed !=
@@ -1601,6 +1792,17 @@ void FlashWalkerEngine::publish_counters(const ShardAuditReport& audit) {
     set("service.latency_p99_ns",
         static_cast<std::uint64_t>(percentile_nearest_rank(latencies, 99)));
   }
+  if (array_ != nullptr) {
+    // The array.* family exists only on array-attached boards, so every
+    // single-device run keeps its counter set byte-for-byte.
+    set("array.device", array_->device);
+    set("array.devices", array_->devices);
+    set("array.forwarded_out_walks", metrics_.forwarded_out_walks);
+    set("array.forwarded_in_walks", metrics_.forwarded_in_walks);
+    set("array.forward_batches", metrics_.forward_batches);
+    set("array.forward_timeout_flushes", metrics_.forward_timeout_flushes);
+    set("array.forwarded_bytes", metrics_.forwarded_bytes);
+  }
   if (audit.enabled) {
     // The parallel.* family exists only in shard-audit runs, so default
     // runs keep their pre-audit counter sets byte-for-byte.
@@ -1614,8 +1816,12 @@ void FlashWalkerEngine::publish_counters(const ShardAuditReport& audit) {
   }
 }
 
-EngineResult FlashWalkerEngine::run() {
-  check_done();  // zero-walk workloads finish immediately
+void FlashWalkerEngine::prime() {
+  if (primed_) {
+    throw std::logic_error("FlashWalkerEngine: prime() called twice");
+  }
+  primed_ = true;
+  check_done();  // zero-walk workloads finish immediately (standalone only)
 
   if (!done_) {
     // Jobs enter the simulation at their arrival ticks; the implicit
@@ -1626,12 +1832,33 @@ EngineResult FlashWalkerEngine::run() {
     }
     schedule_heartbeats();
   }
+}
 
-  psim_->run();
+EngineResult FlashWalkerEngine::finalize() {
+  if (finalized_) {
+    throw std::logic_error("FlashWalkerEngine: finalize() called twice");
+  }
+  finalized_ = true;
   merge_sinks();
 
-  if (metrics_.walks_completed != total_expected_) {
-    throw std::logic_error("FlashWalkerEngine: run ended with unfinished walks");
+  if (array_ == nullptr) {
+    if (metrics_.walks_completed != total_expected_) {
+      throw std::logic_error("FlashWalkerEngine: run ended with unfinished walks");
+    }
+  } else {
+    // Board-wide conservation: every walk this board took in either
+    // completed here or left over the fabric; the array checks the global
+    // ledger (sum of completions == total expected) on top.
+    if (!done_) {
+      throw std::logic_error(
+          "FlashWalkerEngine: board never observed array completion");
+    }
+    if (metrics_.walks_started + metrics_.forwarded_in_walks !=
+        metrics_.walks_completed + metrics_.forwarded_out_walks) {
+      throw std::logic_error(
+          "FlashWalkerEngine: walks lost crossing the fabric (conservation "
+          "violated)");
+    }
   }
 
   EngineResult result;
@@ -1643,15 +1870,18 @@ EngineResult FlashWalkerEngine::run() {
   result.exec_time = done_tick_;
   result.metrics = metrics_;
   if (opt_.shard_audit) {
+    // The audit covers this board's shard slice. For a standalone engine
+    // the slice is the whole simulator, so the totals are unchanged from
+    // when they were read off the simulator directly.
     ShardAuditReport& r = result.shard_audit;
     r.enabled = true;
-    r.shards = psim_->num_shards();
+    r.shards = num_local_shards();
     r.lookahead_ns = psim_->lookahead();
-    r.events = psim_->events_executed();
     Tick min_cross = std::numeric_limits<Tick>::max();
-    for (sim::ShardId s = 0; s < psim_->num_shards(); ++s) {
-      r.max_shard_events =
-          std::max(r.max_shard_events, psim_->shard(s).events_executed());
+    for (sim::ShardId s = 0; s < num_local_shards(); ++s) {
+      const std::uint64_t ev = shard(s).events_executed();
+      r.events += ev;
+      r.max_shard_events = std::max(r.max_shard_events, ev);
       const ShardSink& sink = sinks_[s];
       r.local_sends += sink.local_sends;
       r.cross_sends += sink.cross_sends;
@@ -1706,6 +1936,17 @@ EngineResult FlashWalkerEngine::run() {
   }
   result.paths = std::move(paths_);
   return result;
+}
+
+EngineResult FlashWalkerEngine::run() {
+  if (array_ != nullptr) {
+    throw std::logic_error(
+        "FlashWalkerEngine: array-attached boards are driven by BoardArray "
+        "(prime / shared simulator / finalize), not run()");
+  }
+  prime();
+  psim_->run();
+  return finalize();
 }
 
 }  // namespace fw::accel

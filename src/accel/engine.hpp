@@ -34,8 +34,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "accel/config.hpp"
@@ -107,6 +109,33 @@ struct EngineOptions {
   /// result's `shard_audit` plus the `parallel.*` counters. Pure
   /// observation: execution and all other outputs stay byte-identical.
   bool shard_audit = false;
+};
+
+/// Attaches one engine instance to a multi-board array as board `device` of
+/// `devices`. The array (accel/array/board_array) owns the shared
+/// ParallelSimulator and hands each board a contiguous slice of its global
+/// shard space starting at `shard_base`; the engine keeps its internal
+/// board-is-local-shard-0 layout and translates through the slice. Walks
+/// whose next subgraph lives on a foreign device are staged in a per-
+/// destination forwarding buffer and flushed — on reaching `forward_batch`
+/// walks or after `forward_timeout_ns` — through the `forward` callback,
+/// which the array turns into fabric-shard link traffic. Per-job completion
+/// deltas flow through `notify_completed`; the array coordinator (not the
+/// board) decides job and run completion and calls array_finish_job /
+/// array_finish_run back on each board. The attachment must outlive the
+/// engine.
+struct ArrayAttachment {
+  std::uint32_t device = 0;
+  std::uint32_t devices = 1;
+  sim::ShardId shard_base = 0;
+  sim::ParallelSimulator* psim = nullptr;
+  std::uint32_t forward_batch = 32;
+  Tick forward_timeout_ns = 20000;
+  /// Board shard → fabric: ship a flushed batch to `dst_device`.
+  std::function<void(std::uint32_t dst_device, std::vector<rw::Walk> walks)> forward;
+  /// Board shard → fabric: per-job walk-completion deltas since last call.
+  std::function<void(std::vector<std::pair<std::uint16_t, std::uint64_t>> deltas)>
+      notify_completed;
 };
 
 /// How the engine's event stream maps onto the conservative-lookahead
@@ -188,6 +217,12 @@ class FlashWalkerEngine {
 
   FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options,
                     BuildAccess access);
+  /// Array-attached construction: the engine becomes board
+  /// `array->device` of an N-board array, running on the array's shared
+  /// simulator instead of owning one. `array` may be null (plain
+  /// single-device engine) and must otherwise outlive the engine.
+  FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options,
+                    const ArrayAttachment* array, BuildAccess access);
   [[deprecated(
       "construct via accel::SimulationBuilder (or service::WalkService for "
       "multi-job runs); the direct constructor is removed next release")]]
@@ -199,6 +234,25 @@ class FlashWalkerEngine {
 
   /// Execute the configured walk workload to completion.
   EngineResult run();
+
+  // --- array integration (accel::array::BoardArray only) ------------------
+  // A standalone engine's run() is prime() + simulator run + finalize(); an
+  // array-attached board exposes the two halves so the array can prime every
+  // board, drive the shared simulator once, then finalize each board. The
+  // remaining three are event handlers the array schedules on this board's
+  // board shard.
+  /// Schedule job arrivals and heartbeat timers (call exactly once, before
+  /// the simulator runs).
+  void prime();
+  /// Merge shard sinks and build the result (call exactly once, after the
+  /// simulator has drained).
+  EngineResult finalize();
+  /// Fabric → board: re-admit a batch of walks forwarded from other boards.
+  void receive_forwarded(std::vector<rw::Walk> walks);
+  /// Coordinator → board: job `j` completed array-wide at tick `at`.
+  void array_finish_job(std::uint16_t j, Tick at);
+  /// Coordinator → board: every walk in the array completed at tick `at`.
+  void array_finish_run(Tick at);
 
   [[nodiscard]] const partition::SubgraphMappingTable& mapping_table() const {
     return *mtab_;
@@ -327,6 +381,7 @@ class FlashWalkerEngine {
   void arrive_job(std::uint16_t j);
   void admit_job(std::uint16_t j);
   void finish_job(JobRt& jc);
+  void drain_admit_queue();
   void inject_admitted_walks();
   [[nodiscard]] service::JobStats job_stats(const JobRt& jc) const;
   [[nodiscard]] const rw::WalkSpec& spec_of(const rw::Walk& w) const {
@@ -382,6 +437,23 @@ class FlashWalkerEngine {
   /// cycles spent; appends affected chips to `touched_chips`.
   std::uint32_t board_route_walk(rw::Walk w, std::vector<std::uint32_t>& touched_chips);
 
+  // --- cross-device forwarding (array-attached boards only) ---------------
+  /// True when partition `p`'s walks execute on this board. Always true for
+  /// a standalone engine.
+  [[nodiscard]] bool owns_partition(PartitionId p) const {
+    return array_ == nullptr ||
+           partition::device_of_partition(p, array_->devices) == array_->device;
+  }
+  /// Board shard: stage `w` (headed for foreign partition `pid`) in the
+  /// forwarding buffer of its home device; flushes on batch size, arms the
+  /// timeout on the buffer's 0 → 1 transition.
+  void forward_walk(PartitionId pid, const rw::Walk& w);
+  /// Serialize-and-ship one destination's forwarding buffer to the fabric.
+  void flush_forward(std::uint32_t dst);
+  /// Push per-job completion deltas accumulated by complete_walk to the
+  /// array coordinator (no-op when clean or standalone).
+  void array_flush_completions();
+
   // --- shared helpers ----------------------------------------------------
   void complete_walk(const rw::Walk& w, std::uint64_t& completed_bytes,
                      std::uint64_t flush_cap);
@@ -415,9 +487,20 @@ class FlashWalkerEngine {
   [[nodiscard]] static sim::ShardId channel_shard(const ChannelState& ch) {
     return 1 + ch.index;
   }
-  [[nodiscard]] sim::Shard& shard(sim::ShardId s) { return psim_->shard(s); }
+  /// Translate a board-local shard id (0 = board, 1 + c = channel c) into
+  /// the owning simulator's global shard. Standalone engines own their
+  /// simulator, so the slice starts at 0 and the mapping is the identity;
+  /// array-attached boards add the slice base the array assigned them.
+  [[nodiscard]] sim::Shard& shard(sim::ShardId s) {
+    return psim_->shard(shard_base_ + s);
+  }
+  [[nodiscard]] std::uint32_t num_local_shards() const {
+    return static_cast<std::uint32_t>(sinks_.size());
+  }
   /// Board clock — the timeline every board-owned model charges against.
-  [[nodiscard]] Tick bnow() const { return psim_->shard(kBoardShard).now(); }
+  [[nodiscard]] Tick bnow() const {
+    return psim_->shard(shard_base_ + kBoardShard).now();
+  }
   /// Same-shard schedule, `delay` ns from the shard clock.
   void sched(sim::ShardId s, Tick delay, sim::EventFn fn);
   /// Same-shard schedule at absolute tick `at` (clamped to the shard clock).
@@ -431,7 +514,14 @@ class FlashWalkerEngine {
   const partition::PartitionedGraph* pg_;
   EngineOptions opt_;
   Tick handoff_ns_ = 0;  ///< cross-shard floor == conservative lookahead
-  std::unique_ptr<sim::ParallelSimulator> psim_;
+  /// Array attachment (null for a standalone engine). Non-owning; the
+  /// array keeps it alive for the engine's lifetime.
+  const ArrayAttachment* array_ = nullptr;
+  sim::ShardId shard_base_ = 0;  ///< first global shard of this board's slice
+  /// Simulator owned by a standalone engine; empty when array-attached.
+  std::unique_ptr<sim::ParallelSimulator> owned_psim_;
+  /// The simulator events actually run on: owned_psim_ or the array's.
+  sim::ParallelSimulator* psim_ = nullptr;
   std::unique_ptr<ssd::FlashArray> flash_;
   std::unique_ptr<ssd::GraphLayout> layout_;
   std::unique_ptr<ssd::Ftl> ftl_;
@@ -475,6 +565,14 @@ class FlashWalkerEngine {
   std::vector<std::uint64_t> endpoints_;
   std::vector<std::vector<VertexId>> paths_;
   std::unique_ptr<sim::TimelineRecorder> timeline_;
+
+  // Cross-device forwarding state (board shard only; sized iff array-attached).
+  std::vector<std::vector<rw::Walk>> fwd_buf_;  ///< per destination device
+  std::vector<std::uint64_t> fwd_epoch_;  ///< bumped per flush; stales timeouts
+  std::vector<std::uint64_t> completion_delta_;  ///< per job, un-notified
+  bool completion_dirty_ = false;
+  bool primed_ = false;
+  bool finalized_ = false;
 
   PartitionId current_partition_ = 0;
   std::uint64_t active_walks_ = 0;  ///< unfinished walks owned by current partition

@@ -59,6 +59,13 @@ struct EngineMetrics {
   std::uint64_t recovered_pages = 0;  ///< uncorrectable pages rebuilt at board
   std::uint64_t degraded_loads = 0;   ///< subgraph loads with >= 1 lost page
 
+  // Cross-device forwarding (all zero outside multi-board array runs).
+  std::uint64_t forwarded_out_walks = 0;  ///< walks sent to another board
+  std::uint64_t forwarded_in_walks = 0;   ///< walks re-admitted from the fabric
+  std::uint64_t forward_batches = 0;      ///< forwarding-buffer flushes
+  std::uint64_t forward_timeout_flushes = 0;  ///< flushes forced by the timeout
+  std::uint64_t forwarded_bytes = 0;      ///< serialized walk bytes shipped out
+
   /// Field-wise accumulate: the concurrent engine keeps one EngineMetrics
   /// per shard (single writer each) and folds them into the run totals at
   /// the end of the run. Every counter is a sum, so the merge is exact.
@@ -97,6 +104,11 @@ struct EngineMetrics {
     parked_walks += o.parked_walks;
     recovered_pages += o.recovered_pages;
     degraded_loads += o.degraded_loads;
+    forwarded_out_walks += o.forwarded_out_walks;
+    forwarded_in_walks += o.forwarded_in_walks;
+    forward_batches += o.forward_batches;
+    forward_timeout_flushes += o.forward_timeout_flushes;
+    forwarded_bytes += o.forwarded_bytes;
     return *this;
   }
 };

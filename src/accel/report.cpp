@@ -172,6 +172,68 @@ void write_json(std::ostream& os, const std::string& label,
   w.end();
 }
 
+void write_json(std::ostream& os, const std::string& label,
+                const array::ArrayResult& r) {
+  JsonWriter w(os);
+  w.begin();
+  w.field("schema_version", kReportSchemaVersion);
+  w.field("name", label);
+  w.field("engine", std::string("flashwalker-array"));
+  w.field("devices", static_cast<std::uint64_t>(r.devices));
+  w.field("exec_time_ns", r.exec_time);
+  w.field("walks_started", r.metrics.walks_started);
+  w.field("walks_completed", r.metrics.walks_completed);
+  w.field("total_hops", r.metrics.total_hops);
+  w.field("dead_ends", r.metrics.dead_ends);
+  w.field("aggregate_walks_per_sec", r.walks_per_sec());
+  w.raw_field("fabric");
+  {
+    JsonWriter f(w.stream());
+    f.begin();
+    f.field("link_ns", r.fabric.link_ns);
+    f.field("batches", r.fabric.batches);
+    f.field("walks", r.fabric.walks);
+    f.field("bytes", r.fabric.bytes);
+    f.field("job_notifications", r.fabric.job_notifications);
+    f.field("uplink_busy_ns", r.fabric.uplink_busy_ns);
+    f.field("downlink_busy_ns", r.fabric.downlink_busy_ns);
+    f.end();
+  }
+  w.array("boards", r.boards, [&, d = std::uint64_t{0}](const EngineResult& b) mutable {
+    JsonWriter bw(w.stream());
+    bw.begin();
+    bw.field("device", d);
+    bw.field("forwarded_out_walks", b.metrics.forwarded_out_walks);
+    bw.field("forwarded_in_walks", b.metrics.forwarded_in_walks);
+    bw.field("forward_batches", b.metrics.forward_batches);
+    bw.field("forward_timeout_flushes", b.metrics.forward_timeout_flushes);
+    bw.field("forwarded_bytes", b.metrics.forwarded_bytes);
+    bw.raw_field("report");
+    write_json(bw.stream(), label + "/board" + std::to_string(d), b);
+    bw.end();
+    ++d;
+  });
+  if (!r.jobs.empty()) {
+    w.array("jobs", r.jobs, [&](const service::JobStats& s) {
+      std::ostringstream name;
+      for (const char c : s.name) {
+        if (c == '"' || c == '\\') name << '\\';
+        name << c;
+      }
+      w.stream() << "{\"id\":" << s.id << ",\"name\":\"" << name.str()
+                 << "\",\"weight\":" << s.weight << ",\"walks\":" << s.walks
+                 << ",\"steps\":" << s.steps
+                 << ",\"parked_walks\":" << s.parked_walks
+                 << ",\"arrival_ns\":" << s.arrival
+                 << ",\"admitted_ns\":" << s.admitted
+                 << ",\"completed_ns\":" << s.completed
+                 << ",\"exec_ns\":" << s.exec_ns()
+                 << ",\"latency_ns\":" << s.latency_ns() << "}";
+    });
+  }
+  w.end();
+}
+
 std::string to_json(const std::string& label, const EngineResult& result) {
   std::ostringstream os;
   write_json(os, label, result);
@@ -179,6 +241,12 @@ std::string to_json(const std::string& label, const EngineResult& result) {
 }
 
 std::string to_json(const std::string& label, const baseline::BaselineResult& result) {
+  std::ostringstream os;
+  write_json(os, label, result);
+  return os.str();
+}
+
+std::string to_json(const std::string& label, const array::ArrayResult& result) {
   std::ostringstream os;
   write_json(os, label, result);
   return os.str();

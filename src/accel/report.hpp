@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "accel/array/board_array.hpp"
 #include "accel/engine.hpp"
 #include "baseline/graphwalker.hpp"
 
@@ -26,9 +27,17 @@ void write_json(std::ostream& os, const std::string& label, const EngineResult& 
 void write_json(std::ostream& os, const std::string& label,
                 const baseline::BaselineResult& result);
 
+/// Serialize a multi-board array result: array-wide totals and fabric
+/// traffic at the top level, then one per-board entry wrapping the
+/// unchanged single-device report (so existing tooling can parse each
+/// board's section with the same code path).
+void write_json(std::ostream& os, const std::string& label,
+                const array::ArrayResult& result);
+
 /// Convenience: JSON string forms.
 std::string to_json(const std::string& label, const EngineResult& result);
 std::string to_json(const std::string& label, const baseline::BaselineResult& result);
+std::string to_json(const std::string& label, const array::ArrayResult& result);
 
 /// Counter-style samples for a baseline run (sorted by name), so
 /// `--metrics-out` emits the same hierarchical shape for every engine.

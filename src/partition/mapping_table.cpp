@@ -87,6 +87,22 @@ Lookup SubgraphMappingTable::find_in_range(VertexId v, std::uint32_t range_id) c
   return search_span(v, r.first_entry, r.count);
 }
 
+void SubgraphMappingTable::assign_devices(const PartitionedGraph& pg,
+                                          std::uint32_t devices) {
+  if (devices == 0) {
+    throw std::invalid_argument("mapping table: device count must be >= 1");
+  }
+  if (devices > 256) {
+    throw std::invalid_argument("mapping table: device column holds at most 256 boards");
+  }
+  num_devices_ = devices;
+  entry_device_.resize(entries_.size());
+  for (const MappingEntry& e : entries_) {
+    entry_device_[e.sgid] =
+        static_cast<std::uint8_t>(device_of_partition(pg.partition_of(e.sgid), devices));
+  }
+}
+
 std::uint64_t SubgraphMappingTable::table_bytes() const {
   // Per entry (paper): two end vertices, a flash address, sum of out-degree.
   const std::uint64_t per_entry = 2 * id_bytes_ + 4 + 4;

@@ -16,6 +16,16 @@
 
 namespace fw::partition {
 
+/// Device-level shard assignment for a multi-board array: partitions are
+/// striped round-robin across devices, so consecutive partitions land on
+/// different boards and every board owns a contiguous-in-stride slice of the
+/// walk start distribution. Centralized here so the mapping table, engine,
+/// and array coordinator can never disagree about a walk's home board.
+[[nodiscard]] constexpr std::uint32_t device_of_partition(PartitionId p,
+                                                          std::uint32_t devices) {
+  return devices <= 1 ? 0u : static_cast<std::uint32_t>(p % devices);
+}
+
 struct MappingEntry {
   VertexId low_vid;
   VertexId high_vid;
@@ -74,6 +84,23 @@ class SubgraphMappingTable {
   [[nodiscard]] std::uint64_t table_bytes() const;
   [[nodiscard]] std::uint64_t range_table_bytes() const;
 
+  /// Annotates every entry with its home device for an N-board array
+  /// (round-robin over partitions; see device_of_partition). Kept out of
+  /// MappingEntry so the single-device SRAM area model (table_bytes) is
+  /// untouched; the array's extra column is reported separately via
+  /// device_table_bytes(). Idempotent; devices == 0 is rejected.
+  void assign_devices(const PartitionedGraph& pg, std::uint32_t devices);
+  [[nodiscard]] std::uint32_t num_devices() const { return num_devices_; }
+  /// Home device of a subgraph (0 until assign_devices is called).
+  [[nodiscard]] std::uint32_t device_of(SubgraphId sg) const {
+    return entry_device_.empty() ? 0u : entry_device_[sg];
+  }
+  /// SRAM cost of the device column (one byte per entry, up to 256 boards);
+  /// zero until assign_devices is called.
+  [[nodiscard]] std::uint64_t device_table_bytes() const {
+    return entry_device_.size();
+  }
+
   /// Worst-case binary-search step count (ceil log2 of entry count).
   [[nodiscard]] std::uint32_t max_search_steps() const;
 
@@ -92,6 +119,8 @@ class SubgraphMappingTable {
   std::vector<Range> ranges_;
   std::uint32_t subgraphs_per_range_;
   std::size_t id_bytes_;
+  std::uint32_t num_devices_ = 1;
+  std::vector<std::uint8_t> entry_device_;  // per sgid; empty = single device
 };
 
 }  // namespace fw::partition

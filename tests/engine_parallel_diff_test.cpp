@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/array/board_array.hpp"
 #include "accel/builder.hpp"
 #include "accel/report.hpp"
 #include "accel/service/job.hpp"
@@ -145,6 +146,43 @@ TEST(EngineParallelDiff, WorkerCountIsInvisibleAcrossScenarioMatrix) {
       EXPECT_EQ(serial.report, parallel.report);
       EXPECT_EQ(serial.envelope, parallel.envelope);
     }
+  }
+}
+
+TEST(EngineParallelDiff, ArrayWorkerCountIsInvisible) {
+  // Same contract, multi-board shape: a 4-device BoardArray run (fabric
+  // shard + 4 boards, cross-device forwarding in flight) serialized at
+  // --sim-threads 1 must byte-equal every other worker count. This is the
+  // hardest case for the merge order because fabric events interleave with
+  // every board's local windows.
+  const graph::CsrGraph g =
+      graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 2 * KiB;
+  pc.subgraphs_per_partition = 1;
+  pc.subgraphs_per_range = 64;
+  const partition::PartitionedGraph pg(g, pc);
+
+  auto run_array = [&pg](std::uint32_t threads) {
+    SimulationConfig cfg;
+    cfg.ssd = ssd::test_ssd_config();
+    cfg.accel = bench_accel_config();
+    cfg.record_visits = true;
+    cfg.spec.num_walks = 400;
+    cfg.spec.length = 6;
+    cfg.spec.seed = 0xABCDull;
+    cfg.sim_threads = threads;
+    cfg.array.devices = 4;
+    array::BoardArray array(pg, cfg);
+    return to_json("array_diff", array.run());
+  };
+
+  const std::string serial = run_array(1);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_NE(serial.find("\"forwarded_out_walks\""), std::string::npos);
+  for (const std::uint32_t workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    EXPECT_EQ(serial, run_array(workers));
   }
 }
 
