@@ -28,7 +28,11 @@ What is gated, and why
 4. `service_mix` (when both reports carry the section): every mix's
    simulated makespan_ns is deterministic and must EQUAL the baseline
    (same refresh rule as sim_exec_ns), and uniform equal-priority mixes
-   must hold the weighted-fair scheduler's <= 2x fairness bound.
+   must hold the weighted-fair scheduler's <= 2x fairness bound. The
+   section's per-model block is gated too: `deterministic` must be true
+   for EVERY registered walk model (new models included — this is the
+   check_models gate), and models marked `legacy` (pre-plugin,
+   byte-identity-pinned) must reproduce the baseline makespan exactly.
 
 5. `parallel` (when the current report carries the section, i.e. the
    bench ran with --parallel): `determinism_ok` must be true — identical
@@ -139,6 +143,41 @@ def check_service_mix(base, cur, failures):
                   f"(bound {FAIRNESS_BOUND}) [{verdict}]")
             if ratio > FAIRNESS_BOUND:
                 failures.append(f"service_mix.{name}.fairness_ratio")
+    check_models(base, cur, configs_match, failures)
+
+
+def check_models(base, cur, configs_match, failures):
+    """Gate the per-model block inside service_mix: every model the bench
+    ran must be deterministic across DES worker counts (gated always, new
+    models included), and the legacy (pre-plugin, byte-identity-pinned)
+    models must reproduce the baseline makespan exactly. A model the
+    baseline carries must not vanish from the candidate."""
+    cur_models = {m["name"]: m for m in cur["service_mix"].get("models", [])}
+    base_models = {m["name"]: m for m in base["service_mix"].get("models", [])}
+    if not cur_models and not base_models:
+        print("service_mix.models: no per-model block in either report, "
+              "checks skipped")
+        return
+    for name, cm in sorted(cur_models.items()):
+        ok = cm.get("deterministic")
+        verdict = "ok" if ok else "NONDETERMINISTIC"
+        print(f"service_mix.models[{name}].deterministic: {ok}  [{verdict}]")
+        if not ok:
+            failures.append(f"service_mix.models.{name}.deterministic")
+    for name, bm in sorted(base_models.items()):
+        cm = cur_models.get(name)
+        if cm is None:
+            print(f"service_mix.models[{name}]: missing from current report "
+                  "[MISSING]")
+            failures.append(f"service_mix.models.{name}")
+            continue
+        if bm.get("legacy") and configs_match:
+            b_ns, c_ns = bm["makespan_ns"], cm["makespan_ns"]
+            verdict = "ok" if b_ns == c_ns else "MISMATCH"
+            print(f"service_mix.models[{name}].makespan_ns: baseline {b_ns}  "
+                  f"current {c_ns}  [{verdict}]")
+            if b_ns != c_ns:
+                failures.append(f"service_mix.models.{name}.makespan_ns")
 
 
 def check_parallel(base, cur, floor, failures):

@@ -90,6 +90,65 @@ class MissingSectionTest(unittest.TestCase):
         self.assertIn("checks skipped", proc.stdout)
 
 
+def mix_section(models=None):
+    return {
+        "dataset": "TT",
+        "scale": "test",
+        "seed": 42,
+        "mixes": [],
+        "models": models if models is not None else [],
+    }
+
+
+def model_entry(name, legacy=False, deterministic=True, makespan_ns=1000):
+    return {"name": name, "legacy": legacy, "deterministic": deterministic,
+            "makespan_ns": makespan_ns, "steps": 500}
+
+
+class CheckModelsTest(unittest.TestCase):
+    def test_passing_model_block(self):
+        sect = mix_section([model_entry("deepwalk", legacy=True),
+                            model_entry("metapath")])
+        proc = run_checker(minimal_report(service_mix=sect),
+                           minimal_report(service_mix=sect))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("service_mix.models[deepwalk].makespan_ns", proc.stdout)
+        self.assertIn("service_mix.models[metapath].deterministic", proc.stdout)
+
+    def test_new_model_nondeterminism_fails_even_without_baseline_entry(self):
+        base = minimal_report(service_mix=mix_section([]))
+        cur = minimal_report(service_mix=mix_section(
+            [model_entry("metapath", deterministic=False)]))
+        proc = run_checker(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("service_mix.models.metapath.deterministic", proc.stderr)
+
+    def test_legacy_makespan_drift_fails(self):
+        base = minimal_report(service_mix=mix_section(
+            [model_entry("ppr", legacy=True, makespan_ns=1000)]))
+        cur = minimal_report(service_mix=mix_section(
+            [model_entry("ppr", legacy=True, makespan_ns=1001)]))
+        proc = run_checker(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("service_mix.models.ppr.makespan_ns", proc.stderr)
+
+    def test_new_model_makespan_drift_is_not_gated(self):
+        base = minimal_report(service_mix=mix_section(
+            [model_entry("autoreg", makespan_ns=1000)]))
+        cur = minimal_report(service_mix=mix_section(
+            [model_entry("autoreg", makespan_ns=2000)]))
+        proc = run_checker(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_model_vanishing_from_candidate_fails(self):
+        base = minimal_report(service_mix=mix_section(
+            [model_entry("metapath")]))
+        cur = minimal_report(service_mix=mix_section([]))
+        proc = run_checker(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("service_mix.models.metapath", proc.stderr)
+
+
 class ArrayScalingTest(unittest.TestCase):
     def test_passing_section(self):
         base = minimal_report(array_scaling=array_section())

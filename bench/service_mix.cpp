@@ -12,10 +12,13 @@
 // Results land in the "service_mix" section of BENCH_sim.json: --merge-into
 // splices the section into an existing fw-bench-sim/2 report (replacing a
 // prior section), --out writes a standalone report.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "accel/builder.hpp"
@@ -26,6 +29,7 @@
 #include "common/table.hpp"
 #include "graph/datasets.hpp"
 #include "partition/partitioned_graph.hpp"
+#include "rw/model/registry.hpp"
 
 namespace fw::bench {
 namespace {
@@ -34,10 +38,15 @@ struct Mix {
   std::string name;
   std::string jobs;   ///< --jobs grammar (dogfoods the CLI parser)
   bool uniform;       ///< equal-priority homogeneous jobs: fairness gated <= 2x
+  bool labeled = false;  ///< needs the labeled graph copy (metapath jobs)
 };
 
 /// 1/4/16-job mixes plus the acceptance-criteria mixed workload
-/// (2x DeepWalk + node2vec + PPR), all 2000 walks total.
+/// (2x DeepWalk + node2vec + PPR), all 2000 walks total. The hetero5 mix
+/// spans every registered model family and runs on a separate labeled copy
+/// of the graph (label bytes change the partition layout, so reusing the
+/// legacy mixes' PartitionedGraph would silently re-baseline their
+/// makespans).
 const std::vector<Mix>& mixes() {
   static const std::vector<Mix> m = {
       {"solo", "deepwalk:walks=2000", true},
@@ -46,9 +55,34 @@ const std::vector<Mix>& mixes() {
       {"mixed4",
        "2*deepwalk:walks=500;node2vec:walks=250,p=0.5,q=2;ppr:walks=250,source=3",
        false},
+      {"hetero5",
+       "deepwalk:walks=600;node2vec:walks=400,p=0.5,q=2;"
+       "ppr:walks=400,source=3,length=20,stop_mode=residual,eps=0.1;"
+       "metapath:walks=300,pattern=0-1-2;autoreg:walks=300,alpha=0.6",
+       false, /*labeled=*/true},
   };
   return m;
 }
+
+/// One representative solo workload per registered model for the per-model
+/// determinism block (bench/regression.py check: new-model determinism is
+/// always gated; legacy-model makespans must stay byte-equal).
+const char* model_case(std::string_view model) {
+  if (model == "deepwalk") return "deepwalk:walks=1000";
+  if (model == "node2vec") return "node2vec:walks=500,p=0.5,q=2";
+  if (model == "ppr") return "ppr:walks=500,source=3";
+  if (model == "metapath") return "metapath:walks=500,pattern=0-1-2";
+  if (model == "autoreg") return "autoreg:walks=500,alpha=0.6";
+  return nullptr;
+}
+
+struct ModelResult {
+  std::string name;
+  bool legacy = false;
+  bool deterministic = false;
+  Tick makespan = 0;
+  std::uint64_t steps = 0;
+};
 
 struct MixResult {
   Mix mix;
@@ -87,7 +121,58 @@ MixResult run_mix(const partition::PartitionedGraph& pg, const Mix& mix,
   return r;
 }
 
+/// One solo run of a model workload at the given DES worker count.
+std::pair<Tick, std::uint64_t> run_model_once(const partition::PartitionedGraph& pg,
+                                              const std::string& jobs,
+                                              std::uint64_t seed,
+                                              std::uint32_t threads) {
+  accel::service::JobSpecDefaults defaults;
+  defaults.base_seed = seed;
+  accel::SimulationConfig cfg;
+  cfg.ssd = bench_ssd();
+  cfg.accel = accel::bench_accel_config();
+  cfg.record_visits = false;
+  cfg.sim_threads = threads;
+  accel::service::WalkService service(pg, cfg);
+  for (auto& job : accel::service::parse_jobs(jobs, defaults)) {
+    service.submit(std::move(job));
+  }
+  const auto res = service.run();
+  std::uint64_t steps = 0;
+  for (const auto& jr : res.jobs()) steps += jr.stats.steps;
+  return {res.makespan, steps};
+}
+
+/// Per-model determinism block: every registered model runs solo at 1 and
+/// 8 DES workers on the labeled graph — the worker count must be invisible
+/// in simulated time and step counts. regression.py gates `deterministic`
+/// for every model and byte-equal makespans for the legacy ones.
+std::vector<ModelResult> run_model_block(const partition::PartitionedGraph& labeled_pg,
+                                         std::uint64_t seed, bool& missing_case) {
+  std::vector<ModelResult> out;
+  for (const rw::ModelInfo& m : rw::model_registry()) {
+    const char* jobs = model_case(m.name);
+    if (jobs == nullptr) {
+      std::cerr << "FAIL: registered model '" << m.name
+                << "' has no bench case (extend model_case)\n";
+      missing_case = true;
+      continue;
+    }
+    const auto [ms1, st1] = run_model_once(labeled_pg, jobs, seed, 1);
+    const auto [ms8, st8] = run_model_once(labeled_pg, jobs, seed, 8);
+    ModelResult r;
+    r.name = std::string(m.name);
+    r.legacy = m.legacy;
+    r.deterministic = ms1 == ms8 && st1 == st8;
+    r.makespan = ms1;
+    r.steps = st1;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::string section_json(const std::vector<MixResult>& results,
+                         const std::vector<ModelResult>& models,
                          const std::string& dataset, const std::string& scale,
                          std::uint64_t seed) {
   std::ostringstream os;
@@ -106,6 +191,16 @@ std::string section_json(const std::vector<MixResult>& results,
        << ", \"latency_p50_ns\": " << r.p50 << ", \"latency_p95_ns\": " << r.p95
        << ", \"latency_p99_ns\": " << r.p99 << "}"
        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "    ],\n"
+     << "    \"models\": [\n";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ModelResult& m = models[i];
+    os << "      {\"name\": \"" << m.name << "\", \"legacy\": "
+       << (m.legacy ? "true" : "false")
+       << ", \"deterministic\": " << (m.deterministic ? "true" : "false")
+       << ", \"makespan_ns\": " << m.makespan << ", \"steps\": " << m.steps << "}"
+       << (i + 1 < models.size() ? ",\n" : "\n");
   }
   os << "    ]\n"
      << "  }";
@@ -184,10 +279,20 @@ int main(int argc, char** argv) {
   const graph::CsrGraph g = graph::make_dataset(id, sc);
   const partition::PartitionedGraph pg(g, bench_partition());
 
+  // Separate labeled copy for metapath-bearing workloads: the label byte in
+  // the vertex headers changes the partition layout, so the legacy mixes
+  // keep their own (unlabeled) PartitionedGraph and their makespans stay
+  // comparable against committed baselines.
+  graph::CsrGraph labeled_g = g;
+  labeled_g.assign_hashed_labels(/*num_labels=*/3, /*seed=*/5);
+  partition::PartitionConfig labeled_pc = bench_partition();
+  labeled_pc.labeled = true;
+  const partition::PartitionedGraph labeled_pg(labeled_g, labeled_pc);
+
   std::vector<MixResult> results;
   TextTable table({"mix", "jobs", "makespan", "agg steps/s", "fairness", "p95 latency"});
   for (const Mix& mix : mixes()) {
-    const MixResult r = run_mix(pg, mix, seed);
+    const MixResult r = run_mix(mix.labeled ? labeled_pg : pg, mix, seed);
     table.add_row({r.mix.name, std::to_string(r.jobs), TextTable::time_ns(r.makespan),
                    TextTable::num(r.aggregate_steps_per_sec, 0),
                    TextTable::num(r.fairness_ratio, 2) + "x",
@@ -195,6 +300,16 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
   table.print(std::cout);
+
+  bool missing_case = false;
+  const std::vector<ModelResult> models = run_model_block(labeled_pg, seed, missing_case);
+  TextTable mtable({"model", "legacy", "deterministic", "makespan", "steps"});
+  for (const ModelResult& m : models) {
+    mtable.add_row({m.name, m.legacy ? "yes" : "no", m.deterministic ? "yes" : "NO",
+                    TextTable::time_ns(m.makespan), std::to_string(m.steps)});
+  }
+  mtable.print(std::cout);
+  if (missing_case) return 1;
 
   bool fairness_ok = true;
   for (const MixResult& r : results) {
@@ -204,9 +319,16 @@ int main(int argc, char** argv) {
       fairness_ok = false;
     }
   }
+  for (const ModelResult& m : models) {
+    if (!m.deterministic) {
+      std::cerr << "FAIL: model '" << m.name
+                << "' diverged across DES worker counts\n";
+      fairness_ok = false;
+    }
+  }
   if (!fairness_ok) return 1;
 
-  const std::string section = section_json(results, dataset, scale, seed);
+  const std::string section = section_json(results, models, dataset, scale, seed);
   if (!merge_path.empty()) {
     if (const int rc = merge_into(merge_path, section); rc != 0) return rc;
   }

@@ -58,6 +58,7 @@ struct CliOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string jobs_spec;
+  std::uint32_t labels = 0;
   std::uint32_t sim_threads = 1;
   bool shard_audit = false;
   std::uint32_t devices = 1;
@@ -139,6 +140,10 @@ CliOptions parse(int argc, char** argv) {
              }
            });
   opts.opt("--seed", &o.seed, "N", "RNG seed (default 42)");
+  opts.opt("--labels", &o.labels, "N",
+           "attach N deterministic per-vertex labels\n"
+           "(heterogeneous graph; label = hash(seed, v)\n"
+           "% N; required by the metapath model)");
   opts.opt("--sim-threads", &o.sim_threads, "N",
            "parallel-DES worker threads: channel\n"
            "shards execute concurrently, bit-identical\n"
@@ -186,6 +191,10 @@ CliOptions parse(int argc, char** argv) {
   if (o.devices > 1 && !o.run_fw) {
     std::cerr << "--devices applies to the FlashWalker engine; include fw in "
                  "--engines\n";
+    std::exit(2);
+  }
+  if (o.labels > 255) {
+    std::cerr << "--labels: at most 255 label classes (labels are one byte)\n";
     std::exit(2);
   }
   return o;
@@ -348,9 +357,14 @@ int main(int argc, char** argv) {
                               }
                               return graph::load_edge_list(in);
                             }();
+  if (cli.labels > 0) {
+    g.assign_hashed_labels(static_cast<std::uint8_t>(cli.labels), cli.seed);
+  }
   const auto stats = graph::compute_stats(g);
   std::cout << "graph: " << stats.num_vertices << " vertices, " << stats.num_edges
-            << " edges, CSR " << TextTable::bytes(stats.csr_size_bytes) << "\n";
+            << " edges, CSR " << TextTable::bytes(stats.csr_size_bytes)
+            << (g.labeled() ? ", " + std::to_string(cli.labels) + " label classes" : "")
+            << "\n";
 
   rw::WalkSpec spec;
   spec.num_walks = cli.walks ? cli.walks
@@ -377,6 +391,9 @@ int main(int argc, char** argv) {
   pc.subgraphs_per_partition = 2048;
   pc.subgraphs_per_range = 64;
   pc.weighted = spec.biased;
+  // Model label bytes in the blocks whenever the graph carries labels (the
+  // jobs that read them are resolved later, inside the service/array path).
+  pc.labeled = g.labeled();
 
   if (cli.devices > 1) {
     // Stripe grain: aim for ~4 partitions per board so the round-robin
@@ -396,7 +413,12 @@ int main(int argc, char** argv) {
     cfg.record_visits = false;
     cfg.sim_threads = cli.sim_threads;
     cfg.shard_audit = cli.shard_audit;
-    return run_array(cli, pg, std::move(cfg));
+    try {
+      return run_array(cli, pg, std::move(cfg));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   if (!cli.jobs_spec.empty()) {
@@ -408,7 +430,12 @@ int main(int argc, char** argv) {
     cfg.record_visits = false;
     cfg.sim_threads = cli.sim_threads;
     cfg.shard_audit = cli.shard_audit;
-    return run_service(cli, pg, std::move(cfg));
+    try {
+      return run_service(cli, pg, std::move(cfg));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   std::cout << "workload: " << spec.num_walks << " walks x " << spec.length << " hops"

@@ -1,10 +1,12 @@
 #include "accel/array/board_array.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "accel/lookahead.hpp"
+#include "rw/model/registry.hpp"
 #include "rw/walk.hpp"
 
 namespace fw::accel::array {
@@ -41,7 +43,7 @@ BoardArray::BoardArray(const partition::PartitionedGraph& pg, SimulationConfig c
     j.spec = cfg_.spec;
     job_defs_.push_back(std::move(j));
   }
-  bool any_second_order = false;
+  std::uint64_t max_state_bytes = 0;
   for (auto& def : job_defs_) {
     if (def.weight == 0) def.weight = service::qos_weight(def.qos);
     const std::uint64_t expected =
@@ -56,11 +58,14 @@ BoardArray::BoardArray(const partition::PartitionedGraph& pg, SimulationConfig c
     }
     job_expected_.push_back(expected);
     total_expected_ += expected;
-    any_second_order |= def.spec.second_order.enabled;
+    max_state_bytes = std::max(max_state_bytes,
+                               rw::model_state_bytes(def.spec, pg.id_bytes()));
   }
   job_completed_.assign(job_defs_.size(), 0);
   job_done_tick_.assign(job_defs_.size(), 0);
-  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) + (any_second_order ? pg.id_bytes() : 0);
+  // Forwarded walks carry their model state across the fabric (mirrors the
+  // engine's walk_bytes_ derivation).
+  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) + max_state_bytes;
 
   // One shared conservative-lookahead simulator: fabric = global shard 0,
   // board d owns [1 + d*(1+C), 1 + (d+1)*(1+C)). Fabric messages ride the

@@ -1,16 +1,25 @@
 #include "accel/builder.hpp"
 
+#include "rw/model/registry.hpp"
+
 namespace fw::accel {
 
 Simulation SimulationBuilder::build() {
   Simulation sim;
   if (graph_ != nullptr) {
     partition::PartitionConfig pc = cfg_.partition;
-    // Biased jobs need edge weights in the graph blocks; derive the flag so
+    // Walk models declare their block-content needs (edge weights for ITS
+    // bias, label bytes for metapath); derive the partition flags so
     // callers cannot assemble a partitioning that contradicts the workload.
-    bool any_biased = cfg_.spec.biased;
-    for (const auto& job : cfg_.jobs) any_biased |= job.spec.biased;
-    pc.weighted = pc.weighted || any_biased;
+    bool any_weights = rw::create_model(cfg_.spec)->needs_weights();
+    bool any_labels = rw::create_model(cfg_.spec)->needs_labels();
+    for (const auto& job : cfg_.jobs) {
+      const auto model = rw::create_model(job.spec);
+      any_weights |= model->needs_weights();
+      any_labels |= model->needs_labels();
+    }
+    pc.weighted = pc.weighted || any_weights;
+    pc.labeled = pc.labeled || any_labels;
     sim.owned_pg_ = std::make_unique<partition::PartitionedGraph>(*graph_, pc);
     sim.pg_ = sim.owned_pg_.get();
   } else {

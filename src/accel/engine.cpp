@@ -10,6 +10,7 @@
 
 #include "accel/lookahead.hpp"
 #include "common/stats.hpp"
+#include "rw/model/registry.hpp"
 
 namespace fw::accel {
 namespace {
@@ -20,10 +21,6 @@ std::uint32_t match_cycles(std::size_t n) {
 }
 
 }  // namespace
-
-FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
-                                     EngineOptions options)
-    : FlashWalkerEngine(pg, std::move(options), BuildAccess{}) {}
 
 FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
                                      EngineOptions options, BuildAccess access)
@@ -52,19 +49,27 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
       static_cast<std::size_t>(std::numeric_limits<std::uint16_t>::max())) {
     throw std::invalid_argument("FlashWalkerEngine: too many jobs");
   }
-  bool any_biased = false;
-  bool any_second_order = false;
+  bool any_weights = false;
+  bool any_labels = false;
+  std::uint64_t max_state_bytes = 0;
   jobs_.reserve(job_defs.size());
   for (auto& def : job_defs) {
     JobRt jc;
     jc.job = std::move(def);
+    // Resolve the job's walk model from the registry; throws for an
+    // unknown model name or invalid model parameters.
+    jc.model = rw::create_model(jc.job.spec);
     if (jc.job.weight == 0) jc.job.weight = service::qos_weight(jc.job.qos);
     jc.expected = service::expected_walks(jc.job.spec, pg.graph().num_vertices());
     jc.walk_base = static_cast<std::uint32_t>(total_expected_);
     total_expected_ += jc.expected;
-    any_biased |= jc.job.spec.biased;
-    any_second_order |= jc.job.spec.second_order.enabled;
+    any_weights |= jc.model->needs_weights();
+    any_labels |= jc.model->needs_labels();
+    max_state_bytes = std::max(max_state_bytes, jc.model->state_bytes(pg.id_bytes()));
     jobs_.push_back(std::move(jc));
+  }
+  if (any_labels && !pg.graph().labeled()) {
+    throw std::invalid_argument("metapath walk requires a labeled graph");
   }
   if (total_expected_ > std::numeric_limits<std::uint32_t>::max()) {
     throw std::invalid_argument("FlashWalkerEngine: total walk count overflows walk ids");
@@ -100,7 +105,7 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
     for (const JobRt& jc : jobs_) weights.push_back(jc.job.weight);
     scheduler_->configure_jobs(std::move(weights));
   }
-  if (any_biased) {
+  if (any_weights) {
     if (!pg.graph().weighted()) {
       throw std::invalid_argument("biased walk requires a weighted graph");
     }
@@ -112,9 +117,9 @@ FlashWalkerEngine::FlashWalkerEngine(const partition::PartitionedGraph& pg,
         opt_.accel.query_cache_bytes, 2 * pg.id_bytes() + 8));
   }
 
-  // Second-order walks carry prev, costing one extra vertex ID per walk
-  // (charged uniformly when any co-scheduled job needs it).
-  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) + (any_second_order ? pg.id_bytes() : 0);
+  // Model-carried state (prev vertex, residual register, ...) rides with
+  // every walk, charged uniformly at the max over co-scheduled jobs.
+  walk_bytes_ = rw::walk_bytes(pg.id_bytes()) + max_state_bytes;
 
   const std::uint64_t block_cap = pg.config().block_capacity_bytes;
   const auto chip_slots = std::max<std::uint64_t>(
@@ -334,6 +339,7 @@ void FlashWalkerEngine::admit_job(std::uint16_t j) {
     w.job = j;
     w.src = v;
     w.cur = v;
+    w.state = jc.model->init_state();
     w.hops_left = static_cast<std::uint16_t>(spec.length);
     // Per-walk stream, same derivation as the host reference walker: the
     // walk's path is a pure function of (seed, id), independent of how the
@@ -582,40 +588,31 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk(
 FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
     rw::Walk& w, const partition::Subgraph& sg, ShardSink& sink, Xoshiro256& rng) {
   HopOutcome out;
-  // Walk-model parameters come from the walk's owning job, so co-scheduled
-  // jobs each run their own model over the shared hierarchy.
-  const rw::WalkSpec& spec = spec_of(w);
-  if (spec.stop_prob > 0.0 && rng.chance(spec.stop_prob)) {
+  // Per-hop decisions dispatch through the owning job's walk model, so
+  // co-scheduled jobs each run their own model over the shared hierarchy.
+  const rw::WalkModel& model = model_of(w);
+  if (model.stop_before_hop(w, rng)) {
     out.completed = true;
     return out;
   }
 
-  rw::SampleResult s;
+  // Gather: the candidate slice the resident subgraph exposes — the walk
+  // vertex's full adjacency, or the resident sub-slice of a dense vertex.
   const auto& g = pg_->graph();
-  const auto& so = spec.second_order;
-  const EdgeId slice_begin = sg.dense ? sg.edge_begin : g.offsets()[w.cur];
-  const EdgeId slice_end = sg.dense ? sg.edge_end : g.offsets()[w.cur + 1];
-  if (so.enabled && w.prev != kInvalidVertex && slice_end > slice_begin) {
-    // Second-order extension: rejection sampling with the carried prev.
-    s = rw::sample_second_order(g, w.prev, w.cur, slice_begin, slice_end,
-                                {so.p, so.q}, rng);
-  } else if (sg.dense) {
-    if (spec.biased) {
-      s = its_->sample_slice(g, g.offsets()[sg.low_vid], sg.edge_begin, sg.edge_end, rng);
-    } else {
-      s = rw::sample_unbiased_slice(g, sg.edge_begin, sg.edge_end, rng);
-    }
-  } else if (spec.biased) {
-    s = its_->sample(g, w.cur, rng);
-  } else {
-    s = rw::sample_unbiased(g, w.cur, rng);
-  }
+  rw::Gather gv;
+  gv.dense = sg.dense;
+  gv.begin = sg.dense ? sg.edge_begin : g.offsets()[w.cur];
+  gv.end = sg.dense ? sg.edge_end : g.offsets()[w.cur + 1];
+  gv.vertex_first_edge = sg.dense ? g.offsets()[sg.low_vid] : gv.begin;
+
+  const rw::SampleResult s = model.sample(g, its_.get(), gv, w, rng);
   out.extra_cycles = s.search_steps;
 
   if (s.next == kInvalidVertex) {
-    if (spec.dead_end == rw::WalkSpec::DeadEnd::kRestart) {
+    if (spec_of(w).dead_end == rw::WalkSpec::DeadEnd::kRestart) {
       // Restart-at-source consumes the hop but revisits nothing (matches
-      // rw::run_walks); the walk then routes onward from its source.
+      // rw::run_walks); the walk then routes onward from its source. Model
+      // state is deliberately left untouched (pre-plugin behavior).
       w.cur = w.src;
       w.prewalked_sg = kInvalidSubgraph;
       w.range_tag = rw::kNoRangeTag;
@@ -628,7 +625,9 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
     out.completed = true;
     return out;
   }
-  if (so.enabled) w.prev = w.cur;
+  // Update: the model advances its carried state (still seeing w.cur as the
+  // hop's origin) and may terminate the walk early (per-walk stop criteria).
+  const rw::WalkModel::Verdict verdict = model.update(w, s.next);
   w.cur = s.next;
   w.prewalked_sg = kInvalidSubgraph;
   w.range_tag = rw::kNoRangeTag;
@@ -645,7 +644,7 @@ FlashWalkerEngine::HopOutcome FlashWalkerEngine::update_walk_step(
     ++jv[s.next];
   }
   if (opt_.record_paths) paths_[w.id].push_back(s.next);
-  out.completed = w.finished();
+  out.completed = verdict == rw::WalkModel::Verdict::kTerminate || w.finished();
   return out;
 }
 
@@ -750,7 +749,7 @@ std::uint32_t FlashWalkerEngine::board_route_walk(rw::Walk w,
       Xoshiro256 wrng(w.rng_state);
       const auto& meta = *dres.meta;
       std::uint32_t block;
-      if (spec_of(w).biased) {
+      if (model_of(w).needs_weights()) {
         // Biased pre-walk: block chosen proportionally to its weight mass.
         const auto& g = pg_->graph();
         const EdgeId first_edge = g.offsets()[w.cur];

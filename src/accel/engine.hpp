@@ -52,6 +52,7 @@
 #include "partition/dense_table.hpp"
 #include "partition/mapping_table.hpp"
 #include "partition/partitioned_graph.hpp"
+#include "rw/model/walk_model.hpp"
 #include "rw/sampler.hpp"
 #include "rw/spec.hpp"
 #include "rw/walk.hpp"
@@ -223,10 +224,6 @@ class FlashWalkerEngine {
   /// single-device engine) and must otherwise outlive the engine.
   FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options,
                     const ArrayAttachment* array, BuildAccess access);
-  [[deprecated(
-      "construct via accel::SimulationBuilder (or service::WalkService for "
-      "multi-job runs); the direct constructor is removed next release")]]
-  FlashWalkerEngine(const partition::PartitionedGraph& pg, EngineOptions options);
   ~FlashWalkerEngine();
 
   FlashWalkerEngine(const FlashWalkerEngine&) = delete;
@@ -361,9 +358,13 @@ class FlashWalkerEngine {
     std::uint32_t extra_cycles = 0;  ///< ITS search steps etc.
   };
 
-  /// Per-job runtime state: workload + progress counters + timing marks.
+  /// Per-job runtime state: workload + walk model + progress counters +
+  /// timing marks.
   struct JobRt {
     service::WalkJob job;
+    /// The job's walk model (resolved from the registry at construction);
+    /// every per-hop decision for this job's walks dispatches through it.
+    std::unique_ptr<const rw::WalkModel> model;
     std::uint64_t expected = 0;   ///< walks this job will start
     std::uint64_t started = 0;
     std::uint64_t completed = 0;
@@ -386,6 +387,9 @@ class FlashWalkerEngine {
   [[nodiscard]] service::JobStats job_stats(const JobRt& jc) const;
   [[nodiscard]] const rw::WalkSpec& spec_of(const rw::Walk& w) const {
     return jobs_[w.job].job.spec;
+  }
+  [[nodiscard]] const rw::WalkModel& model_of(const rw::Walk& w) const {
+    return *jobs_[w.job].model;
   }
   void begin_partition(PartitionId p, bool charge_io);
   void load_hot_subgraphs();

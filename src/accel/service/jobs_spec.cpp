@@ -3,10 +3,16 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "rw/model/registry.hpp"
 
 namespace fw::accel::service {
 namespace {
+
+constexpr std::string_view kCommonKeys =
+    "walks, length, seed, weight, arrive, source, qos, start";
 
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> out;
@@ -38,15 +44,57 @@ std::uint64_t parse_u64(const std::string& entry, const std::string& v) {
   }
 }
 
-double parse_f64(const std::string& entry, const std::string& v) {
-  try {
-    std::size_t pos = 0;
-    const double r = std::stod(v, &pos);
-    if (pos != v.size()) throw std::invalid_argument(v);
-    return r;
-  } catch (const std::exception&) {
-    fail(entry, "expected a number, got '" + v + "'");
+/// "unknown key 'x' for model 'm' (model keys: ...; common keys: ...)".
+[[noreturn]] void fail_unknown_key(const std::string& entry, const std::string& key,
+                                   const rw::ModelInfo& info) {
+  const std::string model_keys =
+      info.keys.empty() ? "none" : std::string(info.keys);
+  fail(entry, "unknown key '" + key + "' for model '" + std::string(info.name) +
+                  "' (model keys: " + model_keys +
+                  "; common keys: " + std::string(kCommonKeys) + ")");
+}
+
+/// True when `key` is a workload-common key (applied in place); false when
+/// the owning model must interpret it.
+bool apply_common_key(const std::string& raw, WalkJob& job, bool& seed_set,
+                      const std::string& key, const std::string& val) {
+  if (key == "walks") {
+    job.spec.num_walks = parse_u64(raw, val);
+  } else if (key == "length") {
+    job.spec.length = static_cast<std::uint32_t>(parse_u64(raw, val));
+  } else if (key == "seed") {
+    job.spec.seed = parse_u64(raw, val);
+    seed_set = true;
+  } else if (key == "weight") {
+    job.weight = static_cast<std::uint32_t>(parse_u64(raw, val));
+  } else if (key == "arrive") {
+    job.arrival = parse_u64(raw, val);
+  } else if (key == "source") {
+    job.spec.source = static_cast<VertexId>(parse_u64(raw, val));
+  } else if (key == "qos") {
+    if (val == "bronze") {
+      job.qos = QosClass::kBronze;
+    } else if (val == "silver") {
+      job.qos = QosClass::kSilver;
+    } else if (val == "gold") {
+      job.qos = QosClass::kGold;
+    } else {
+      fail(raw, "qos must be bronze|silver|gold, got '" + val + "'");
+    }
+  } else if (key == "start") {
+    if (val == "random") {
+      job.spec.start_mode = rw::StartMode::kUniformRandom;
+    } else if (val == "all") {
+      job.spec.start_mode = rw::StartMode::kAllVertices;
+    } else if (val == "source") {
+      job.spec.start_mode = rw::StartMode::kSingleSource;
+    } else {
+      fail(raw, "start must be random|all|source, got '" + val + "'");
+    }
+  } else {
+    return false;
   }
+  return true;
 }
 
 }  // namespace
@@ -72,25 +120,18 @@ std::vector<WalkJob> parse_jobs(const std::string& spec,
       kvs = entry.substr(colon + 1);
     }
 
+    const rw::ModelInfo* info = rw::find_model(model);
+    if (info == nullptr) {
+      fail(raw, "unknown model '" + model +
+                    "' (registered: " + rw::registered_model_names() + ")");
+    }
+
     WalkJob job;
     job.name = model;
     job.spec.num_walks = defaults.walks;
     job.spec.length = defaults.length;
+    info->apply_defaults(job.spec);
     bool seed_set = false;
-    if (model == "deepwalk") {
-      job.spec.start_mode = rw::StartMode::kUniformRandom;
-    } else if (model == "node2vec") {
-      job.spec.start_mode = rw::StartMode::kUniformRandom;
-      job.spec.second_order.enabled = true;
-    } else if (model == "ppr") {
-      // Monte-Carlo PPR: all walks from one source, geometric termination,
-      // restart at the source on dead ends.
-      job.spec.start_mode = rw::StartMode::kSingleSource;
-      job.spec.stop_prob = 0.15;
-      job.spec.dead_end = rw::WalkSpec::DeadEnd::kRestart;
-    } else {
-      fail(raw, "unknown model '" + model + "' (deepwalk|node2vec|ppr)");
-    }
 
     if (!kvs.empty()) {
       for (const std::string& kv : split(kvs, ',')) {
@@ -98,49 +139,25 @@ std::vector<WalkJob> parse_jobs(const std::string& spec,
         if (eq == std::string::npos) fail(raw, "expected key=value, got '" + kv + "'");
         const std::string key = kv.substr(0, eq);
         const std::string val = kv.substr(eq + 1);
-        if (key == "walks") {
-          job.spec.num_walks = parse_u64(raw, val);
-        } else if (key == "length") {
-          job.spec.length = static_cast<std::uint32_t>(parse_u64(raw, val));
-        } else if (key == "seed") {
-          job.spec.seed = parse_u64(raw, val);
-          seed_set = true;
-        } else if (key == "weight") {
-          job.weight = static_cast<std::uint32_t>(parse_u64(raw, val));
-        } else if (key == "arrive") {
-          job.arrival = parse_u64(raw, val);
-        } else if (key == "source") {
-          job.spec.source = static_cast<VertexId>(parse_u64(raw, val));
-        } else if (key == "qos") {
-          if (val == "bronze") {
-            job.qos = QosClass::kBronze;
-          } else if (val == "silver") {
-            job.qos = QosClass::kSilver;
-          } else if (val == "gold") {
-            job.qos = QosClass::kGold;
-          } else {
-            fail(raw, "qos must be bronze|silver|gold, got '" + val + "'");
-          }
-        } else if (key == "start") {
-          if (val == "random") {
-            job.spec.start_mode = rw::StartMode::kUniformRandom;
-          } else if (val == "all") {
-            job.spec.start_mode = rw::StartMode::kAllVertices;
-          } else if (val == "source") {
-            job.spec.start_mode = rw::StartMode::kSingleSource;
-          } else {
-            fail(raw, "start must be random|all|source, got '" + val + "'");
-          }
-        } else if (key == "p" && model == "node2vec") {
-          job.spec.second_order.p = parse_f64(raw, val);
-        } else if (key == "q" && model == "node2vec") {
-          job.spec.second_order.q = parse_f64(raw, val);
-        } else if (key == "stop" && model == "ppr") {
-          job.spec.stop_prob = parse_f64(raw, val);
-        } else {
-          fail(raw, "unknown key '" + key + "' for model '" + model + "'");
+        if (apply_common_key(raw, job, seed_set, key, val)) continue;
+        try {
+          if (!info->parse_key(job.spec, key, val)) fail_unknown_key(raw, key, *info);
+        } catch (const std::invalid_argument& e) {
+          // Re-wrap model-key diagnostics with the offending entry.
+          const std::string why = e.what();
+          if (why.rfind("--jobs", 0) == 0) throw;
+          fail(raw, why);
         }
       }
+    }
+
+    // Model-parameter validation (alpha/eps ranges, pattern shape, ...)
+    // happens at model construction; surface it here with entry context
+    // instead of at engine build time.
+    try {
+      (void)rw::create_model(job.spec);
+    } catch (const std::invalid_argument& e) {
+      fail(raw, e.what());
     }
 
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -156,13 +173,23 @@ std::vector<WalkJob> parse_jobs(const std::string& spec,
 }
 
 std::string jobs_help() {
-  return "job mix: [N*]model[:key=val,...] entries joined by ';'\n"
-         "  models: deepwalk (uniform random-start), node2vec (second-order,\n"
-         "          keys p/q), ppr (single-source, keys stop/source)\n"
-         "  common keys: walks, length, seed, qos=bronze|silver|gold, weight,\n"
-         "               arrive (ns), start=random|all|source, source\n"
-         "  unseeded jobs get seed = base-seed + 7919 * job-index\n"
-         "  example: \"2*deepwalk:walks=1000;node2vec:p=0.5,q=2;ppr:source=3\"";
+  std::string help =
+      "job mix: [N*]model[:key=val,...] entries joined by ';'\n"
+      "  models:\n";
+  for (const rw::ModelInfo& m : rw::model_registry()) {
+    help += "    " + std::string(m.name) + " — " + std::string(m.summary);
+    if (!m.keys.empty()) help += " (keys: " + std::string(m.keys) + ")";
+    help += '\n';
+  }
+  help += "  common keys: " + std::string(kCommonKeys) +
+          "\n"
+          "               qos=bronze|silver|gold, start=random|all|source\n"
+          "  unseeded jobs get seed = base-seed + " +
+          std::to_string(kSeedStride) +
+          " * job-index\n"
+          "  example: \"2*deepwalk:walks=1000;metapath:pattern=0-1-2;"
+          "ppr:stop_mode=residual\"";
+  return help;
 }
 
 }  // namespace fw::accel::service

@@ -4,14 +4,15 @@
 //
 //   jobs    := entry (';' entry)*
 //   entry   := [count '*'] model [':' kv (',' kv)*]
-//   model   := 'deepwalk' | 'node2vec' | 'ppr'
+//   model   := any name in rw::model_registry()
 //   kv      := key '=' value
 //
 // Common keys: walks, length, seed, qos (bronze|silver|gold), weight,
-// arrive (ns), start (random|all|source), source. Model keys: p, q
-// (node2vec), stop (ppr). Example:
+// arrive (ns), start (random|all|source), source. Model-specific keys come
+// from the registry (node2vec: p/q; ppr: stop/stop_mode/eps; metapath:
+// pattern; autoreg: alpha). Example:
 //
-//   --jobs "2*deepwalk:walks=1000;node2vec:walks=500,p=0.5,q=2;ppr:walks=500,source=3"
+//   --jobs "2*deepwalk:walks=1000;metapath:pattern=0-1-2;ppr:stop_mode=residual"
 #pragma once
 
 #include <string>

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
 
 namespace fw::graph {
 
@@ -17,6 +20,27 @@ CsrGraph::CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> edges,
   if (!weights_.empty() && weights_.size() != edges_.size()) {
     throw std::invalid_argument("CsrGraph: weights must be empty or match edges");
   }
+}
+
+void CsrGraph::set_labels(std::vector<std::uint8_t> labels) {
+  if (labels.size() != num_vertices()) {
+    throw std::invalid_argument("CsrGraph: labels must match num_vertices");
+  }
+  labels_ = std::move(labels);
+}
+
+void CsrGraph::assign_hashed_labels(std::uint8_t num_labels, std::uint64_t seed) {
+  if (num_labels == 0) {
+    throw std::invalid_argument("CsrGraph: need at least one label class");
+  }
+  std::vector<std::uint8_t> labels(num_vertices());
+  for (VertexId v = 0; v < labels.size(); ++v) {
+    // One SplitMix64 step per vertex: position-independent, so the labeling
+    // of a vertex never depends on graph size or traversal order.
+    SplitMix64 h(seed ^ (v * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull));
+    labels[v] = static_cast<std::uint8_t>(h.next() % num_labels);
+  }
+  labels_ = std::move(labels);
 }
 
 std::vector<EdgeId> CsrGraph::compute_in_degrees() const {
@@ -57,6 +81,7 @@ std::string CsrGraph::validate() const {
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     if (edges_[i] >= n) return "edge target out of range at " + std::to_string(i);
   }
+  if (!labels_.empty() && labels_.size() != n) return "labels size mismatch";
   if (!weights_.empty()) {
     if (weights_.size() != edges_.size()) return "weights size mismatch";
     for (std::size_t i = 0; i < weights_.size(); ++i) {

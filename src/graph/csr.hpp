@@ -43,6 +43,18 @@ class CsrGraph {
   [[nodiscard]] const std::vector<VertexId>& edges() const { return edges_; }
   [[nodiscard]] const std::vector<float>& weights() const { return weights_; }
 
+  /// Optional per-vertex labels (heterogeneous graphs; metapath walks).
+  [[nodiscard]] bool labeled() const { return !labels_.empty(); }
+  [[nodiscard]] std::uint8_t label(VertexId v) const { return labels_[v]; }
+  [[nodiscard]] const std::vector<std::uint8_t>& labels() const { return labels_; }
+
+  /// Attach per-vertex labels; size must equal num_vertices().
+  void set_labels(std::vector<std::uint8_t> labels);
+
+  /// Deterministic synthetic labeling: label(v) = hash(seed, v) % num_labels.
+  /// Keeps generated datasets reproducible across runs and platforms.
+  void assign_hashed_labels(std::uint8_t num_labels, std::uint64_t seed);
+
   /// In-degree of every vertex (one O(E) pass; used to rank hot subgraphs).
   [[nodiscard]] std::vector<EdgeId> compute_in_degrees() const;
 
@@ -63,9 +75,10 @@ class CsrGraph {
   [[nodiscard]] std::string validate() const;
 
  private:
-  std::vector<EdgeId> offsets_;   // num_vertices + 1, non-decreasing
-  std::vector<VertexId> edges_;   // neighbor lists, concatenated
-  std::vector<float> weights_;    // empty or parallel to edges_
+  std::vector<EdgeId> offsets_;        // num_vertices + 1, non-decreasing
+  std::vector<VertexId> edges_;        // neighbor lists, concatenated
+  std::vector<float> weights_;         // empty or parallel to edges_
+  std::vector<std::uint8_t> labels_;   // empty or num_vertices
 };
 
 }  // namespace fw::graph

@@ -41,6 +41,9 @@ struct PartitionConfig {
   std::uint32_t subgraphs_per_range = 64;
   /// Store edge weights (biased random walk / ITS).
   bool weighted = false;
+  /// Store per-vertex labels (heterogeneous graph / metapath walks): one
+  /// label byte per vertex header in each graph block.
+  bool labeled = false;
 };
 
 }  // namespace fw::partition

@@ -28,7 +28,9 @@ void PartitionedGraph::build_subgraphs() {
 
   const std::uint64_t bytes_per_edge =
       id_bytes_ + (config_.weighted && g.weighted() ? sizeof(float) : 0);
-  const std::uint64_t bytes_per_vertex_hdr = id_bytes_;  // one offsets entry
+  // One offsets entry, plus the label byte when blocks carry labels.
+  const std::uint64_t bytes_per_vertex_hdr =
+      id_bytes_ + (config_.labeled && g.labeled() ? 1 : 0);
 
   auto emit = [&](VertexId low, VertexId high, EdgeId ebegin, EdgeId eend, bool dense,
                   std::uint32_t dense_idx, std::uint64_t payload) {

@@ -1,0 +1,53 @@
+// Name-keyed walk-model registry: jobs_spec, SimulationBuilder, and the
+// CLI all resolve models from here, so adding a model means registering it
+// once — the --jobs grammar, generated help text, and capability-derived
+// partitioning (weights, labels) pick it up automatically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rw/model/walk_model.hpp"
+#include "rw/spec.hpp"
+
+namespace fw::rw {
+
+struct ModelInfo {
+  std::string_view name;
+  std::string_view summary;  ///< one-line description for generated help
+  std::string_view keys;     ///< model-specific --jobs keys ("" if none)
+  bool legacy = false;       ///< pre-plugin model, byte-identity-pinned
+  /// Model-specific WalkSpec defaults (also stamps spec.model).
+  void (*apply_defaults)(WalkSpec& spec);
+  /// Returns false when `key` is not a key of this model; throws
+  /// std::invalid_argument on a malformed value.
+  bool (*parse_key)(WalkSpec& spec, std::string_view key, const std::string& value);
+  std::unique_ptr<const WalkModel> (*create)(const WalkSpec& spec);
+};
+
+/// All registered models, sorted by name.
+const std::vector<ModelInfo>& model_registry();
+
+/// nullptr when `name` is not registered.
+const ModelInfo* find_model(std::string_view name);
+
+/// "autoreg|deepwalk|metapath|node2vec|ppr" — for error messages.
+std::string registered_model_names();
+
+/// Effective model name for a spec: spec.model when set, else the legacy
+/// flag resolution (second_order.enabled → node2vec, else deepwalk; the
+/// flag-built PPR spec is deepwalk + stop_prob, which the same first-order
+/// model serves).
+std::string_view resolve_model_name(const WalkSpec& spec);
+
+/// Instantiate the spec's model; throws std::invalid_argument for an
+/// unknown model name or invalid model parameters.
+std::unique_ptr<const WalkModel> create_model(const WalkSpec& spec);
+
+/// Carried-state bytes of the spec's model (walk-DRAM / fabric math).
+std::uint64_t model_state_bytes(const WalkSpec& spec, std::size_t id_bytes);
+
+}  // namespace fw::rw

@@ -1,0 +1,92 @@
+// Step-centric walk-model plugin API (ThunderRW-style Gather–Move–Update):
+// the engine owns routing, subgraph residency, and all bookkeeping; a
+// WalkModel owns the per-hop decisions — the pre-hop stop draw, next-vertex
+// sampling over the gathered candidate slice, and the walk's carried state.
+//
+// RNG-draw discipline: the engine seeds one Xoshiro256 per hop from
+// w.rng_state and derives the next state exactly once afterwards, so a
+// model's stop_before_hop()/sample() draw sequence fully determines the
+// walk path. The legacy models (deepwalk/node2vec/ppr) reproduce the
+// pre-plugin draw sequence byte-identically — they are pinned by the
+// model-conformance tests and the committed bench baselines; never reorder
+// or add draws on their paths.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "rw/sampler.hpp"
+#include "rw/spec.hpp"
+#include "rw/walk.hpp"
+
+namespace fw::rw {
+
+/// Candidate edge slice for one hop, gathered by the engine from the
+/// resident subgraph: the walk vertex's full adjacency for regular
+/// subgraphs, or the resident sub-slice of a dense (multi-block) vertex.
+/// Indices are global-CSR edge indices.
+struct Gather {
+  EdgeId begin = 0;
+  EdgeId end = 0;
+  /// First edge of the vertex owning the slice (ITS base offset).
+  EdgeId vertex_first_edge = 0;
+  bool dense = false;
+};
+
+class WalkModel {
+ public:
+  enum class Verdict : std::uint8_t { kContinue, kTerminate };
+
+  virtual ~WalkModel();
+  WalkModel(const WalkModel&) = delete;
+  WalkModel& operator=(const WalkModel&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Carried per-walk state bytes beyond the base walker record; charged
+  /// against walk-DRAM capacity and fabric forwarding traffic (uniformly,
+  /// at the max over co-scheduled jobs).
+  [[nodiscard]] virtual std::uint64_t state_bytes(std::size_t id_bytes) const;
+
+  /// Initial w.state for a freshly admitted walk.
+  [[nodiscard]] virtual std::uint64_t init_state() const;
+
+  /// Model samples ∝ edge weight: the engine builds the ITS table (and the
+  /// partitioner keeps cumulative-weight lists in blocks) iff any
+  /// co-scheduled job's model needs it. Also selects the weighted pre-walk
+  /// path for dense vertices.
+  [[nodiscard]] virtual bool needs_weights() const;
+
+  /// Model reads per-vertex labels: graph blocks carry one label byte per
+  /// vertex header iff any co-scheduled job's model needs it.
+  [[nodiscard]] virtual bool needs_labels() const;
+
+  /// Pre-hop termination draw (PPR-style geometric stop). Default: one
+  /// chance(stop_prob) draw when stop_prob > 0, else no draw.
+  [[nodiscard]] virtual bool stop_before_hop(const Walk& w, Xoshiro256& rng) const;
+
+  /// Choose the next vertex from the gathered slice; kInvalidVertex means
+  /// dead end (the engine then applies WalkSpec::dead_end without touching
+  /// w.state). `its` is non-null iff needs_weights(). search_steps feeds
+  /// the guider's extra_cycles accounting.
+  [[nodiscard]] virtual SampleResult sample(const graph::CsrGraph& g, const ItsTable* its,
+                                            const Gather& gv, const Walk& w,
+                                            Xoshiro256& rng) const = 0;
+
+  /// Advance carried state after a successful sample and decide whether
+  /// the walk continues (kTerminate ends it at `next` even with hops
+  /// remaining — per-walk stop criteria). Called before the engine commits
+  /// w.cur = next, so w.cur is still the hop's origin; never called on the
+  /// dead-end path.
+  virtual Verdict update(Walk& w, VertexId next) const;
+
+ protected:
+  explicit WalkModel(const WalkSpec& spec);
+
+  double stop_prob_;  ///< pre-hop geometric stop probability
+};
+
+}  // namespace fw::rw

@@ -109,6 +109,39 @@ SampleResult sample_second_order(const graph::CsrGraph& g, VertexId prev, Vertex
   return result;
 }
 
+SampleResult sample_autoregressive(const graph::CsrGraph& g, VertexId prev, EdgeId begin,
+                                   EdgeId end, double alpha, Xoshiro256& rng,
+                                   std::uint32_t max_attempts) {
+  if (end <= begin) return {};
+  const double w_in = alpha;
+  const double w_out = 1.0 - alpha;
+  const double w_max = std::max(w_in, w_out);
+  const auto prev_nbrs = g.neighbors(prev);
+
+  SampleResult result;
+  auto membership_steps = [&](std::size_t n) {
+    return n == 0 ? 1u : static_cast<std::uint32_t>(std::bit_width(n));
+  };
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const VertexId t = g.edges()[begin + rng.bounded(end - begin)];
+    double w = w_out;
+    if (t == prev) {
+      w = w_in;
+    } else {
+      result.search_steps += membership_steps(prev_nbrs.size());
+      if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(), t)) w = w_in;
+    }
+    if (rng.uniform() * w_max < w) {
+      result.next = t;
+      return result;
+    }
+  }
+  // Rejection budget exhausted: fall back to uniform so walks always make
+  // progress (mirrors sample_second_order).
+  result.next = g.edges()[begin + rng.bounded(end - begin)];
+  return result;
+}
+
 std::uint32_t prewalk_block_choice(std::uint64_t rnd, EdgeId edges_per_block) {
   return edges_per_block == 0 ? 0 : static_cast<std::uint32_t>(rnd / edges_per_block);
 }

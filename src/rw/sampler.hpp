@@ -70,6 +70,15 @@ SampleResult sample_second_order(const graph::CsrGraph& g, VertexId prev, Vertex
                                  EdgeId begin, EdgeId end, const SecondOrderSpecView& so,
                                  Xoshiro256& rng, std::uint32_t max_attempts = 16);
 
+/// Autoregressive second-order rejection sampling over the edge slice
+/// [begin, end): proposals inside the previous hop's neighborhood (or a
+/// backtrack to `prev` itself) carry accept-weight `alpha`, all others
+/// 1-alpha, so consecutive hops are correlated. Same attempt budget and
+/// membership-probe accounting (`search_steps`) as sample_second_order.
+SampleResult sample_autoregressive(const graph::CsrGraph& g, VertexId prev, EdgeId begin,
+                                   EdgeId end, double alpha, Xoshiro256& rng,
+                                   std::uint32_t max_attempts = 16);
+
 /// Pre-walking block choice (paper §III.D): with rnd uniform in
 /// [0, outDegree), the target is graph block floor(rnd / size(gb)).
 /// Returns the block index within the dense vertex's block list.

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -42,6 +44,20 @@ struct WalkSpec {
   std::uint64_t num_walks = 100'000;  ///< for kUniformRandom / kSingleSource
   VertexId source = 0;                ///< for kSingleSource
   std::uint64_t seed = 42;
+
+  /// Registered walk-model name (rw/model/registry.hpp); empty resolves
+  /// from the legacy flags above (second_order.enabled → node2vec, else
+  /// deepwalk — which also serves flag-built geometric PPR).
+  std::string model;
+  /// metapath: cyclic label pattern; hop k must land on a vertex labeled
+  /// pattern[(k+1) % size]. Empty unless the model is metapath.
+  std::vector<std::uint8_t> metapath_pattern;
+  /// autoreg: accept-weight for proposals inside the previous hop's
+  /// neighborhood (1-alpha outside); must be in (0, 1).
+  double autoreg_alpha = 0.7;
+  /// ppr stop_mode=residual: terminate once the walk's carried residual
+  /// (1-stop_prob)^hops falls below this (0 = geometric stop only).
+  double residual_eps = 0.0;
 };
 
 }  // namespace fw::rw

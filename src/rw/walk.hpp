@@ -28,9 +28,12 @@ struct Walk {
   std::uint16_t job = 0;
   VertexId src = 0;
   VertexId cur = 0;
-  /// Previous vertex — carried only for second-order (node2vec) walks,
-  /// where the sampling distribution depends on it.
-  VertexId prev = kInvalidVertex;
+  /// Model-owned carried state (WalkModel::init_state/update): the previous
+  /// vertex for second-order models (node2vec, autoreg), the residual-mass
+  /// bits for early-termination PPR, unused otherwise. Its modeled size is
+  /// WalkModel::state_bytes(), not sizeof — byte accounting charges the max
+  /// over co-scheduled jobs.
+  std::uint64_t state = 0;
   std::uint16_t hops_left = 0;
   /// Range ID attached by the channel-level approximate walk search; the
   /// board-level guider then searches only that slice of the mapping table.

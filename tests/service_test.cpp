@@ -343,6 +343,21 @@ TEST(JobsSpec, ParsesQosAndExplicitSeedAndArrival) {
   EXPECT_EQ(jobs[0].arrival, 5000u);
 }
 
+TEST(JobsSpec, ParsesNewModelsWithModelKeys) {
+  const auto jobs = service::parse_jobs(
+      "metapath:pattern=0-1-2,walks=50;autoreg:alpha=0.6;"
+      "ppr:stop_mode=residual,eps=0.05", {});
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].name, "metapath#0");
+  EXPECT_EQ(jobs[0].spec.metapath_pattern,
+            (std::vector<std::uint8_t>{0, 1, 2}));
+  EXPECT_EQ(jobs[1].name, "autoreg#1");
+  EXPECT_DOUBLE_EQ(jobs[1].spec.autoreg_alpha, 0.6);
+  EXPECT_EQ(jobs[2].name, "ppr#2");
+  EXPECT_DOUBLE_EQ(jobs[2].spec.residual_eps, 0.05);
+  EXPECT_DOUBLE_EQ(jobs[2].spec.stop_prob, 0.15);  // ppr default stop kept
+}
+
 TEST(JobsSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(service::parse_jobs("", {}), std::invalid_argument);
   EXPECT_THROW(service::parse_jobs("randomwalk", {}), std::invalid_argument);
@@ -350,6 +365,60 @@ TEST(JobsSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(service::parse_jobs("ppr:stop=x", {}), std::invalid_argument);
   EXPECT_THROW(service::parse_jobs("0*deepwalk", {}), std::invalid_argument);
   EXPECT_THROW(service::parse_jobs("deepwalk:qos=plutonium", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("autoreg:alpha=1.5", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("metapath:pattern=", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("ppr:stop_mode=sideways", {}), std::invalid_argument);
+  EXPECT_THROW(service::parse_jobs("ppr:eps=1.0", {}), std::invalid_argument);
+}
+
+std::string parse_error(const std::string& spec) {
+  try {
+    (void)service::parse_jobs(spec, {});
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "'" << spec << "' parsed but should have thrown";
+  return {};
+}
+
+TEST(JobsSpec, UnknownModelErrorListsRegisteredModels) {
+  const std::string what = parse_error("randomwalk:walks=10");
+  EXPECT_NE(what.find("--jobs entry 'randomwalk:walks=10'"), std::string::npos) << what;
+  EXPECT_NE(what.find("unknown model 'randomwalk'"), std::string::npos) << what;
+  EXPECT_NE(what.find("registered: autoreg|deepwalk|metapath|node2vec|ppr"),
+            std::string::npos)
+      << what;
+}
+
+TEST(JobsSpec, UnknownKeyErrorListsModelAndCommonKeys) {
+  // A model with its own keys enumerates both key sets...
+  const std::string n2v = parse_error("node2vec:alpha=0.5");
+  EXPECT_NE(n2v.find("unknown key 'alpha' for model 'node2vec'"), std::string::npos)
+      << n2v;
+  EXPECT_NE(n2v.find("model keys: p, q"), std::string::npos) << n2v;
+  EXPECT_NE(n2v.find("common keys: walks, length, seed, weight, arrive, "
+                     "source, qos, start"),
+            std::string::npos)
+      << n2v;
+  // ... and a key-less model says so instead of printing an empty list.
+  const std::string dw = parse_error("deepwalk:p=0.5");
+  EXPECT_NE(dw.find("unknown key 'p' for model 'deepwalk'"), std::string::npos) << dw;
+  EXPECT_NE(dw.find("model keys: none"), std::string::npos) << dw;
+}
+
+TEST(JobsSpec, ModelValueErrorsNameTheEntryAndKey) {
+  const std::string alpha = parse_error("autoreg:alpha=1.5");
+  EXPECT_NE(alpha.find("--jobs entry 'autoreg:alpha=1.5'"), std::string::npos) << alpha;
+  EXPECT_NE(alpha.find("key 'alpha'"), std::string::npos) << alpha;
+}
+
+TEST(JobsSpec, HelpTextIsGeneratedFromTheRegistry) {
+  const std::string help = service::jobs_help();
+  for (const char* model : {"autoreg", "deepwalk", "metapath", "node2vec", "ppr"}) {
+    EXPECT_NE(help.find(model), std::string::npos) << "missing " << model;
+  }
+  EXPECT_NE(help.find("pattern"), std::string::npos);
+  EXPECT_NE(help.find("stop_mode=geometric|residual"), std::string::npos);
 }
 
 }  // namespace
