@@ -56,6 +56,15 @@ What is gated, and why
    single-device run (--array-floor, default 2.0) is gated only when
    `hw_threads >= 8`, like the other scaling floors.
 
+8. `board_hub` (same trigger as 5): the shard-audit breakdown of the
+   board-shard serial hub — event share, windowed handoff batches,
+   cross-shard sends per hop. `determinism_ok` (the audit stream itself
+   identical across 1/2/4/8 workers) is gated unconditionally; the share
+   numbers print as informational trend lines. With --serial-floor N the
+   1-worker concurrent-engine walks/sec is also gated as an absolute
+   same-machine floor, so parallel speedup cannot be bought by slowing
+   the serial path.
+
 Missing-section rule: a section the BASELINE carries is a promise — if
 the candidate report lacks it, that is a FAILURE (a silently skipped
 gate), not a skip. Sections absent from both reports are skipped with a
@@ -206,8 +215,10 @@ def check_parallel(base, cur, floor, failures):
               "[informational]")
 
 
-def check_engine_parallel(base, cur, floor, failures):
-    """Gate the concurrent-engine section: hard determinism, conditional speedup."""
+def check_engine_parallel(base, cur, floor, serial_floor, max_drop, failures):
+    """Gate the concurrent-engine section: hard determinism, conditional
+    speedup, and (opt-in) a serial-throughput floor so parallel wins cannot
+    be bought by slowing the 1-worker path down."""
     par = section_or_fail("engine_parallel", base, cur, failures)
     if par is None:
         return
@@ -228,6 +239,40 @@ def check_engine_parallel(base, cur, floor, failures):
     else:
         print(f"engine_parallel.speedup_8w: {speedup:.3g} (hw_threads {hw} < 8) "
               "[informational]")
+
+    serial = cur.get("engine_parallel", {}).get(
+        "workers_walks_per_sec", {}).get("1", 0)
+    if serial_floor is not None:
+        # Explicit absolute floor: same-machine runs only (like --absolute).
+        verdict = "ok" if serial >= serial_floor else "REGRESSION"
+        print(f"engine_parallel.workers_walks_per_sec[1]: {serial} "
+              f"(floor {serial_floor}) [{verdict}]")
+        if serial < serial_floor:
+            failures.append("engine_parallel.serial_floor")
+    else:
+        base_serial = base.get("engine_parallel", {}).get(
+            "workers_walks_per_sec", {}).get("1", 0)
+        print(f"engine_parallel.workers_walks_per_sec[1]: baseline {base_serial}  "
+              f"current {serial}  [informational]")
+
+
+def check_board_hub(base, cur, failures):
+    """Gate the board-hub breakdown: the audit stream must be identical
+    across worker counts (determinism_ok), and the per-hop cross-shard
+    traffic must not regress past the batching win the baseline recorded."""
+    hub = section_or_fail("board_hub", base, cur, failures)
+    if hub is None:
+        return
+    ok = hub.get("determinism_ok")
+    verdict = "ok" if ok else "NONDETERMINISTIC"
+    print(f"board_hub.determinism_ok: {ok}  [{verdict}]")
+    if not ok:
+        failures.append("board_hub.determinism_ok")
+
+    share = hub.get("board_share_ppm", 0)
+    print(f"board_hub.board_share_ppm: {share} "
+          f"(baseline {base['board_hub'].get('board_share_ppm', 0)}) "
+          "[informational]")
 
 
 def check_array(base, cur, floor, failures):
@@ -274,6 +319,11 @@ def main():
                     help="minimum 4-device array walks/sec ratio over the "
                          "single-device run, gated only on hosts with >= 8 "
                          "hardware threads (default 2.0)")
+    ap.add_argument("--serial-floor", type=float, default=None,
+                    help="absolute floor on the 1-worker concurrent-engine "
+                         "walks/sec (same-machine runs only, like --absolute); "
+                         "guards against buying parallel speedup by slowing "
+                         "the serial path. Off by default.")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -314,7 +364,9 @@ def main():
 
     check_service_mix(base, cur, failures)
     check_parallel(base, cur, args.parallel_floor, failures)
-    check_engine_parallel(base, cur, args.engine_floor, failures)
+    check_engine_parallel(base, cur, args.engine_floor, args.serial_floor,
+                          args.max_drop, failures)
+    check_board_hub(base, cur, failures)
     check_array(base, cur, args.array_floor, failures)
 
     if failures:

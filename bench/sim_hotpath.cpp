@@ -283,10 +283,12 @@ struct E2eResult {
   std::uint64_t total_hops = 0;
   std::uint64_t walks = 0;
   Tick sim_exec_ns = 0;
+  accel::ShardAuditReport audit;  ///< filled when measured with audit=true
 };
 
 E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t walks,
-                         std::uint64_t seed, std::uint32_t sim_threads = 1) {
+                         std::uint64_t seed, std::uint32_t sim_threads = 1,
+                         bool audit = false) {
   const graph::CsrGraph g = graph::make_dataset(id, scale);
   const partition::PartitionedGraph pg(g, bench_partition());
 
@@ -298,6 +300,7 @@ E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t 
   opts.spec.seed = seed;
   opts.record_visits = false;
   opts.sim_threads = sim_threads;
+  opts.shard_audit = audit;
 
   auto engine = accel::SimulationBuilder(pg).options(opts).build();
   const auto t0 = std::chrono::steady_clock::now();
@@ -311,6 +314,7 @@ E2eResult measure_engine(graph::DatasetId id, graph::Scale scale, std::uint64_t 
   e2e.hops_per_sec = static_cast<double>(e2e.total_hops) / e2e.wall_s;
   e2e.walks_per_sec = static_cast<double>(e2e.walks) / e2e.wall_s;
   e2e.sim_exec_ns = result.exec_time;
+  e2e.audit = result.shard_audit;
   return e2e;
 }
 
@@ -437,15 +441,25 @@ int main(int argc, char** argv) {
   // regardless of worker count); walks/sec wall-clock is the speedup story.
   std::vector<std::pair<std::uint32_t, E2eResult>> eng_runs;
   bool engine_determinism_ok = true;
+  bool hub_determinism_ok = true;
   if (parallel) {
     for (const std::uint32_t w : {1u, 2u, 4u, 8u}) {
-      eng_runs.emplace_back(
-          w, measure_engine(parse_dataset(dataset), parse_scale(scale), walks, seed, w));
+      eng_runs.emplace_back(w, measure_engine(parse_dataset(dataset), parse_scale(scale),
+                                              walks, seed, w, /*audit=*/true));
     }
     for (const auto& [w, r] : eng_runs) {
       engine_determinism_ok &= r.sim_exec_ns == eng_runs.front().second.sim_exec_ns &&
                                r.total_hops == eng_runs.front().second.total_hops &&
                                r.walks == eng_runs.front().second.walks;
+      // The audit stream itself is part of the determinism contract: the
+      // board-hub shape (event balance, batched handoffs, cross traffic)
+      // must not depend on the worker count either.
+      const accel::ShardAuditReport& base = eng_runs.front().second.audit;
+      hub_determinism_ok &= r.audit.events == base.events &&
+                            r.audit.board_events == base.board_events &&
+                            r.audit.cross_sends == base.cross_sends &&
+                            r.audit.board_batches == base.board_batches &&
+                            r.audit.board_batched_ops == base.board_batched_ops;
     }
     std::cout << "\nConcurrent engine (" << dataset << "/" << scale << ", "
               << eng_runs.front().second.walks << " walks):\n";
@@ -457,6 +471,20 @@ int main(int argc, char** argv) {
               << " (1/2/4/8 workers)\n";
     if (!engine_determinism_ok) {
       std::cerr << "FATAL: engine runs diverged across worker counts\n";
+      return 1;
+    }
+    const accel::ShardAuditReport& hub = eng_runs.front().second.audit;
+    std::cout << "\nBoard hub (" << hub.shards << " shards):\n"
+              << "  events         : " << hub.events << " (board "
+              << hub.board_events << ", share "
+              << static_cast<double>(hub.board_share_ppm()) / 10000.0 << "%)\n"
+              << "  cross sends    : " << hub.cross_sends << "\n"
+              << "  board batches  : " << hub.board_batches << " carrying "
+              << hub.board_batched_ops << " ops\n"
+              << "  determinism    : " << (hub_determinism_ok ? "ok" : "FAILED")
+              << " (audit stream, 1/2/4/8 workers)\n";
+    if (!hub_determinism_ok) {
+      std::cerr << "FATAL: shard-audit streams diverged across worker counts\n";
       return 1;
     }
   }
@@ -512,6 +540,26 @@ int main(int argc, char** argv) {
     out << "},\n"
         << "    \"speedup_8w\": " << eng_speedup_8w << ",\n"
         << "    \"determinism_ok\": " << (engine_determinism_ok ? "true" : "false")
+        << "\n"
+        << "  },\n";
+
+    const accel::ShardAuditReport& hub = eng_runs.front().second.audit;
+    const std::uint64_t hub_hops = eng_runs.front().second.total_hops;
+    out << "  \"board_hub\": {\n"
+        << "    \"shards\": " << hub.shards << ",\n"
+        << "    \"events\": " << hub.events << ",\n"
+        << "    \"board_events\": " << hub.board_events << ",\n"
+        << "    \"board_share_ppm\": " << hub.board_share_ppm() << ",\n"
+        << "    \"cross_sends\": " << hub.cross_sends << ",\n"
+        << "    \"board_batches\": " << hub.board_batches << ",\n"
+        << "    \"board_batched_ops\": " << hub.board_batched_ops << ",\n"
+        << "    \"total_hops\": " << hub_hops << ",\n"
+        << "    \"cross_per_hop\": "
+        << (hub_hops ? static_cast<double>(hub.cross_sends) /
+                           static_cast<double>(hub_hops)
+                     : 0.0)
+        << ",\n"
+        << "    \"determinism_ok\": " << (hub_determinism_ok ? "true" : "false")
         << "\n"
         << "  },\n";
   }

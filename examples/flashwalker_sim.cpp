@@ -68,17 +68,24 @@ struct CliOptions {
 };
 
 /// Shard-audit summary for `--sim-threads N` runs (FlashWalker only).
-void print_shard_audit(const accel::ShardAuditReport& a) {
+void print_shard_audit(const accel::ShardAuditReport& a,
+                       const std::string& label = "parallel-DES") {
   if (!a.enabled) return;
   const double cross_pct =
       a.local_sends + a.cross_sends == 0
           ? 0.0
           : 100.0 * static_cast<double>(a.cross_sends) /
                 static_cast<double>(a.local_sends + a.cross_sends);
-  std::cout << "\nparallel-DES shard audit (" << a.shards << " shards, lookahead "
+  std::cout << "\n" << label << " shard audit (" << a.shards << " shards, lookahead "
             << a.lookahead_ns << " ns):\n"
             << "  events        : " << a.events << " (busiest shard "
             << a.max_shard_events << ")\n"
+            << "  occupancy     : min " << a.min_shard_events << ", max "
+            << a.max_shard_events << " events/shard; board share "
+            << TextTable::num(static_cast<double>(a.board_share_ppm()) / 10000.0, 2)
+            << "%\n"
+            << "  board batches : " << a.board_batches << " windows carrying "
+            << a.board_batched_ops << " staged ops\n"
             << "  cross-shard   : " << a.cross_sends << " sends ("
             << TextTable::num(cross_pct, 1) << "% of traffic), min delay "
             << a.min_cross_delay_ns << " ns\n"
@@ -306,6 +313,9 @@ int run_array(const CliOptions& cli, const partition::PartitionedGraph& pg,
                    std::to_string(m.forward_timeout_flushes)});
   }
   table.print(std::cout);
+  for (std::size_t d = 0; d < res.boards.size(); ++d)
+    print_shard_audit(res.boards[d].shard_audit,
+                      std::string("board") + std::to_string(d));
   if (!cli.jobs_spec.empty()) {
     TextTable jt({"job", "qos", "weight", "walks", "steps", "latency"});
     for (const auto& s : res.jobs) {

@@ -26,6 +26,22 @@ void Shard::send(ShardId dst, Tick delay, EventFn fn) {
   outbox_[dst].push_back(Envelope{now_ + delay, send_seq_++, std::move(fn)});
 }
 
+void Shard::send_at(ShardId dst, Tick at, EventFn fn) {
+  if (dst == id_) {
+    schedule_at(at, std::move(fn));
+    return;
+  }
+  if (dst >= outbox_.size()) {
+    throw std::out_of_range("Shard::send_at: destination shard out of range");
+  }
+  if (at < now_ || at - now_ < owner_->lookahead_) {
+    throw std::logic_error(
+        "Shard::send_at: cross-shard delivery below the conservative "
+        "lookahead");
+  }
+  outbox_[dst].push_back(Envelope{at, send_seq_++, std::move(fn)});
+}
+
 void ParallelSimulator::Barrier::arrive_and_wait() {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
@@ -95,6 +111,11 @@ void ParallelSimulator::drain_window(Shard& s, Tick window_end) {
     popped->second();
     ++s.executed_;
   }
+  // Flush after the pop loop so anything the shard staged during the window
+  // crosses via the outbox this barrier. The hook fires even when the shard
+  // executed nothing (staging is then necessarily empty), keeping its
+  // cadence a pure function of the window schedule.
+  if (s.window_flush_) s.window_flush_(s);
 }
 
 void ParallelSimulator::merge_outboxes() {

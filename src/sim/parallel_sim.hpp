@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -74,6 +75,24 @@ class Shard {
   /// this shard's outbox and delivered at the next window barrier.
   void send(ShardId dst, Tick delay, EventFn fn);
 
+  /// Send on shard `dst` at absolute tick `at` on the destination clock.
+  /// Same rules as `send`; `at` must be >= now + lookahead for a
+  /// cross-shard destination (self-sends clamp like schedule_at). Used by
+  /// window-flush hooks, whose batched deliveries are phrased in absolute
+  /// ticks (the max over the staged operations' intended arrival times).
+  void send_at(ShardId dst, Tick at, EventFn fn);
+
+  /// Install a per-window flush hook. When set, the hook runs exactly once
+  /// at the end of every drain_window pass over this shard — after the
+  /// shard executed its final event of the window, with the shard clock
+  /// still at that event's tick — in both inline and threaded modes, so
+  /// the hook cadence (and therefore anything it sends) is a pure function
+  /// of the window schedule, independent of the worker count. Hooks may
+  /// call send/send_at but must not schedule local events.
+  void set_window_flush(std::function<void(Shard&)> hook) {
+    window_flush_ = std::move(hook);
+  }
+
  private:
   friend class ParallelSimulator;
 
@@ -89,6 +108,7 @@ class Shard {
   std::uint64_t executed_ = 0;
   std::uint64_t send_seq_ = 0;
   EventQueue queue_;
+  std::function<void(Shard&)> window_flush_;
   /// outbox_[dst]: crossings produced this window. Written only by the
   /// worker that owns this shard; drained only by the merge phase.
   std::vector<std::vector<Envelope>> outbox_;
@@ -147,7 +167,9 @@ class ParallelSimulator {
   [[nodiscard]] std::optional<Tick> next_window(Tick until);
 
   /// Drain one shard's events with tick < window_end (the parallel phase
-  /// body; also the inline-mode body).
+  /// body; also the inline-mode body), then run the shard's window-flush
+  /// hook so staged cross-shard batches leave via the outbox before the
+  /// merge barrier.
   static void drain_window(Shard& s, Tick window_end);
 
   /// Deliver every outbox envelope in (tick, src, seq) order (the serial

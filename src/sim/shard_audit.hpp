@@ -57,6 +57,17 @@ class ShardAudit {
   [[nodiscard]] std::uint64_t max_shard_events() const {
     return events_.empty() ? 0 : *std::max_element(events_.begin(), events_.end());
   }
+  [[nodiscard]] std::uint64_t min_shard_events() const {
+    return events_.empty() ? 0 : *std::min_element(events_.begin(), events_.end());
+  }
+  /// Events executed on the board shard (shard 0 by engine convention) —
+  /// the serial-hub share of the event stream, in parts per million of the
+  /// total. Zero when no events ran.
+  [[nodiscard]] std::uint64_t board_share_ppm() const {
+    const std::uint64_t total = total_events();
+    if (total == 0 || events_.empty()) return 0;
+    return events_[0] * 1000000ull / total;
+  }
   [[nodiscard]] std::uint64_t local_sends() const { return local_sends_; }
   [[nodiscard]] std::uint64_t cross_sends() const { return cross_sends_; }
   /// Smallest observed cross-shard delay (max Tick when no send occurred).

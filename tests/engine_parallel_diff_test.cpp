@@ -186,6 +186,50 @@ TEST(EngineParallelDiff, ArrayWorkerCountIsInvisible) {
   }
 }
 
+TEST(EngineParallelDiff, SingleChannelAndGuiderShardVariantsStayDeterministic) {
+  // Degenerate shapes for the sharded board guider pool: one channel (board
+  // residue + a single channel shard + the K sub-shards) and K = 1 (the
+  // pool collapses to one sub-shard, re-serializing every routing decision
+  // behind a single message stream). Every variant must stay byte-identical
+  // across worker counts; different K values legitimately produce different
+  // schedules and are only compared within themselves.
+  const graph::CsrGraph g =
+      graph::make_dataset(graph::DatasetId::TT, graph::Scale::kTest);
+  partition::PartitionConfig pc;
+  pc.block_capacity_bytes = 16 * KiB;
+  pc.subgraphs_per_partition = 2048;
+  pc.subgraphs_per_range = 64;
+  const partition::PartitionedGraph pg(g, pc);
+
+  auto run_variant = [&pg](std::uint32_t channels, std::uint32_t kshards,
+                           std::uint32_t threads) {
+    SimulationConfig cfg;
+    cfg.ssd = ssd::test_ssd_config();
+    cfg.ssd.topo.channels = channels;
+    cfg.accel = bench_accel_config();
+    cfg.accel.board_guider_shards = kshards;
+    cfg.spec.num_walks = 300;
+    cfg.spec.length = 6;
+    cfg.spec.seed = 0xFEEDull;
+    cfg.record_visits = true;
+    cfg.sim_threads = threads;
+    const EngineResult r = SimulationBuilder(pg).config(cfg).run();
+    return to_json("variant_diff", r);
+  };
+
+  for (const std::uint32_t channels : {1u, 4u}) {
+    for (const std::uint32_t kshards : {1u, 2u, 8u}) {
+      SCOPED_TRACE(std::to_string(channels) + "ch/K=" + std::to_string(kshards));
+      const std::string serial = run_variant(channels, kshards, 1);
+      ASSERT_FALSE(serial.empty());
+      for (const std::uint32_t workers : {2u, 4u, 8u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        EXPECT_EQ(serial, run_variant(channels, kshards, workers));
+      }
+    }
+  }
+}
+
 TEST(EngineParallelDiff, RepeatedConcurrentRunsAreReproducible) {
   // Same config, same worker count, run twice: guards against hidden
   // cross-run state (static RNGs, pool reuse) masquerading as determinism.

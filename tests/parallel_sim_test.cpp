@@ -211,6 +211,92 @@ TEST(ParallelSim, WorkerCountClampsToShards) {
   EXPECT_EQ(fired.load(), 3);
 }
 
+TEST(ParallelSim, WindowFlushFiresOncePerWindowOnEveryShard) {
+  // The flush hook runs at the end of every drain_window pass — including
+  // on shards that executed nothing in the window — so its cadence is a
+  // pure function of the window schedule, never of the worker count.
+  auto run = [](std::uint32_t workers) {
+    ParallelSimulator ps(3, kLookahead, workers);
+    // Per-shard slots: each hook writes only its own element, so the
+    // threaded modes need no extra synchronization.
+    std::vector<std::uint64_t> flushes(3, 0);
+    for (ShardId s = 0; s < 3; ++s) {
+      ps.shard(s).set_window_flush([&flushes, s](Shard&) { ++flushes[s]; });
+    }
+    // Four events on shard 0, spaced beyond the lookahead: four windows.
+    // Shards 1 and 2 stay empty the whole run.
+    for (Tick t = 0; t < 4; ++t) {
+      ps.shard(0).schedule(t * 3 * kLookahead, [] {});
+    }
+    ps.run();
+    return flushes;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, (std::vector<std::uint64_t>{4, 4, 4}));
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(3), one);
+}
+
+TEST(ParallelSim, WindowFlushBatchesStraddlingAWindowLeaveOnce) {
+  // Two events execute on shard 1 inside one window and stage work for
+  // shard 0. The flush hook coalesces the staging into ONE send_at, so the
+  // batch crosses the window boundary as a single message, delivered at the
+  // latest staged arrival, with the staged order preserved — identically
+  // for every worker count.
+  struct Delivery {
+    Tick at = 0;
+    std::vector<int> items;
+    bool operator==(const Delivery& o) const {
+      return at == o.at && items == o.items;
+    }
+  };
+  auto run = [](std::uint32_t workers) {
+    ParallelSimulator ps(2, kLookahead, workers);
+    std::vector<int> staged;
+    Tick staged_at = 0;
+    std::vector<Delivery> deliveries;  // only shard 0 writes
+    ps.shard(1).set_window_flush([&](Shard& sh) {
+      if (staged.empty()) return;
+      const Tick at = std::max(staged_at, sh.now() + kLookahead);
+      sh.send_at(0, at, [&ps, &deliveries, items = std::move(staged)] {
+        deliveries.push_back(Delivery{ps.shard(0).now(), items});
+      });
+      staged.clear();
+    });
+    auto stage = [&](int item) {
+      staged.push_back(item);
+      staged_at = ps.shard(1).now() + kLookahead;
+    };
+    ps.shard(1).schedule(0, [&stage] { stage(1); });
+    ps.shard(1).schedule(10, [&stage] { stage(2); });
+    ps.run();
+    return deliveries;
+  };
+  const auto one = run(1);
+  ASSERT_EQ(one.size(), 1u);  // one batch, not one message per event
+  EXPECT_EQ(one[0].at, 10u + kLookahead);
+  EXPECT_EQ(one[0].items, (std::vector<int>{1, 2}));
+  EXPECT_EQ(run(2), one);
+}
+
+TEST(ParallelSim, SendAtRejectsSubLookaheadDeliveries) {
+  ParallelSimulator ps(2, kLookahead, 1);
+  bool threw = false;
+  int fired = 0;
+  ps.shard(0).schedule(5, [&] {
+    try {
+      ps.shard(0).send_at(1, 5 + kLookahead - 1, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+    ps.shard(0).send_at(1, 5 + kLookahead, [&fired] { ++fired; });
+    ps.shard(0).send_at(0, 6, [&fired] { ++fired; });  // self: unconstrained
+  });
+  ps.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(fired, 2);
+}
+
 }  // namespace
 }  // namespace fw::sim
 
@@ -256,12 +342,23 @@ TEST(EngineShardAudit, ConcurrentRunIsBitIdenticalAndViolationFree) {
   EXPECT_EQ(serial.visit_counts, audited.visit_counts);
 
   const ShardAuditReport& a = audited.shard_audit;
-  EXPECT_EQ(a.shards, 1u + ssd::test_ssd_config().topo.channels);
+  EXPECT_EQ(a.shards, FlashWalkerEngine::local_shard_count(bench_accel_config(),
+                                                           ssd::test_ssd_config()));
   EXPECT_EQ(a.lookahead_ns,
             conservative_lookahead_ns(bench_accel_config(), ssd::test_ssd_config()));
   EXPECT_GT(a.events, 0u);
   EXPECT_GT(a.cross_sends, 0u);  // channel<->board traffic exists
   EXPECT_LE(a.max_shard_events, a.events);
+  EXPECT_LE(a.min_shard_events, a.max_shard_events);
+  // The board residue shard no longer hosts per-hop work, but it still
+  // executes events; its share of the stream is a proper fraction.
+  EXPECT_GT(a.board_events, 0u);
+  EXPECT_LE(a.board_events, a.events);
+  EXPECT_LE(a.board_share_ppm(), 1000000u);
+  // Windowed batching ran: ops crossed in aggregated messages, and each
+  // batch carried at least one op.
+  EXPECT_GT(a.board_batches, 0u);
+  EXPECT_GE(a.board_batched_ops, a.board_batches);
   // The regression pin for the handoff-cost fix: every cross-shard send
   // pays at least the conservative window, so zero-latency sends can never
   // silently return.
